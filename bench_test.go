@@ -1,0 +1,178 @@
+// Package uopsim's root benchmark harness: one testing.B benchmark per
+// table and figure of the paper's evaluation (driving the same experiment
+// runners as cmd/experiments, at benchmark-friendly scale), plus
+// micro-benchmarks of the core data structures. Regenerate everything with:
+//
+//	go test -bench=. -benchmem
+//
+// Full-scale paper numbers come from cmd/experiments; these benchmarks use
+// shorter traces and an application subset so the whole suite completes in
+// minutes while still exercising every experiment path.
+package uopsim
+
+import (
+	"testing"
+
+	"uopsim/internal/core"
+	"uopsim/internal/experiments"
+	"uopsim/internal/offline"
+	"uopsim/internal/policy"
+	"uopsim/internal/profiles"
+	"uopsim/internal/trace"
+	"uopsim/internal/uopcache"
+	"uopsim/internal/workload"
+)
+
+// benchCtx builds a small-but-representative experiment context.
+func benchCtx(apps ...string) *experiments.Context {
+	ctx := experiments.NewContext(6000)
+	if len(apps) == 0 {
+		apps = []string{"kafka", "postgres"}
+	}
+	ctx.Apps = apps
+	return ctx
+}
+
+func benchExperiment(b *testing.B, id string, apps ...string) {
+	b.Helper()
+	run, ok := experiments.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ctx := benchCtx(apps...)
+		if _, err := run(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- One benchmark per paper table/figure ---
+
+func BenchmarkTable1Parameters(b *testing.B)      { benchExperiment(b, "tab1") }
+func BenchmarkTable2Applications(b *testing.B)    { benchExperiment(b, "tab2") }
+func BenchmarkFig2PerfectStructures(b *testing.B) { benchExperiment(b, "fig2") }
+func BenchmarkSec3BMissClasses(b *testing.B)      { benchExperiment(b, "sec3b") }
+func BenchmarkSec3EReuseDistances(b *testing.B)   { benchExperiment(b, "sec3e") }
+func BenchmarkFig5ExistingPolicies(b *testing.B)  { benchExperiment(b, "fig5") }
+func BenchmarkFig8FURBYS(b *testing.B)            { benchExperiment(b, "fig8") }
+func BenchmarkFig9PPW(b *testing.B)               { benchExperiment(b, "fig9") }
+func BenchmarkFig10FLACKAblation(b *testing.B)    { benchExperiment(b, "fig10") }
+func BenchmarkFig11IPC(b *testing.B)              { benchExperiment(b, "fig11") }
+func BenchmarkFig12ISOPerformance(b *testing.B)   { benchExperiment(b, "fig12", "kafka") }
+func BenchmarkFig13EnergyBreakdown(b *testing.B)  { benchExperiment(b, "fig13", "clang") }
+func BenchmarkFig14EnergyReduction(b *testing.B)  { benchExperiment(b, "fig14", "kafka") }
+func BenchmarkFig15ProfileSources(b *testing.B)   { benchExperiment(b, "fig15", "kafka") }
+func BenchmarkFig16SizeAssocSweep(b *testing.B)   { benchExperiment(b, "fig16", "kafka") }
+func BenchmarkFig17Zen4PPW(b *testing.B)          { benchExperiment(b, "fig17", "kafka") }
+func BenchmarkFig18CrossValidation(b *testing.B)  { benchExperiment(b, "fig18", "kafka") }
+func BenchmarkFig19WeightBits(b *testing.B)       { benchExperiment(b, "fig19", "kafka") }
+func BenchmarkFig20DetectorDepth(b *testing.B)    { benchExperiment(b, "fig20", "kafka") }
+func BenchmarkFig21Bypass(b *testing.B)           { benchExperiment(b, "fig21", "kafka") }
+func BenchmarkFig22Hotness(b *testing.B)          { benchExperiment(b, "fig22") }
+func BenchmarkCoverage(b *testing.B)              { benchExperiment(b, "coverage", "kafka") }
+
+// --- Micro-benchmarks of the core building blocks ---
+
+func benchTracePWs(b *testing.B, app string, blocks int) []trace.PW {
+	b.Helper()
+	spec, err := workload.Get(app)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return trace.FormPWs(workload.GenerateSpec(spec, blocks, 0), 0)
+}
+
+func BenchmarkWorkloadGenerate(b *testing.B) {
+	spec, _ := workload.Get("kafka")
+	prog := spec.Build()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prog.Generate(20000, 0)
+	}
+}
+
+func BenchmarkPWFormation(b *testing.B) {
+	spec, _ := workload.Get("kafka")
+	blocks := workload.GenerateSpec(spec, 20000, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		trace.FormPWs(blocks, 0)
+	}
+}
+
+func BenchmarkUopCacheLRU(b *testing.B) {
+	pws := benchTracePWs(b, "kafka", 20000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := uopcache.New(uopcache.DefaultConfig(), policy.NewLRU())
+		uopcache.NewBehavior(c, nil).Run(pws)
+	}
+}
+
+func BenchmarkUopCacheFURBYS(b *testing.B) {
+	pws := benchTracePWs(b, "kafka", 20000)
+	cfg := uopcache.DefaultConfig()
+	prof := profiles.Collect(pws, cfg, profiles.SourceFLACK)
+	w := prof.Weights(cfg, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := uopcache.New(cfg, policy.NewFURBYS(policy.DefaultFURBYSConfig(), w))
+		uopcache.NewBehavior(c, nil).Run(pws)
+	}
+}
+
+func BenchmarkFLACKSolve(b *testing.B) {
+	pws := benchTracePWs(b, "kafka", 20000)
+	cfg := uopcache.DefaultConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		offline.ComputeDecisions(pws, cfg, offline.CostVC, true, 0)
+	}
+}
+
+func BenchmarkBeladyReplay(b *testing.B) {
+	pws := benchTracePWs(b, "kafka", 20000)
+	cfg := uopcache.DefaultConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		offline.RunBelady(pws, cfg, offline.Options{})
+	}
+}
+
+func BenchmarkTimingModel(b *testing.B) {
+	spec, _ := workload.Get("kafka")
+	blocks := workload.GenerateSpec(spec, 20000, 0)
+	cfg := core.DefaultConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.RunTiming(blocks, cfg, policy.NewLRU())
+	}
+}
+
+func BenchmarkProfileCollect(b *testing.B) {
+	pws := benchTracePWs(b, "kafka", 10000)
+	cfg := uopcache.DefaultConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prof := profiles.Collect(pws, cfg, profiles.SourceFLACK)
+		prof.Weights(cfg, 3)
+	}
+}
+
+// --- Extension experiments (paper Section VII + DESIGN.md ablations) ---
+
+func BenchmarkSensInclusion(b *testing.B)     { benchExperiment(b, "sens-inclusion", "kafka") }
+func BenchmarkSensInsertDelay(b *testing.B)   { benchExperiment(b, "sens-delay", "kafka") }
+func BenchmarkSensSegmentLimit(b *testing.B)  { benchExperiment(b, "sens-segment", "kafka") }
+func BenchmarkSensFragmentation(b *testing.B) { benchExperiment(b, "sens-fragmentation", "kafka") }
+func BenchmarkSensObjective(b *testing.B)     { benchExperiment(b, "sens-objective", "kafka") }

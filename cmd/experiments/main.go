@@ -1,0 +1,156 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments [-blocks N] [-apps a,b,c] [-csv dir] [-md file] fig8 fig10 ...
+//	experiments all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"uopsim/internal/experiments"
+	"uopsim/internal/plot"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+		blocks = flag.Int("blocks", 60000, "dynamic blocks per application trace")
+		apps   = flag.String("apps", "", "comma-separated app subset (default: all 11)")
+		csvDir = flag.String("csv", "", "directory to write per-experiment CSV files")
+		svgDir = flag.String("svg", "", "directory to write per-experiment SVG figures")
+		check  = flag.Bool("check", false, "verify the paper's qualitative claims against each table")
+		mdFile = flag.String("md", "", "file to append markdown tables to (default stdout only)")
+		report = flag.String("report", "", "file to write the paper-vs-measured report (summary + checks + tables)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	ids := flag.Args()
+	if len(ids) == 0 {
+		fmt.Fprintln(os.Stderr, "experiments: no experiment ids given (try -list or 'all')")
+		os.Exit(2)
+	}
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = experiments.IDs()
+	}
+
+	ctx := experiments.NewContext(*blocks)
+	if *apps != "" {
+		ctx.Apps = strings.Split(*apps, ",")
+	}
+
+	var md *os.File
+	if *mdFile != "" {
+		f, err := os.OpenFile(*mdFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		md = f
+	}
+
+	failures := 0
+	var allTables []*experiments.Table
+	var allChecks []experiments.CheckResult
+	for _, id := range ids {
+		run, ok := experiments.Lookup(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		tbl, err := run(ctx)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("== %s (%s) ==\n", id, time.Since(start).Round(time.Millisecond))
+		if err := tbl.Markdown(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		if md != nil {
+			if err := tbl.Markdown(md); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+		}
+		allTables = append(allTables, tbl)
+		if *check || *report != "" {
+			res := experiments.Check(tbl)
+			allChecks = append(allChecks, res)
+			if *check {
+				for _, p := range res.Passed {
+					fmt.Printf("CHECK PASS %s: %s\n", id, p)
+				}
+				for _, f := range res.Failed {
+					fmt.Printf("CHECK FAIL %s: %s\n", id, f)
+					failures++
+				}
+			}
+		}
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			f, err := os.Create(filepath.Join(*csvDir, id+".csv"))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			if err := tbl.CSV(f); err != nil {
+				f.Close()
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			f.Close()
+		}
+		if *svgDir != "" {
+			if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			svg, ok := plot.RenderTable(plot.TableData{
+				Name: tbl.Name, Title: tbl.Title, Columns: tbl.Columns, Rows: tbl.Rows,
+			})
+			if ok {
+				if err := os.WriteFile(filepath.Join(*svgDir, id+".svg"), []byte(svg), 0o644); err != nil {
+					fmt.Fprintln(os.Stderr, "experiments:", err)
+					os.Exit(1)
+				}
+			}
+		}
+	}
+	if *report != "" {
+		f, err := os.Create(*report)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		if err := experiments.WriteReport(f, allTables, allChecks); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: %d claim(s) failed\n", failures)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,92 @@
+// Command profilegen runs the FURBYS offline pipeline (paper Fig. 6, STEPS
+// 2–6): it reads or generates an application trace, replays it under an
+// offline policy (FLACK by default), computes per-window hit rates, and
+// writes the profile that NewFURBYS-based deployments consume.
+//
+// Usage:
+//
+//	profilegen -app kafka -blocks 100000 -o kafka.prof
+//	profilegen -trace kafka.trace -o kafka.prof -source belady
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"uopsim/internal/core"
+	"uopsim/internal/profiles"
+	"uopsim/internal/trace"
+	"uopsim/internal/workload"
+)
+
+func main() {
+	var (
+		app     = flag.String("app", "", "application to generate a trace for: "+strings.Join(workload.Names(), ", "))
+		traceIn = flag.String("trace", "", "existing trace file (alternative to -app)")
+		blocks  = flag.Int("blocks", 100000, "dynamic blocks when generating")
+		input   = flag.Int("input", 0, "input variant when generating")
+		source  = flag.String("source", "flack", "offline decision source: flack, belady, foo")
+		out     = flag.String("o", "", "output profile file (required)")
+	)
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "profilegen: -o is required")
+		os.Exit(2)
+	}
+	var src profiles.Source
+	switch *source {
+	case "flack":
+		src = profiles.SourceFLACK
+	case "belady":
+		src = profiles.SourceBelady
+	case "foo":
+		src = profiles.SourceFOO
+	default:
+		fmt.Fprintf(os.Stderr, "profilegen: unknown source %q\n", *source)
+		os.Exit(2)
+	}
+
+	var pws []trace.PW
+	switch {
+	case *traceIn != "":
+		f, err := os.Open(*traceIn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "profilegen:", err)
+			os.Exit(1)
+		}
+		blks, err := trace.ReadBlocks(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "profilegen:", err)
+			os.Exit(1)
+		}
+		pws = trace.FormPWs(blks, 0)
+	case *app != "":
+		_, p, err := core.TraceFor(*app, *blocks, *input)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "profilegen:", err)
+			os.Exit(1)
+		}
+		pws = p
+	default:
+		fmt.Fprintln(os.Stderr, "profilegen: need -app or -trace")
+		os.Exit(2)
+	}
+
+	cfg := core.DefaultConfig()
+	prof := profiles.Collect(pws, cfg.UopCache, src)
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "profilegen:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := prof.Save(f); err != nil {
+		fmt.Fprintln(os.Stderr, "profilegen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("profiled %d lookups (%d distinct windows) with %s; wrote %s\n",
+		len(pws), len(prof.Rates), src, *out)
+}

@@ -1,0 +1,50 @@
+// Command tracegen emits a synthetic application trace to a binary file
+// (the stand-in for the paper's Intel PT collection step).
+//
+// Usage:
+//
+//	tracegen -app postgres -blocks 200000 -input 0 -o postgres.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"uopsim/internal/trace"
+	"uopsim/internal/workload"
+)
+
+func main() {
+	var (
+		app    = flag.String("app", "kafka", "application: "+strings.Join(workload.Names(), ", "))
+		blocks = flag.Int("blocks", 100000, "dynamic blocks to generate")
+		input  = flag.Int("input", 0, "input variant")
+		out    = flag.String("o", "", "output file (required)")
+	)
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "tracegen: -o is required")
+		os.Exit(2)
+	}
+	spec, err := workload.Get(*app)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	blks := workload.GenerateSpec(spec, *blocks, *input)
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := trace.WriteBlocks(f, blks); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	pws := trace.FormPWs(blks, 0)
+	fmt.Printf("wrote %d blocks (%d PW lookups) for %s input %d to %s\n",
+		len(blks), len(pws), *app, *input, *out)
+}

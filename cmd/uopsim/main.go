@@ -1,0 +1,115 @@
+// Command uopsim runs one application under one replacement policy and
+// prints micro-op cache statistics (behaviour mode) or IPC and power
+// (timing mode).
+//
+// Usage:
+//
+//	uopsim -app kafka -policy furbys [-mode behavior|timing] [-blocks N]
+//	       [-input N] [-icache] [-zen4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"uopsim/internal/core"
+	"uopsim/internal/profiles"
+	"uopsim/internal/trace"
+	"uopsim/internal/workload"
+)
+
+func main() {
+	var (
+		app    = flag.String("app", "kafka", "application: "+strings.Join(workload.Names(), ", "))
+		traceF = flag.String("trace", "", "trace file from tracegen (overrides -app/-blocks/-input)")
+		pol    = flag.String("policy", "lru", "replacement policy: "+strings.Join(append(core.PolicyNames(), core.OfflineNames()...), ", "))
+		mode   = flag.String("mode", "behavior", "simulation mode: behavior or timing")
+		blocks = flag.Int("blocks", 100000, "dynamic blocks to simulate")
+		input  = flag.Int("input", 0, "input variant (cross-validation inputs are 1, 2, ...)")
+		icache = flag.Bool("icache", false, "model the inclusive L1i (behavior mode); default is a perfect icache")
+		zen4   = flag.Bool("zen4", false, "use the Zen4 configuration instead of Zen3")
+	)
+	flag.Parse()
+	if err := run(*app, *traceF, *pol, *mode, *blocks, *input, *icache, *zen4); err != nil {
+		fmt.Fprintln(os.Stderr, "uopsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(app, traceFile, pol, mode string, blocks, input int, icache, zen4 bool) error {
+	cfg := core.DefaultConfig()
+	if zen4 {
+		cfg = core.Zen4Config()
+	}
+	var blks []trace.Block
+	var pws []trace.PW
+	var err error
+	if traceFile != "" {
+		f, err := os.Open(traceFile)
+		if err != nil {
+			return err
+		}
+		blks, err = trace.ReadBlocks(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		app = traceFile
+		pws = trace.FormPWs(blks, 0)
+	} else {
+		blks, pws, err = core.TraceFor(app, blocks, input)
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Printf("app=%s policy=%s mode=%s blocks=%d pw-lookups=%d config=%s\n",
+		app, pol, mode, len(blks), len(pws), cfg.Name)
+
+	switch mode {
+	case "behavior":
+		res, err := core.RunBehaviorByName(pol, pws, cfg, core.BehaviorOptions{WithICache: icache})
+		if err != nil {
+			return err
+		}
+		s := res.Stats
+		fmt.Printf("lookups=%d full-hits=%d partial-hits=%d misses=%d\n", s.Lookups, s.FullHits, s.PartialHits, s.Misses)
+		fmt.Printf("uops requested=%d hit=%d missed=%d  uop-miss-rate=%.4f\n", s.UopsRequested, s.UopsHit, s.UopsMissed, s.UopMissRate())
+		fmt.Printf("insertions=%d entries-written=%d bypasses=%d evictions=%d invalidations=%d\n",
+			s.Insertions, s.EntriesWritten, s.Bypasses, s.Evictions, s.Invalidations)
+		if res.FURBYS != nil {
+			f := res.FURBYS
+			fmt.Printf("furbys: victim-coverage=%.2f%% bypass-rate=%.2f%%\n",
+				100*f.VictimCoverage(), 100*float64(f.Bypasses)/float64(max64(f.InsertAttempts, 1)))
+		}
+	case "timing":
+		var prof *profiles.Profile
+		if pol == "furbys" || pol == "thermometer" {
+			prof = profiles.Collect(pws, cfg.UopCache, profiles.SourceFLACK)
+		}
+		res, err := core.RunTimingByName(pol, blks, pws, cfg, prof)
+		if err != nil {
+			return err
+		}
+		fr := res.Frontend
+		fmt.Printf("instructions=%d uops=%d cycles=%d IPC=%.4f\n", fr.Instructions, fr.Uops, fr.Cycles, fr.IPC())
+		fmt.Printf("branch MPKI=%.2f (mispredicts=%d)\n", fr.Branch.MPKI(), fr.Branch.Mispredicts())
+		fmt.Printf("uop-miss-rate=%.4f icache-misses=%d switches=%d\n",
+			fr.UopCache.UopMissRate(), fr.Events.ICacheMisses, fr.Events.Switches)
+		b := res.Power
+		fmt.Printf("energy (pJ): decoder=%.0f icache=%.0f uop$=%.0f backend=%.0f static=%.0f total=%.0f\n",
+			b.Decoder, b.ICache, b.UopCache, b.Backend, b.Static, b.Total())
+		fmt.Printf("performance-per-watt=%.4g instructions/J\n", res.PPW)
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+	return nil
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

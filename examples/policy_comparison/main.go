@@ -1,0 +1,59 @@
+// Policy comparison: run every replacement policy the paper evaluates —
+// online and offline — over a data-center application and print a ranking,
+// reproducing the experience of the paper's Figs. 5 and 8 for one workload.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"uopsim/internal/core"
+)
+
+func main() {
+	app := flag.String("app", "wordpress", "application to study")
+	blocks := flag.Int("blocks", 120000, "trace length in dynamic blocks")
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	_, pws, err := core.TraceFor(*app, *blocks, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	base, err := core.RunBehaviorByName("lru", pws, cfg, core.BehaviorOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d PW lookups, LRU uop miss rate %.4f\n\n", *app, len(pws), base.Stats.UopMissRate())
+
+	type row struct {
+		name string
+		red  float64
+		kind string
+	}
+	var rows []row
+	for _, name := range []string{"random", "srrip", "ship++", "ghrp", "mockingjay", "thermometer", "furbys"} {
+		res, err := core.RunBehaviorByName(name, pws, cfg, core.BehaviorOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, row{name, core.MissReduction(base.Stats, res.Stats), "online"})
+	}
+	for _, name := range core.OfflineNames() {
+		res, err := core.RunBehaviorByName(name, pws, cfg, core.BehaviorOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, row{name, core.MissReduction(base.Stats, res.Stats), "offline"})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].red > rows[j].red })
+
+	fmt.Printf("%-12s %-8s %s\n", "policy", "kind", "miss reduction vs LRU")
+	for _, r := range rows {
+		fmt.Printf("%-12s %-8s %+7.2f%%\n", r.name, r.kind, 100*r.red)
+	}
+	fmt.Println("\nExpected shape (paper): flack > belady > online policies; furbys best online.")
+}

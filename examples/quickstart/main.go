@@ -1,0 +1,46 @@
+// Quickstart: generate a data-center workload trace, run the micro-op cache
+// under LRU and under the paper's FURBYS policy, and print the headline
+// miss-reduction number.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"uopsim/internal/core"
+	"uopsim/internal/policy"
+	"uopsim/internal/profiles"
+)
+
+func main() {
+	cfg := core.DefaultConfig() // the paper's Table I (Zen3-like) setup
+
+	// STEP 1-2: trace collection and PW lookup sequence (the synthetic
+	// stand-in for Intel PT).
+	_, pws, err := core.TraceFor("kafka", 100000, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("kafka: %d PW lookups\n", len(pws))
+
+	// Baseline: LRU.
+	lru := core.RunBehavior(pws, cfg, policy.NewLRU(), core.BehaviorOptions{})
+	fmt.Printf("LRU     miss rate %.4f\n", lru.Stats.UopMissRate())
+
+	// STEPS 3-6: collect a FLACK profile and build the FURBYS weights.
+	prof := profiles.Collect(pws, cfg.UopCache, profiles.SourceFLACK)
+	furbys := policy.NewFURBYS(policy.DefaultFURBYSConfig(), prof.Weights(cfg.UopCache, 3))
+
+	// STEP 7: deploy.
+	res := core.RunBehavior(pws, cfg, furbys, core.BehaviorOptions{})
+	fmt.Printf("FURBYS  miss rate %.4f\n", res.Stats.UopMissRate())
+	fmt.Printf("miss reduction vs LRU: %.2f%%\n", 100*core.MissReduction(lru.Stats, res.Stats))
+
+	// The offline near-optimal bound.
+	flack, err := core.RunBehaviorByName("flack", pws, cfg, core.BehaviorOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("FLACK   miss rate %.4f (offline bound, %.2f%% reduction)\n",
+		flack.Stats.UopMissRate(), 100*core.MissReduction(lru.Stats, flack.Stats))
+}

@@ -1,0 +1,3 @@
+module uopsim
+
+go 1.22

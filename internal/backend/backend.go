@@ -1,0 +1,163 @@
+// Package backend models a simplified out-of-order core backend: a 6-wide
+// retire drain fed by the frontend's micro-op queue, plus a lightweight data
+// memory model (L1d/L2/DRAM) that injects deterministic stall cycles. The
+// paper's evaluation needs the backend only to translate frontend delivery
+// rates into IPC (its Section VII notes backend detail is out of scope), so
+// the model is an accounting drain, not a scheduled pipeline.
+package backend
+
+import (
+	"uopsim/internal/cache"
+)
+
+// Config sizes the backend; DefaultConfig matches the paper's Table I.
+type Config struct {
+	// Width is the retire width (6-wide out-of-order).
+	Width int
+	// ROB bounds the micro-op queue the frontend may run ahead by
+	// (256-entry reorder buffer).
+	ROB int
+	// MemFrac is the fraction of micro-ops that access data memory.
+	MemFrac float64
+	// Overlap discounts memory stall cycles for memory-level
+	// parallelism (0 = perfectly hidden, 1 = fully serialized).
+	Overlap float64
+	// DataFootprint is the synthetic data working set in bytes.
+	DataFootprint uint64
+	// L1D and L2 size the data-side hierarchy.
+	L1D cache.Config
+	L2  cache.Config
+	// L2Latency and DRAMLatency are miss penalties in cycles.
+	L2Latency, DRAMLatency int
+}
+
+// DefaultConfig returns the paper's backend configuration.
+func DefaultConfig() Config {
+	return Config{
+		Width:         6,
+		ROB:           256,
+		MemFrac:       0.3,
+		Overlap:       0.25,
+		DataFootprint: 8 << 20,
+		L1D:           cache.Config{SizeBytes: 32 << 10, LineBytes: 64, Ways: 8, LatencyCycles: 2},
+		L2:            cache.Config{SizeBytes: 512 << 10, LineBytes: 64, Ways: 8, LatencyCycles: 16},
+		L2Latency:     16,
+		DRAMLatency:   100,
+	}
+}
+
+// Stats counts backend activity.
+type Stats struct {
+	RetiredUops  uint64
+	RetiredInsts uint64
+	StallCycles  uint64
+	L1DAccesses  uint64
+	L1DMisses    uint64
+	L2Accesses   uint64
+	L2Misses     uint64
+}
+
+// Backend is the drain model. It is driven by the frontend: Supply delivers
+// micro-ops that took a known number of frontend cycles to produce, and the
+// backend reports how many extra stall cycles the data side added.
+type Backend struct {
+	cfg   Config
+	l1d   *cache.Cache
+	l2    *cache.Cache
+	queue int
+	// stallCarry accumulates fractional stall cycles.
+	stallCarry float64
+	Stats      Stats
+}
+
+// New builds a backend.
+func New(cfg Config) *Backend {
+	return &Backend{cfg: cfg, l1d: cache.New(cfg.L1D), l2: cache.New(cfg.L2)}
+}
+
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xFF51AFD7ED558CCD
+	x ^= x >> 33
+	x *= 0xC4CEB9FE1A85EC53
+	x ^= x >> 33
+	return x
+}
+
+// Supply hands the backend `uops` micro-ops (decoding `insts` instructions,
+// fetched from around code address `addr`) that the frontend produced over
+// `cycles` cycles. It returns the number of ADDITIONAL cycles the backend
+// needs beyond the frontend's (data stalls plus queue-overflow drain).
+func (b *Backend) Supply(uops, insts int, addr uint64, cycles int) int {
+	b.Stats.RetiredUops += uint64(uops)
+	b.Stats.RetiredInsts += uint64(insts)
+	b.queue += uops
+
+	// Retire what the width allows during the frontend cycles.
+	retire := b.cfg.Width * cycles
+	if retire > b.queue {
+		retire = b.queue
+	}
+	b.queue -= retire
+
+	extra := 0
+	// If the queue exceeds the ROB, the frontend would have been
+	// back-pressured; charge the cycles needed to drain back under it.
+	if b.queue > b.cfg.ROB {
+		over := b.queue - b.cfg.ROB
+		drain := (over + b.cfg.Width - 1) / b.cfg.Width
+		b.queue -= drain * b.cfg.Width
+		if b.queue < 0 {
+			b.queue = 0
+		}
+		extra += drain
+	}
+
+	// Data-side stalls: a deterministic fraction of micro-ops are memory
+	// operations touching a synthetic working set derived from the code
+	// address (hot code tends to touch hot data).
+	memOps := int(float64(uops)*b.cfg.MemFrac + 0.5)
+	stall := 0.0
+	for i := 0; i < memOps; i++ {
+		da := mix64(addr+uint64(i)*0x9E3779B9) % b.cfg.DataFootprint
+		b.Stats.L1DAccesses++
+		if b.l1d.Access(da) {
+			continue
+		}
+		b.Stats.L1DMisses++
+		b.Stats.L2Accesses++
+		if b.l2.Access(da) {
+			stall += float64(b.cfg.L2Latency) * b.cfg.Overlap
+		} else {
+			b.Stats.L2Misses++
+			stall += float64(b.cfg.DRAMLatency) * b.cfg.Overlap
+		}
+	}
+	b.stallCarry += stall
+	if b.stallCarry >= 1 {
+		whole := int(b.stallCarry)
+		b.stallCarry -= float64(whole)
+		// Stall cycles also retire from the queue.
+		r := b.cfg.Width * whole
+		if r > b.queue {
+			r = b.queue
+		}
+		b.queue -= r
+		b.Stats.StallCycles += uint64(whole)
+		extra += whole
+	}
+	return extra
+}
+
+// Flush drains the remaining queue, returning the cycles needed.
+func (b *Backend) Flush() int {
+	c := (b.queue + b.cfg.Width - 1) / b.cfg.Width
+	b.queue = 0
+	return c
+}
+
+// QueueDepth returns the current micro-op queue occupancy.
+func (b *Backend) QueueDepth() int { return b.queue }
+
+// StatsCopy returns a snapshot of the backend statistics.
+func (b *Backend) StatsCopy() Stats { return b.Stats }

@@ -1,0 +1,262 @@
+// Package core is the simulator facade: it owns the full-system
+// configuration (the paper's Table I, plus the Zen4 variant of Fig. 17),
+// builds replacement policies by name, and runs the two simulation modes the
+// paper's methodology uses — behaviour mode for miss-rate studies and timing
+// mode for IPC and power. Everything in cmd/, examples/ and the benchmark
+// harness goes through this package.
+package core
+
+import (
+	"fmt"
+
+	"uopsim/internal/backend"
+	"uopsim/internal/branch"
+	"uopsim/internal/cache"
+	"uopsim/internal/frontend"
+	"uopsim/internal/offline"
+	"uopsim/internal/policy"
+	"uopsim/internal/power"
+	"uopsim/internal/profiles"
+	"uopsim/internal/trace"
+	"uopsim/internal/uopcache"
+	"uopsim/internal/workload"
+)
+
+// Config is the full-system configuration.
+type Config struct {
+	Name     string
+	UopCache uopcache.Config
+	L1I      cache.Config
+	Branch   branch.Config
+	Frontend frontend.Config
+	Backend  backend.Config
+	Energy   power.EnergyTable
+}
+
+// DefaultConfig returns the paper's Table I (AMD Zen3-like) configuration.
+func DefaultConfig() Config {
+	return Config{
+		Name:     "zen3",
+		UopCache: uopcache.DefaultConfig(),
+		L1I:      cache.Config{SizeBytes: 32 << 10, LineBytes: 64, Ways: 8, LatencyCycles: 1},
+		Branch:   branch.DefaultConfig(),
+		Frontend: frontend.DefaultConfig(),
+		Backend:  backend.DefaultConfig(),
+		Energy:   power.DefaultTable(),
+	}
+}
+
+// Zen4Config returns the larger-frontend configuration of Fig. 17: a bigger
+// micro-op cache (6.75K µops on Zen4 ≈ 864 entries; we use 1024 to keep the
+// set count a power of two), larger BTB and predictor, wider decode.
+func Zen4Config() Config {
+	c := DefaultConfig()
+	c.Name = "zen4"
+	c.UopCache.Entries = 1024
+	c.Branch = branch.Zen4Config()
+	c.Frontend.UopDeliver = 9
+	c.Backend.Width = 8
+	c.Backend.ROB = 320
+	return c
+}
+
+// PolicyNames lists the online policies RunBehaviorByName accepts, in the
+// paper's presentation order.
+func PolicyNames() []string {
+	return []string{"lru", "random", "srrip", "drrip", "ship++", "ghrp", "mockingjay", "thermometer", "furbys"}
+}
+
+// OfflineNames lists the offline policy names.
+func OfflineNames() []string { return []string{"belady", "foo", "flack"} }
+
+// NewPolicy constructs an online replacement policy by name. Profile-guided
+// policies (thermometer, furbys) need a profile; fcfg tunes FURBYS (zero
+// value = paper defaults).
+func NewPolicy(name string, prof *profiles.Profile, ucCfg uopcache.Config, fcfg policy.FURBYSConfig) (uopcache.Policy, error) {
+	switch name {
+	case "lru":
+		return policy.NewLRU(), nil
+	case "random":
+		return policy.NewRandom(1), nil
+	case "srrip":
+		return policy.NewSRRIP(), nil
+	case "drrip":
+		return policy.NewDRRIP(), nil
+	case "ship++":
+		return policy.NewSHiPPP(), nil
+	case "ghrp":
+		return policy.NewGHRP(), nil
+	case "mockingjay":
+		return policy.NewMockingjay(), nil
+	case "thermometer":
+		if prof == nil {
+			return nil, fmt.Errorf("core: thermometer needs a profile")
+		}
+		return policy.NewThermometer(prof.ThermoClasses()), nil
+	case "furbys":
+		if prof == nil {
+			return nil, fmt.Errorf("core: furbys needs a profile")
+		}
+		if fcfg.WeightBits == 0 {
+			fcfg = policy.DefaultFURBYSConfig()
+		}
+		return policy.NewFURBYS(fcfg, prof.Weights(ucCfg, fcfg.WeightBits)), nil
+	default:
+		return nil, fmt.Errorf("core: unknown policy %q", name)
+	}
+}
+
+// TraceFor generates an application's dynamic block trace and its PW lookup
+// sequence (the paper's STEPS 1–2).
+func TraceFor(app string, numBlocks, input int) ([]trace.Block, []trace.PW, error) {
+	spec, err := workload.Get(app)
+	if err != nil {
+		return nil, nil, err
+	}
+	blocks := workload.GenerateSpec(spec, numBlocks, input)
+	return blocks, trace.FormPWs(blocks, 0), nil
+}
+
+// BehaviorOptions tunes a behaviour-mode run.
+type BehaviorOptions struct {
+	// WithICache models the inclusive L1i; off = perfect icache.
+	WithICache bool
+	// RecordPerLookup captures each lookup's outcome (for hotness and
+	// profiling analyses).
+	RecordPerLookup bool
+}
+
+// BehaviorResult is a behaviour-mode run's output.
+type BehaviorResult struct {
+	Stats     uopcache.Stats
+	PerLookup []uopcache.ProbeResult
+	// FURBYS carries FURBYS's decision-provenance counters when the
+	// policy was FURBYS.
+	FURBYS *policy.FURBYSStats
+}
+
+// RunBehavior drives a PW lookup sequence through the micro-op cache under
+// an online policy.
+func RunBehavior(pws []trace.PW, cfg Config, pol uopcache.Policy, opts BehaviorOptions) BehaviorResult {
+	c := uopcache.New(cfg.UopCache, pol)
+	var ic *cache.Cache
+	if opts.WithICache {
+		ic = cache.New(cfg.L1I)
+	}
+	b := uopcache.NewBehavior(c, ic)
+	var res BehaviorResult
+	if opts.RecordPerLookup {
+		res.PerLookup = make([]uopcache.ProbeResult, 0, len(pws))
+		for _, p := range pws {
+			res.PerLookup = append(res.PerLookup, b.Access(p))
+		}
+		b.Flush()
+		res.Stats = c.Stats
+	} else {
+		res.Stats = b.Run(pws)
+	}
+	if f, ok := pol.(*policy.FURBYS); ok {
+		st := f.Stats
+		res.FURBYS = &st
+	}
+	return res
+}
+
+// RunBehaviorByName builds the named policy (collecting a FLACK profile for
+// the profile-guided ones from the same trace) and runs behaviour mode.
+// Offline names (belady/foo/flack) run the offline machinery.
+func RunBehaviorByName(name string, pws []trace.PW, cfg Config, opts BehaviorOptions) (BehaviorResult, error) {
+	switch name {
+	case "belady":
+		r := offline.RunBelady(pws, cfg.UopCache, offlineOptions(cfg, opts))
+		return BehaviorResult{Stats: r.Stats, PerLookup: r.PerLookup}, nil
+	case "foo":
+		r := offline.RunFOO(pws, cfg.UopCache, offlineOptions(cfg, opts))
+		return BehaviorResult{Stats: r.Stats, PerLookup: r.PerLookup}, nil
+	case "flack":
+		r := offline.RunFLACK(pws, cfg.UopCache, offlineOptions(cfg, opts))
+		return BehaviorResult{Stats: r.Stats, PerLookup: r.PerLookup}, nil
+	}
+	var prof *profiles.Profile
+	if name == "thermometer" || name == "furbys" {
+		prof = profiles.Collect(pws, cfg.UopCache, profiles.SourceFLACK)
+	}
+	pol, err := NewPolicy(name, prof, cfg.UopCache, policy.FURBYSConfig{})
+	if err != nil {
+		return BehaviorResult{}, err
+	}
+	return RunBehavior(pws, cfg, pol, opts), nil
+}
+
+func offlineOptions(cfg Config, opts BehaviorOptions) offline.Options {
+	o := offline.Options{RecordPerLookup: opts.RecordPerLookup}
+	if opts.WithICache {
+		ic := cfg.L1I
+		o.ICache = &ic
+	}
+	return o
+}
+
+// TimingResult bundles a timing run with its power breakdown.
+type TimingResult struct {
+	Frontend frontend.Result
+	Power    power.Breakdown
+	PPW      float64
+}
+
+// RunTiming drives a dynamic block trace through the full timing model
+// under the given replacement policy and prices it with the energy table.
+// Offline SchedulePolicy instances are bound to the cache's lookup counter
+// so their plans stay aligned with the PW stream.
+func RunTiming(blocks []trace.Block, cfg Config, pol uopcache.Policy) TimingResult {
+	bp := branch.New(cfg.Branch)
+	uc := uopcache.New(cfg.UopCache, pol)
+	if sp, ok := pol.(*offline.SchedulePolicy); ok {
+		sp.Bind(func() int { return int(uc.Stats.Lookups) })
+	}
+	var l1i *cache.Cache
+	if !cfg.Frontend.PerfectICache {
+		l1i = cache.New(cfg.L1I)
+	}
+	be := backend.New(cfg.Backend)
+	f := frontend.New(cfg.Frontend, bp, uc, l1i, be)
+	res := f.RunBlocks(blocks)
+	pb := power.Compute(res, cfg.Energy)
+	return TimingResult{Frontend: res, Power: pb, PPW: power.PPW(res, pb)}
+}
+
+// RunTimingByName builds the named policy — online or offline — and runs
+// the timing model. Profile-guided policies collect a FLACK profile from the
+// same trace when prof is nil.
+func RunTimingByName(name string, blocks []trace.Block, pws []trace.PW, cfg Config, prof *profiles.Profile) (TimingResult, error) {
+	var pol uopcache.Policy
+	switch name {
+	case "belady":
+		pol = offline.NewBeladySchedule(pws)
+	case "foo":
+		pol = offline.NewFLACKSchedule(pws, cfg.UopCache, offline.Features{})
+	case "flack":
+		pol = offline.NewFLACKSchedule(pws, cfg.UopCache, offline.FLACKFeatures())
+	default:
+		if name == "thermometer" || name == "furbys" {
+			if prof == nil {
+				prof = profiles.Collect(pws, cfg.UopCache, profiles.SourceFLACK)
+			}
+		}
+		p, err := NewPolicy(name, prof, cfg.UopCache, policy.FURBYSConfig{})
+		if err != nil {
+			return TimingResult{}, err
+		}
+		pol = p
+	}
+	return RunTiming(blocks, cfg, pol), nil
+}
+
+// MissReduction is the paper's headline metric: the relative reduction in
+// micro-op-level misses versus a baseline (positive = better).
+func MissReduction(baseline, other uopcache.Stats) float64 {
+	if baseline.UopsMissed == 0 {
+		return 0
+	}
+	return (float64(baseline.UopsMissed) - float64(other.UopsMissed)) / float64(baseline.UopsMissed)
+}

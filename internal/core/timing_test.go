@@ -1,0 +1,83 @@
+package core_test
+
+import (
+	"testing"
+
+	"uopsim/internal/core"
+)
+
+func TestRunTimingByNameAllPolicies(t *testing.T) {
+	cfg := core.DefaultConfig()
+	blocks, pws, err := core.TraceFor("kafka", 10000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := append(core.PolicyNames(), core.OfflineNames()...)
+	ipcs := map[string]float64{}
+	for _, name := range names {
+		res, err := core.RunTimingByName(name, blocks, pws, cfg, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Frontend.IPC() <= 0 {
+			t.Errorf("%s: IPC = %v", name, res.Frontend.IPC())
+		}
+		if res.PPW <= 0 {
+			t.Errorf("%s: PPW = %v", name, res.PPW)
+		}
+		ipcs[name] = res.Frontend.IPC()
+	}
+	// FLACK must not have a lower IPC than LRU on this workload.
+	if ipcs["flack"] < ipcs["lru"]*0.999 {
+		t.Errorf("flack IPC %.4f below lru %.4f", ipcs["flack"], ipcs["lru"])
+	}
+	if _, err := core.RunTimingByName("nosuch", blocks, pws, cfg, nil); err == nil {
+		t.Error("unknown policy should error")
+	}
+}
+
+func TestTimingDeterministicByName(t *testing.T) {
+	cfg := core.DefaultConfig()
+	blocks, pws, err := core.TraceFor("python", 8000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := core.RunTimingByName("furbys", blocks, pws, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := core.RunTimingByName("furbys", blocks, pws, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Frontend.Cycles != r2.Frontend.Cycles || r1.Power.Total() != r2.Power.Total() {
+		t.Error("timing-by-name not deterministic")
+	}
+}
+
+func TestNonInclusiveNeverWorse(t *testing.T) {
+	cfg := core.DefaultConfig()
+	blocks, _, err := core.TraceFor("clang", 30000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	incl, err := core.RunTimingByName("lru", blocks, nil, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Frontend.NonInclusive = true
+	non, err := core.RunTimingByName("lru", blocks, nil, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if non.Frontend.UopCache.Invalidations != 0 {
+		t.Errorf("non-inclusive run invalidated %d windows", non.Frontend.UopCache.Invalidations)
+	}
+	if incl.Frontend.UopCache.Invalidations == 0 {
+		t.Error("inclusive clang run should invalidate under L1i pressure")
+	}
+	if non.Frontend.UopCache.UopMissRate() > incl.Frontend.UopCache.UopMissRate() {
+		t.Errorf("non-inclusive miss rate %.4f worse than inclusive %.4f",
+			non.Frontend.UopCache.UopMissRate(), incl.Frontend.UopCache.UopMissRate())
+	}
+}

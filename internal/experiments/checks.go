@@ -1,0 +1,269 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// CheckResult reports whether a generated table preserves the paper's
+// qualitative claims (who wins, by roughly what factor, where the knees
+// are). Absolute numbers are NOT checked — the substrate is a simulator and
+// the workloads synthetic; shape is the reproduction contract (DESIGN.md §6).
+type CheckResult struct {
+	Experiment string
+	Passed     []string
+	Failed     []string
+}
+
+// OK reports whether every claim held.
+func (c CheckResult) OK() bool { return len(c.Failed) == 0 }
+
+// cellPct parses "12.34%" to 12.34; ok=false for non-numeric cells.
+func cellPct(s string) (float64, bool) {
+	s = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(s), "%"))
+	v, err := strconv.ParseFloat(s, 64)
+	return v, err == nil
+}
+
+// meanRow finds the summary row ("MEAN" label, or "MEAN" in column 0).
+func meanRow(t *Table) []string {
+	for _, r := range t.Rows {
+		if len(r) > 0 && strings.EqualFold(r[0], "MEAN") {
+			return r
+		}
+	}
+	return nil
+}
+
+// colIndex finds a column by name, -1 if absent.
+func colIndex(t *Table, name string) int {
+	for i, c := range t.Columns {
+		if strings.EqualFold(c, name) || strings.Contains(strings.ToLower(c), strings.ToLower(name)) {
+			return i
+		}
+	}
+	return -1
+}
+
+// meanOf extracts the summary value of a column.
+func meanOf(t *Table, col string) (float64, bool) {
+	r := meanRow(t)
+	i := colIndex(t, col)
+	if r == nil || i < 0 || i >= len(r) {
+		return 0, false
+	}
+	return cellPct(r[i])
+}
+
+type claim struct {
+	desc string
+	hold func(t *Table) (bool, string)
+}
+
+// greater asserts mean(a) > mean(b) (+ margin in percentage points).
+func greater(a, b string, margin float64) claim {
+	return claim{
+		desc: fmt.Sprintf("mean(%s) > mean(%s)", a, b),
+		hold: func(t *Table) (bool, string) {
+			va, oka := meanOf(t, a)
+			vb, okb := meanOf(t, b)
+			if !oka || !okb {
+				return false, fmt.Sprintf("missing columns %q/%q", a, b)
+			}
+			return va > vb+margin, fmt.Sprintf("%.2f vs %.2f", va, vb)
+		},
+	}
+}
+
+// positive asserts mean(col) > 0.
+func positive(col string) claim {
+	return claim{
+		desc: fmt.Sprintf("mean(%s) > 0", col),
+		hold: func(t *Table) (bool, string) {
+			v, ok := meanOf(t, col)
+			if !ok {
+				return false, "missing column " + col
+			}
+			return v > 0, fmt.Sprintf("%.2f", v)
+		},
+	}
+}
+
+// checks maps experiment ids to the paper's qualitative claims.
+func checks(id string) []claim {
+	switch id {
+	case "fig2":
+		// The perfect micro-op cache gives the largest PPW gain.
+		return []claim{
+			greater("perfect uop cache", "perfect icache", 0),
+			greater("perfect uop cache", "perfect BP", 0),
+			greater("perfect uop cache", "perfect BTB", 0),
+		}
+	case "sec3b":
+		return []claim{{
+			desc: "capacity misses dominate under LRU",
+			hold: func(t *Table) (bool, string) {
+				for _, r := range t.Rows {
+					if len(r) >= 5 && strings.EqualFold(r[0], "MEAN") && r[1] == "lru" {
+						capv, _ := cellPct(r[3])
+						coldv, _ := cellPct(r[2])
+						confv, _ := cellPct(r[4])
+						return capv > coldv && capv > confv,
+							fmt.Sprintf("cold %.1f / capacity %.1f / conflict %.1f", coldv, capv, confv)
+					}
+				}
+				return false, "no LRU mean row"
+			},
+		}}
+	case "sec3e":
+		return []claim{{
+			desc: "PW reuse distances more scattered than icache lines and BTB entries",
+			hold: func(t *Table) (bool, string) {
+				r := meanRow(t)
+				if r == nil || len(r) < 4 {
+					return false, "no mean row"
+				}
+				pw, _ := cellPct(r[1])
+				ic, _ := cellPct(r[2])
+				br, _ := cellPct(r[3])
+				return pw > ic && pw > br, fmt.Sprintf("pw %.1f ic %.1f btb %.1f", pw, ic, br)
+			},
+		}}
+	case "fig5":
+		return []claim{
+			greater("flack", "ghrp", 0),
+			greater("flack", "srrip", 0),
+			greater("flack", "thermometer", 0),
+			positive("flack"),
+		}
+	case "fig8":
+		return []claim{
+			positive("furbys"),
+			greater("furbys", "srrip", 0),
+			greater("furbys", "ship++", 0),
+			greater("furbys", "ghrp", 0),
+			greater("furbys", "mockingjay", 0),
+			greater("furbys", "thermometer", 0),
+			greater("flack", "furbys", 0),
+		}
+	case "fig9":
+		return []claim{positive("furbys"), greater("furbys", "ghrp", 0), greater("furbys", "srrip", 0)}
+	case "fig10":
+		return []claim{
+			greater("flack", "belady", 0),
+			greater("flack", "foo", 0),
+			greater("foo+A", "foo", 0),
+			positive("flack"),
+		}
+	case "fig11":
+		return []claim{
+			positive("furbys"),
+			greater("infinite uop cache", "furbys", 0),
+			greater("flack", "srrip", 0),
+		}
+	case "fig12":
+		return []claim{{
+			desc: "FURBYS@512 beats LRU@512 and LRU needs more capacity to match",
+			hold: func(t *Table) (bool, string) {
+				var lru512, furbys float64
+				for _, r := range t.Rows {
+					if len(r) < 2 {
+						continue
+					}
+					v, ok := cellPct(r[1])
+					if !ok {
+						continue
+					}
+					switch r[0] {
+					case "lru@512":
+						lru512 = v
+					case "furbys@512":
+						furbys = v
+					}
+				}
+				return furbys < lru512, fmt.Sprintf("miss rate furbys@512 %.4f vs lru@512 %.4f", furbys, lru512)
+			},
+		}}
+	case "fig13":
+		return []claim{{
+			desc: "uop cache saves energy; FURBYS saves more than LRU",
+			hold: func(t *Table) (bool, string) {
+				var lru, furbys float64
+				for _, r := range t.Rows {
+					if len(r) < 6 {
+						continue
+					}
+					v, ok := cellPct(r[5])
+					if !ok {
+						continue
+					}
+					switch r[0] {
+					case "lru":
+						lru = v
+					case "furbys":
+						furbys = v
+					}
+				}
+				return lru < 100 && furbys <= lru, fmt.Sprintf("total lru %.1f%% furbys %.1f%% of baseline", lru, furbys)
+			},
+		}}
+	case "fig15":
+		return []claim{greater("flack-profile", "foo-profile", 0)}
+	case "fig18":
+		return []claim{{
+			desc: "cross-input profile retains most of the same-input reduction",
+			hold: func(t *Table) (bool, string) {
+				same, ok1 := meanOf(t, "same-input")
+				cross, ok2 := meanOf(t, "cross-input")
+				if !ok1 || !ok2 {
+					return false, "missing columns"
+				}
+				return cross > 0 && cross > 0.5*same, fmt.Sprintf("same %.2f cross %.2f", same, cross)
+			},
+		}}
+	case "fig21":
+		return []claim{greater("bypass on", "bypass off", 0)}
+	case "fig22":
+		return []claim{{
+			desc: "hot deciles hit well under every policy; FLACK bounds FURBYS overall",
+			hold: func(t *Table) (bool, string) {
+				if len(t.Rows) != 10 {
+					return false, "not 10 deciles"
+				}
+				hotLRU, _ := cellPct(t.Rows[0][1])
+				coldLRU, _ := cellPct(t.Rows[9][1])
+				return hotLRU > coldLRU, fmt.Sprintf("lru hot %.1f vs cold %.1f", hotLRU, coldLRU)
+			},
+		}}
+	case "coverage":
+		return []claim{{
+			desc: "FURBYS selects the overwhelming majority of victims",
+			hold: func(t *Table) (bool, string) {
+				v, ok := meanOf(t, "furbys-selected victims")
+				if !ok {
+					return false, "missing column"
+				}
+				return v > 60, fmt.Sprintf("%.1f%%", v)
+			},
+		}}
+	default:
+		return nil
+	}
+}
+
+// Check validates a generated table against the paper's claims for its
+// experiment. Experiments without registered claims return an empty result.
+func Check(t *Table) CheckResult {
+	res := CheckResult{Experiment: t.Name}
+	for _, c := range checks(t.Name) {
+		ok, detail := c.hold(t)
+		line := fmt.Sprintf("%s (%s)", c.desc, detail)
+		if ok {
+			res.Passed = append(res.Passed, line)
+		} else {
+			res.Failed = append(res.Failed, line)
+		}
+	}
+	return res
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import "testing"
+
+func mkTable(name string, cols []string, rows ...[]string) *Table {
+	return &Table{Name: name, Columns: cols, Rows: rows}
+}
+
+func TestCheckFig8PassAndFail(t *testing.T) {
+	cols := []string{"application", "srrip", "ship++", "mockingjay", "ghrp", "thermometer", "furbys", "flack"}
+	good := mkTable("fig8", cols,
+		[]string{"kafka", "5%", "6%", "4%", "7%", "10%", "14%", "30%"},
+		[]string{"MEAN", "5.00%", "6.00%", "4.00%", "7.00%", "10.00%", "14.00%", "30.00%"},
+	)
+	res := Check(good)
+	if !res.OK() {
+		t.Errorf("good fig8 failed: %v", res.Failed)
+	}
+	if len(res.Passed) != 7 {
+		t.Errorf("passed = %d claims", len(res.Passed))
+	}
+	bad := mkTable("fig8", cols,
+		[]string{"MEAN", "5.00%", "6.00%", "4.00%", "20.00%", "10.00%", "14.00%", "30.00%"},
+	)
+	if Check(bad).OK() {
+		t.Error("fig8 with GHRP beating FURBYS should fail")
+	}
+}
+
+func TestCheckFig10(t *testing.T) {
+	cols := []string{"application", "belady", "foo", "foo+A", "foo+A+VC", "flack"}
+	good := mkTable("fig10", cols,
+		[]string{"MEAN", "25.00%", "10.00%", "20.00%", "26.00%", "30.00%"},
+	)
+	if res := Check(good); !res.OK() {
+		t.Errorf("good fig10 failed: %v", res.Failed)
+	}
+	bad := mkTable("fig10", cols,
+		[]string{"MEAN", "35.00%", "10.00%", "20.00%", "26.00%", "30.00%"},
+	)
+	if Check(bad).OK() {
+		t.Error("fig10 with Belady beating FLACK should fail")
+	}
+}
+
+func TestCheckFig12(t *testing.T) {
+	cols := []string{"configuration", "mean uop miss rate", "mean IPC", "mean miss reduction vs LRU@512"}
+	good := mkTable("fig12", cols,
+		[]string{"lru@512", "0.1500", "1.2", "0.00%"},
+		[]string{"lru@768", "0.1100", "1.25", "20.00%"},
+		[]string{"furbys@512", "0.1300", "1.22", "13.00%"},
+	)
+	if res := Check(good); !res.OK() {
+		t.Errorf("good fig12 failed: %v", res.Failed)
+	}
+	bad := mkTable("fig12", cols,
+		[]string{"lru@512", "0.1200", "1.2", "0.00%"},
+		[]string{"furbys@512", "0.1300", "1.22", "-8.00%"},
+	)
+	if Check(bad).OK() {
+		t.Error("fig12 with FURBYS worse than LRU should fail")
+	}
+}
+
+func TestCheckSec3B(t *testing.T) {
+	cols := []string{"application", "policy", "cold", "capacity", "conflict", "total misses"}
+	good := mkTable("sec3b", cols,
+		[]string{"MEAN", "lru", "1.00%", "85.00%", "14.00%", ""},
+	)
+	if res := Check(good); !res.OK() {
+		t.Errorf("good sec3b failed: %v", res.Failed)
+	}
+	bad := mkTable("sec3b", cols,
+		[]string{"MEAN", "lru", "60.00%", "25.00%", "15.00%", ""},
+	)
+	if Check(bad).OK() {
+		t.Error("sec3b with cold misses dominating should fail")
+	}
+}
+
+func TestCheckUnknownExperimentIsEmpty(t *testing.T) {
+	res := Check(mkTable("tab1", []string{"parameter", "value"}))
+	if len(res.Passed)+len(res.Failed) != 0 {
+		t.Error("tab1 has no registered claims")
+	}
+	if !res.OK() {
+		t.Error("empty check should be OK")
+	}
+}
+
+func TestCheckMissingColumnsFail(t *testing.T) {
+	res := Check(mkTable("fig8", []string{"application", "x"}, []string{"MEAN", "1%"}))
+	if res.OK() {
+		t.Error("fig8 without its columns should fail the checks")
+	}
+}
+
+// TestCheckAgainstLiveTables runs the real experiments at small scale and
+// verifies the paper's claims hold end-to-end — the reproduction's core
+// integration test.
+func TestCheckAgainstLiveTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live shape checks are expensive")
+	}
+	ctx := NewContext(12000)
+	ctx.Apps = []string{"kafka", "wordpress", "mysql"}
+	for _, id := range []string{"fig8", "fig10", "sec3e", "fig21", "coverage"} {
+		run, _ := Lookup(id)
+		tbl, err := run(ctx)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		res := Check(tbl)
+		for _, f := range res.Failed {
+			t.Errorf("%s: claim failed: %s", id, f)
+		}
+	}
+}

@@ -1,0 +1,269 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation. Each experiment is a named function producing a Table; the
+// registry drives cmd/experiments and the root benchmark harness. A Context
+// caches generated traces and collected profiles so multi-figure runs do not
+// repeat the expensive FLACK profiling step.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"sync"
+
+	"uopsim/internal/core"
+	"uopsim/internal/profiles"
+	"uopsim/internal/trace"
+	"uopsim/internal/workload"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	Name    string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	// Notes records paper-vs-measured commentary.
+	Notes []string
+}
+
+// AddRow appends a row (stringifying values).
+func (t *Table) AddRow(vals ...any) {
+	row := make([]string, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case string:
+			row[i] = x
+		case float64:
+			row[i] = fmt.Sprintf("%.4f", x)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// CSV writes the table as CSV.
+func (t *Table) CSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, strings.Join(t.Columns, ",")); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if _, err := fmt.Fprintln(w, strings.Join(r, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Markdown writes the table as GitHub-flavoured markdown.
+func (t *Table) Markdown(w io.Writer) error {
+	fmt.Fprintf(w, "### %s — %s\n\n", t.Name, t.Title)
+	fmt.Fprintf(w, "| %s |\n", strings.Join(t.Columns, " | "))
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(sep, " | "))
+	for _, r := range t.Rows {
+		fmt.Fprintf(w, "| %s |\n", strings.Join(r, " | "))
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "\n> %s\n", n)
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// Context carries shared configuration and caches.
+type Context struct {
+	// Cfg is the system configuration (DefaultConfig unless overridden).
+	Cfg core.Config
+	// Blocks is the dynamic block count per trace.
+	Blocks int
+	// Apps restricts the application list (nil = all 11).
+	Apps []string
+
+	mu     sync.Mutex
+	traces map[string]tracePair
+	profs  map[string]*profiles.Profile
+}
+
+type tracePair struct {
+	blocks []trace.Block
+	pws    []trace.PW
+}
+
+// NewContext builds a context with the paper's default configuration.
+func NewContext(blocks int) *Context {
+	if blocks <= 0 {
+		blocks = 60000
+	}
+	return &Context{
+		Cfg:    core.DefaultConfig(),
+		Blocks: blocks,
+		traces: make(map[string]tracePair),
+		profs:  make(map[string]*profiles.Profile),
+	}
+}
+
+// AppList returns the applications under study.
+func (c *Context) AppList() []string {
+	if len(c.Apps) > 0 {
+		return c.Apps
+	}
+	return workload.Names()
+}
+
+// Trace returns (cached) the block trace and PW sequence for an app/input.
+func (c *Context) Trace(app string, input int) ([]trace.Block, []trace.PW, error) {
+	key := fmt.Sprintf("%s/%d/%d", app, input, c.Blocks)
+	c.mu.Lock()
+	tp, ok := c.traces[key]
+	c.mu.Unlock()
+	if ok {
+		return tp.blocks, tp.pws, nil
+	}
+	blocks, pws, err := core.TraceFor(app, c.Blocks, input)
+	if err != nil {
+		return nil, nil, err
+	}
+	c.mu.Lock()
+	c.traces[key] = tracePair{blocks: blocks, pws: pws}
+	c.mu.Unlock()
+	return blocks, pws, nil
+}
+
+// Profile returns (cached) the offline profile for an app/input/source
+// under the context's micro-op cache geometry.
+func (c *Context) Profile(app string, input int, src profiles.Source) (*profiles.Profile, error) {
+	key := fmt.Sprintf("%s/%d/%v/%d/%d/%d", app, input, src, c.Blocks, c.Cfg.UopCache.Entries, c.Cfg.UopCache.Ways)
+	c.mu.Lock()
+	p, ok := c.profs[key]
+	c.mu.Unlock()
+	if ok {
+		return p, nil
+	}
+	_, pws, err := c.Trace(app, input)
+	if err != nil {
+		return nil, err
+	}
+	p = profiles.Collect(pws, c.Cfg.UopCache, src)
+	c.mu.Lock()
+	c.profs[key] = p
+	c.mu.Unlock()
+	return p, nil
+}
+
+// Runner is an experiment entry point.
+type Runner func(ctx *Context) (*Table, error)
+
+// Registry maps experiment ids (tab1, fig8, ...) to runners, in paper
+// order.
+func Registry() []struct {
+	ID  string
+	Run Runner
+} {
+	return []struct {
+		ID  string
+		Run Runner
+	}{
+		{"tab1", Table1},
+		{"tab2", Table2},
+		{"fig2", Fig2PerfectStructures},
+		{"sec3b", Sec3BMissClasses},
+		{"sec3e", Sec3EReuseDistances},
+		{"fig5", Fig5ExistingPolicies},
+		{"fig8", Fig8FURBYSMissReduction},
+		{"fig9", Fig9PPW},
+		{"fig10", Fig10FLACKAblation},
+		{"fig11", Fig11IPC},
+		{"fig12", Fig12ISOPerformance},
+		{"fig13", Fig13EnergyBreakdownClang},
+		{"fig14", Fig14EnergyReductionBreakdown},
+		{"fig15", Fig15ProfileSources},
+		{"fig16", Fig16SizeAssocSweep},
+		{"fig17", Fig17Zen4PPW},
+		{"fig18", Fig18CrossValidation},
+		{"fig19", Fig19WeightBits},
+		{"fig20", Fig20DetectorDepth},
+		{"fig21", Fig21Bypass},
+		{"fig22", Fig22Hotness},
+		{"coverage", CoverageStats},
+		{"sens-inclusion", SensInclusion},
+		{"sens-delay", SensInsertDelay},
+		{"sens-segment", SensSegmentLimit},
+		{"sens-fragmentation", SensFragmentation},
+		{"sens-objective", SensObjective},
+	}
+}
+
+// Lookup finds a runner by id.
+func Lookup(id string) (Runner, bool) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e.Run, true
+		}
+	}
+	return nil, false
+}
+
+// IDs lists experiment ids in order.
+func IDs() []string {
+	var out []string
+	for _, e := range Registry() {
+		out = append(out, e.ID)
+	}
+	return out
+}
+
+// forEachApp runs fn over the context's applications with bounded
+// parallelism, preserving nothing about order — callers collect into
+// app-keyed maps and emit rows in AppList order. The first error wins.
+func (c *Context) forEachApp(fn func(app string) error) error {
+	apps := c.AppList()
+	workers := runtime.NumCPU()
+	if workers > len(apps) {
+		workers = len(apps)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	var errOnce sync.Once
+	var firstErr error
+	ch := make(chan string)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for app := range ch {
+				if err := fn(app); err != nil {
+					errOnce.Do(func() { firstErr = err })
+				}
+			}
+		}()
+	}
+	for _, app := range apps {
+		ch <- app
+	}
+	close(ch)
+	wg.Wait()
+	return firstErr
+}
+
+// pct formats a fraction as a percentage string.
+func pct(f float64) string { return fmt.Sprintf("%.2f%%", 100*f) }
+
+// geomean-free mean helper.
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,227 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// smallCtx keeps experiment smoke tests fast: two contrasting apps, short
+// traces.
+func smallCtx() *Context {
+	ctx := NewContext(8000)
+	ctx.Apps = []string{"kafka", "wordpress"}
+	return ctx
+}
+
+func TestRegistryCoversEveryFigure(t *testing.T) {
+	want := []string{"tab1", "tab2", "fig2", "sec3b", "sec3e", "fig5", "fig8", "fig9",
+		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
+		"fig18", "fig19", "fig20", "fig21", "fig22", "coverage",
+		"sens-inclusion", "sens-delay", "sens-segment", "sens-fragmentation", "sens-objective"}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d entries, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("registry[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+	for _, id := range want {
+		if _, ok := Lookup(id); !ok {
+			t.Errorf("Lookup(%s) failed", id)
+		}
+	}
+	if _, ok := Lookup("nosuch"); ok {
+		t.Error("Lookup(nosuch) should fail")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{Name: "x", Title: "T", Columns: []string{"a", "b"}, Notes: []string{"note"}}
+	tbl.AddRow("foo", 1.5)
+	tbl.AddRow(2, "bar")
+	var csv, md bytes.Buffer
+	if err := tbl.CSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csv.String(), "a,b\nfoo,1.5000\n2,bar\n") {
+		t.Errorf("csv = %q", csv.String())
+	}
+	if err := tbl.Markdown(&md); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(md.String(), "| foo | 1.5000 |") || !strings.Contains(md.String(), "> note") {
+		t.Errorf("markdown = %q", md.String())
+	}
+}
+
+func TestContextCaching(t *testing.T) {
+	ctx := smallCtx()
+	b1, p1, err := ctx.Trace("kafka", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, p2, _ := ctx.Trace("kafka", 0)
+	if &b1[0] != &b2[0] || &p1[0] != &p2[0] {
+		t.Error("trace not cached")
+	}
+	pr1, err := ctx.Profile("kafka", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr2, _ := ctx.Profile("kafka", 0, 0)
+	if pr1 != pr2 {
+		t.Error("profile not cached")
+	}
+	if len(NewContext(0).AppList()) != 11 {
+		t.Error("default app list should be all 11")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	tbl, err := Table1(smallCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 8 {
+		t.Errorf("rows = %d", len(tbl.Rows))
+	}
+	if !strings.Contains(tbl.Rows[3][1], "512-entry, 8-way") {
+		t.Errorf("uop cache row = %v", tbl.Rows[3])
+	}
+}
+
+func TestTable2MeasuresMPKI(t *testing.T) {
+	ctx := smallCtx()
+	tbl, err := Table2(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for _, r := range tbl.Rows {
+		if r[3] == "0.00" {
+			t.Errorf("measured MPKI is zero for %s", r[0])
+		}
+	}
+}
+
+func TestFig8ShapesHold(t *testing.T) {
+	ctx := smallCtx()
+	tbl, err := Fig8FURBYSMissReduction(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MEAN row last; furbys column is index 6, flack 7.
+	meanRow := tbl.Rows[len(tbl.Rows)-1]
+	if meanRow[0] != "MEAN" {
+		t.Fatalf("last row = %v", meanRow)
+	}
+	parse := func(s string) float64 {
+		var f float64
+		if _, err := fmtSscanfPct(s, &f); err != nil {
+			t.Fatalf("bad pct %q: %v", s, err)
+		}
+		return f
+	}
+	furbys := parse(meanRow[6])
+	flack := parse(meanRow[7])
+	if furbys <= 0 {
+		t.Errorf("FURBYS mean reduction %.2f%% should be positive", furbys)
+	}
+	if flack <= furbys {
+		t.Errorf("FLACK (%.2f%%) should bound FURBYS (%.2f%%)", flack, furbys)
+	}
+}
+
+func TestFig10AblationMonotoneish(t *testing.T) {
+	ctx := smallCtx()
+	tbl, err := Fig10FLACKAblation(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanRow := tbl.Rows[len(tbl.Rows)-1]
+	parse := func(s string) float64 {
+		var f float64
+		fmtSscanfPct(s, &f)
+		return f
+	}
+	foo := parse(meanRow[2])
+	flack := parse(meanRow[5])
+	belady := parse(meanRow[1])
+	if flack <= foo {
+		t.Errorf("FLACK (%.2f%%) should beat raw FOO (%.2f%%)", flack, foo)
+	}
+	if flack <= belady {
+		t.Errorf("FLACK (%.2f%%) should beat Belady (%.2f%%)", flack, belady)
+	}
+}
+
+func TestFig19And20Sweeps(t *testing.T) {
+	ctx := smallCtx()
+	ctx.Apps = []string{"kafka"}
+	t19, err := Fig19WeightBits(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t19.Rows) != 8 {
+		t.Errorf("fig19 rows = %d", len(t19.Rows))
+	}
+	t20, err := Fig20DetectorDepth(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t20.Rows) != 5 {
+		t.Errorf("fig20 rows = %d", len(t20.Rows))
+	}
+}
+
+func TestFig22DecileMonotonicityAtHotEnd(t *testing.T) {
+	ctx := smallCtx()
+	tbl, err := Fig22Hotness(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 10 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	var hot, cold float64
+	fmtSscanfPct(tbl.Rows[0][1], &hot)  // LRU decile 0
+	fmtSscanfPct(tbl.Rows[9][1], &cold) // LRU decile 9
+	if hot <= cold {
+		t.Errorf("hot decile hit rate %.2f%% should exceed cold %.2f%%", hot, cold)
+	}
+}
+
+func TestFig13Shares(t *testing.T) {
+	ctx := smallCtx()
+	ctx.Apps = []string{"clang"}
+	tbl, err := Fig13EnergyBreakdownClang(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// The no-uop-cache decoder share should be substantial (paper: 12.5%).
+	var dec float64
+	fmtSscanfPct(tbl.Rows[0][1], &dec)
+	if dec < 5 || dec > 30 {
+		t.Errorf("no-uop-cache decoder share %.1f%%, want 5-30%%", dec)
+	}
+	// LRU total should be below the no-uop-cache total (paper: -8.1%).
+	var lruTotal float64
+	fmtSscanfPct(tbl.Rows[1][5], &lruTotal)
+	if lruTotal >= 100 {
+		t.Errorf("LRU total %.1f%% of baseline, want < 100%%", lruTotal)
+	}
+}
+
+// fmtSscanfPct parses "12.34%".
+func fmtSscanfPct(s string, f *float64) (int, error) {
+	return fmt.Sscan(strings.TrimSuffix(s, "%"), f)
+}

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSensInsertDelayTable(t *testing.T) {
+	ctx := NewContext(8000)
+	ctx.Apps = []string{"kafka"}
+	tbl, err := SensInsertDelay(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// The A benefit (last column) must be positive at high delays.
+	var lastBenefit float64
+	fmtSscanfPct(tbl.Rows[len(tbl.Rows)-1][4], &lastBenefit)
+	if lastBenefit <= 0 {
+		t.Errorf("A benefit at max delay = %.2f%%, want positive", lastBenefit)
+	}
+}
+
+func TestSensSegmentLimitTable(t *testing.T) {
+	ctx := NewContext(8000)
+	ctx.Apps = []string{"kafka"}
+	tbl, err := SensSegmentLimit(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Largest segment limit should not be the worst.
+	var first, last float64
+	fmtSscanfPct(tbl.Rows[0][1], &first)
+	fmtSscanfPct(tbl.Rows[len(tbl.Rows)-1][1], &last)
+	if last < first-5 {
+		t.Errorf("default segment limit (%.2f%%) much worse than tiny segments (%.2f%%)", last, first)
+	}
+}
+
+func TestSensInclusionTable(t *testing.T) {
+	ctx := NewContext(10000)
+	ctx.Apps = []string{"wordpress"}
+	tbl, err := SensInclusion(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 || tbl.Rows[1][0] != "MEAN" {
+		t.Fatalf("rows = %v", tbl.Rows)
+	}
+	for _, c := range tbl.Columns {
+		if strings.Contains(c, "non-inclusive") {
+			return
+		}
+	}
+	t.Error("missing non-inclusive column")
+}
+
+func TestMeanHelper(t *testing.T) {
+	if mean(nil) != 0 {
+		t.Error("mean of empty")
+	}
+	if got := mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("mean = %v", got)
+	}
+}
+
+func TestPctHelper(t *testing.T) {
+	if got := pct(0.1234); got != "12.34%" {
+		t.Errorf("pct = %q", got)
+	}
+	if got := pct(-0.05); got != "-5.00%" {
+		t.Errorf("pct = %q", got)
+	}
+}
+
+func TestForEachAppPropagatesError(t *testing.T) {
+	ctx := NewContext(1000)
+	ctx.Apps = []string{"kafka", "mysql", "python"}
+	calls := 0
+	err := ctx.forEachApp(func(app string) error {
+		calls++
+		if app == "mysql" {
+			return errTest
+		}
+		return nil
+	})
+	if err != errTest {
+		t.Errorf("err = %v", err)
+	}
+	if calls != 3 {
+		t.Errorf("calls = %d (all apps should still be visited)", calls)
+	}
+}
+
+var errTest = &testError{}
+
+type testError struct{}
+
+func (*testError) Error() string { return "test error" }
+
+func TestSensFragmentationTable(t *testing.T) {
+	ctx := NewContext(8000)
+	ctx.Apps = []string{"drupal"}
+	tbl, err := SensFragmentation(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Compaction must reach utilization 1.0 and not increase the miss
+	// rate versus baseline.
+	var baseMiss, compMiss, compUtil float64
+	for _, r := range tbl.Rows {
+		switch r[0] {
+		case "baseline lru":
+			fmtSscanfPct(r[1], &baseMiss)
+		case "compaction":
+			fmtSscanfPct(r[1], &compMiss)
+			fmtSscanfPct(r[2], &compUtil)
+		}
+	}
+	if compUtil < 0.99 {
+		t.Errorf("compaction utilization = %v", compUtil)
+	}
+	if compMiss > baseMiss {
+		t.Errorf("compaction raised the miss rate: %v vs %v", compMiss, baseMiss)
+	}
+}
+
+func TestSensObjectiveOrdering(t *testing.T) {
+	ctx := NewContext(8000)
+	ctx.Apps = []string{"drupal"}
+	tbl, err := SensObjective(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr := tbl.Rows[len(tbl.Rows)-1]
+	var ohr, vc float64
+	fmtSscanfPct(mr[1], &ohr)
+	fmtSscanfPct(mr[3], &vc)
+	if vc < ohr {
+		t.Errorf("variable-cost objective (%.2f%%) below OHR (%.2f%%)", vc, ohr)
+	}
+}

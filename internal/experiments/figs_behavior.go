@@ -1,0 +1,589 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"uopsim/internal/core"
+	"uopsim/internal/offline"
+	"uopsim/internal/policy"
+	"uopsim/internal/profiles"
+	"uopsim/internal/stats"
+	"uopsim/internal/trace"
+	"uopsim/internal/uopcache"
+	"uopsim/internal/workload"
+)
+
+// lruBaseline runs the LRU baseline on an app's PW trace.
+func (c *Context) lruBaseline(app string) (uopcache.Stats, error) {
+	_, pws, err := c.Trace(app, 0)
+	if err != nil {
+		return uopcache.Stats{}, err
+	}
+	return core.RunBehavior(pws, c.Cfg, policy.NewLRU(), core.BehaviorOptions{}).Stats, nil
+}
+
+// Table1 dumps the simulation parameters (paper Table I).
+func Table1(ctx *Context) (*Table, error) {
+	t := &Table{Name: "tab1", Title: "Simulation parameters (Table I)", Columns: []string{"parameter", "value"}}
+	cfg := ctx.Cfg
+	t.AddRow("CPU", fmt.Sprintf("3.2GHz, %d-wide OoO, %d-entry ROB", cfg.Backend.Width, cfg.Backend.ROB))
+	t.AddRow("Decoder", fmt.Sprintf("%d-wide decoder, %d-cycle latency", cfg.Frontend.DecodeWidth, cfg.Frontend.DecodeLatency))
+	t.AddRow("Branch predictor", fmt.Sprintf("%d-entry %d-way BTB, %d-entry RAS, TAGE-lite, %d-entry IBTB",
+		cfg.Branch.BTBEntries, cfg.Branch.BTBWays, cfg.Branch.RASEntries, cfg.Branch.IBTBEntries))
+	t.AddRow("Micro-op cache", fmt.Sprintf("%d-entry, %d-way, %d micro-ops/entry, inclusive with L1i, %d-cycle switch delay",
+		cfg.UopCache.Entries, cfg.UopCache.Ways, cfg.UopCache.UopsPerEntry, cfg.Frontend.SwitchPenalty))
+	t.AddRow("L1i", fmt.Sprintf("%dB-line, %dKiB, %d-way, %d-cycle, LRU",
+		cfg.L1I.LineBytes, cfg.L1I.SizeBytes>>10, cfg.L1I.Ways, cfg.L1I.LatencyCycles))
+	t.AddRow("L1d", fmt.Sprintf("%dB-line, %dKiB, %d-way, %d-cycle, LRU",
+		cfg.Backend.L1D.LineBytes, cfg.Backend.L1D.SizeBytes>>10, cfg.Backend.L1D.Ways, cfg.Backend.L1D.LatencyCycles))
+	t.AddRow("L2", fmt.Sprintf("%dB-line, %dKiB, %d-way, %d-cycle, LRU",
+		cfg.Backend.L2.LineBytes, cfg.Backend.L2.SizeBytes>>10, cfg.Backend.L2.Ways, cfg.Backend.L2Latency))
+	t.AddRow("DRAM", fmt.Sprintf("%d-cycle latency", cfg.Backend.DRAMLatency))
+	return t, nil
+}
+
+// Table2 lists the applications with paper-reported and measured MPKI.
+func Table2(ctx *Context) (*Table, error) {
+	t := &Table{Name: "tab2", Title: "Data center applications (Table II)",
+		Columns: []string{"application", "description", "paper MPKI", "measured MPKI", "static PWs", "overlapping PWs", "avg uops/PW"}}
+	for _, app := range ctx.AppList() {
+		spec, err := workload.Get(app)
+		if err != nil {
+			return nil, err
+		}
+		blocks, pws, err := ctx.Trace(app, 0)
+		if err != nil {
+			return nil, err
+		}
+		res := core.RunTiming(blocks, ctx.Cfg, policy.NewLRU())
+		an := trace.Analyze(pws, ctx.Cfg.UopCache.UopsPerEntry)
+		t.AddRow(app, spec.Description, fmt.Sprintf("%.2f", spec.TargetMPKI),
+			fmt.Sprintf("%.2f", res.Frontend.Branch.MPKI()), an.DistinctStarts,
+			pct(an.OverlapFrac()), fmt.Sprintf("%.1f", an.AvgUops))
+	}
+	t.Notes = append(t.Notes, "Measured MPKI comes from the TAGE-lite predictor on the synthetic traces; the paper's column is the calibration target.")
+	return t, nil
+}
+
+// Sec3BMissClasses reproduces the Section III-B miss classification under
+// LRU and under the near-optimal FLACK policy.
+func Sec3BMissClasses(ctx *Context) (*Table, error) {
+	t := &Table{Name: "sec3b", Title: "Miss classification: cold/capacity/conflict (Section III-B)",
+		Columns: []string{"application", "policy", "cold", "capacity", "conflict", "total misses"}}
+	lruCounter := func(pws []trace.PW, cfg uopcache.Config) uint64 {
+		c := uopcache.New(cfg, policy.NewLRU())
+		return uopcache.NewBehavior(c, nil).Run(pws).Misses
+	}
+	flackCounter := func(pws []trace.PW, cfg uopcache.Config) uint64 {
+		return offline.RunFLACK(pws, cfg, offline.Options{}).Stats.Misses
+	}
+	var lruTotals, flackTotals [3]float64
+	for _, app := range ctx.AppList() {
+		_, pws, err := ctx.Trace(app, 0)
+		if err != nil {
+			return nil, err
+		}
+		ml := stats.Classify(pws, ctx.Cfg.UopCache, lruCounter)
+		mf := stats.Classify(pws, ctx.Cfg.UopCache, flackCounter)
+		c1, c2, c3 := ml.Fractions()
+		f1, f2, f3 := mf.Fractions()
+		lruTotals[0] += c1
+		lruTotals[1] += c2
+		lruTotals[2] += c3
+		flackTotals[0] += f1
+		flackTotals[1] += f2
+		flackTotals[2] += f3
+		t.AddRow(app, "lru", pct(c1), pct(c2), pct(c3), ml.Total)
+		t.AddRow(app, "flack", pct(f1), pct(f2), pct(f3), mf.Total)
+	}
+	n := float64(len(ctx.AppList()))
+	t.AddRow("MEAN", "lru", pct(lruTotals[0]/n), pct(lruTotals[1]/n), pct(lruTotals[2]/n), "")
+	t.AddRow("MEAN", "flack", pct(flackTotals[0]/n), pct(flackTotals[1]/n), pct(flackTotals[2]/n), "")
+	t.Notes = append(t.Notes, "Paper: with LRU, 0.89% cold / 88.31% capacity / 10.8% conflict; near-optimal reduces capacity and conflict misses by 23.9% and 31.6%.")
+	return t, nil
+}
+
+// Sec3EReuseDistances reproduces the reuse-distance comparison of Section
+// III-E: micro-op cache PWs have far more scattered reuse than icache lines
+// or BTB entries.
+func Sec3EReuseDistances(ctx *Context) (*Table, error) {
+	t := &Table{Name: "sec3e", Title: "Reuse distance spectrum (Section III-E)",
+		Columns: []string{"application", "PW frac > 30", "icache-line frac > 30", "branch-PC frac > 30"}}
+	var sums [3]float64
+	for _, app := range ctx.AppList() {
+		blocks, pws, err := ctx.Trace(app, 0)
+		if err != nil {
+			return nil, err
+		}
+		const maxB = 256
+		hPW := stats.ReuseDistances(stats.PWKeys(pws), maxB)
+		hLine := stats.ReuseDistances(stats.LineKeys(blocks), maxB)
+		hBr := stats.ReuseDistances(stats.BranchKeys(blocks), maxB)
+		a, b, c := hPW.FracAbove(30), hLine.FracAbove(30), hBr.FracAbove(30)
+		sums[0] += a
+		sums[1] += b
+		sums[2] += c
+		t.AddRow(app, pct(a), pct(b), pct(c))
+	}
+	n := float64(len(ctx.AppList()))
+	t.AddRow("MEAN", pct(sums[0]/n), pct(sums[1]/n), pct(sums[2]/n))
+	t.Notes = append(t.Notes, "Paper: >20% of PWs, ~10% of icache lines and ~2% of BTB entries have reuse distance over 30.")
+	return t, nil
+}
+
+// runPolicyOnApp runs a named policy in behaviour mode, routing the
+// profile-guided ones through the context's profile cache so FLACK is
+// solved once per app rather than once per policy.
+func (c *Context) runPolicyOnApp(name, app string) (core.BehaviorResult, error) {
+	_, pws, err := c.Trace(app, 0)
+	if err != nil {
+		return core.BehaviorResult{}, err
+	}
+	if name == "thermometer" || name == "furbys" {
+		prof, err := c.Profile(app, 0, profiles.SourceFLACK)
+		if err != nil {
+			return core.BehaviorResult{}, err
+		}
+		pol, err := core.NewPolicy(name, prof, c.Cfg.UopCache, policy.FURBYSConfig{})
+		if err != nil {
+			return core.BehaviorResult{}, err
+		}
+		return core.RunBehavior(pws, c.Cfg, pol, core.BehaviorOptions{}), nil
+	}
+	return core.RunBehaviorByName(name, pws, c.Cfg, core.BehaviorOptions{})
+}
+
+// behaviorReductions computes per-app miss reductions vs LRU for a policy
+// list (apps in parallel), returning per-policy per-app values.
+func (c *Context) behaviorReductions(policyNames []string) (map[string]map[string]float64, error) {
+	out := make(map[string]map[string]float64)
+	for _, name := range policyNames {
+		out[name] = make(map[string]float64)
+	}
+	var mu sync.Mutex
+	err := c.forEachApp(func(app string) error {
+		base, err := c.lruBaseline(app)
+		if err != nil {
+			return err
+		}
+		for _, name := range policyNames {
+			res, err := c.runPolicyOnApp(name, app)
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			out[name][app] = core.MissReduction(base, res.Stats)
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// reductionTable renders a per-app × per-policy miss-reduction matrix.
+func (c *Context) reductionTable(name, title string, policyNames []string, notes ...string) (*Table, error) {
+	red, err := c.behaviorReductions(policyNames)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{Name: name, Title: title, Columns: append([]string{"application"}, policyNames...), Notes: notes}
+	for _, app := range c.AppList() {
+		row := []any{app}
+		for _, p := range policyNames {
+			row = append(row, pct(red[p][app]))
+		}
+		t.AddRow(row...)
+	}
+	meanRow := []any{"MEAN"}
+	for _, p := range policyNames {
+		var vals []float64
+		for _, app := range c.AppList() {
+			vals = append(vals, red[p][app])
+		}
+		meanRow = append(meanRow, pct(mean(vals)))
+	}
+	t.AddRow(meanRow...)
+	return t, nil
+}
+
+// Fig5ExistingPolicies reproduces Fig. 5: existing online policies versus
+// the FLACK bound.
+func Fig5ExistingPolicies(ctx *Context) (*Table, error) {
+	return ctx.reductionTable("fig5", "Miss reduction of existing policies vs LRU (Fig. 5)",
+		[]string{"srrip", "ship++", "mockingjay", "ghrp", "thermometer", "flack"},
+		"Paper: existing policies reach only a fraction of FLACK's 30.21% average reduction; GHRP best at ~31.5% of FLACK.")
+}
+
+// Fig8FURBYSMissReduction reproduces Fig. 8: FURBYS against everything.
+func Fig8FURBYSMissReduction(ctx *Context) (*Table, error) {
+	return ctx.reductionTable("fig8", "FURBYS miss reduction vs existing policies (Fig. 8)",
+		[]string{"srrip", "ship++", "mockingjay", "ghrp", "thermometer", "furbys", "flack"},
+		"Paper: FURBYS averages 14.34% (1.84x the best existing policy) and reaches 57.85% of FLACK.")
+}
+
+// Fig10FLACKAblation reproduces the ablation of Fig. 10 under a perfect
+// icache: FOO, +A, +A+VC, FLACK, against Belady.
+func Fig10FLACKAblation(ctx *Context) (*Table, error) {
+	variants := []offline.Features{
+		{},
+		{Async: true},
+		{Async: true, VarCost: true},
+		offline.FLACKFeatures(),
+	}
+	cols := []string{"application", "belady"}
+	for _, v := range variants {
+		cols = append(cols, v.Label())
+	}
+	t := &Table{Name: "fig10", Title: "FLACK ablation vs Belady over LRU, perfect icache (Fig. 10)", Columns: cols}
+	sums := make([]float64, len(variants)+1)
+	for _, app := range ctx.AppList() {
+		_, pws, err := ctx.Trace(app, 0)
+		if err != nil {
+			return nil, err
+		}
+		base, err := ctx.lruBaseline(app)
+		if err != nil {
+			return nil, err
+		}
+		row := []any{app}
+		bel := offline.RunBelady(pws, ctx.Cfg.UopCache, offline.Options{})
+		r := core.MissReduction(base, bel.Stats)
+		sums[0] += r
+		row = append(row, pct(r))
+		for i, v := range variants {
+			res := offline.RunFOO(pws, ctx.Cfg.UopCache, offline.Options{Features: v})
+			r := core.MissReduction(base, res.Stats)
+			sums[i+1] += r
+			row = append(row, pct(r))
+		}
+		t.AddRow(row...)
+	}
+	meanRow := []any{"MEAN"}
+	n := float64(len(ctx.AppList()))
+	for _, s := range sums {
+		meanRow = append(meanRow, pct(s/n))
+	}
+	t.AddRow(meanRow...)
+	t.Notes = append(t.Notes, "Paper: raw FOO can be worse than LRU; each feature adds gains; FLACK beats Belady by 4.46% on average.")
+	return t, nil
+}
+
+// Fig15ProfileSources reproduces Fig. 15: FURBYS trained on Belady, FOO and
+// FLACK decision traces.
+func Fig15ProfileSources(ctx *Context) (*Table, error) {
+	srcs := []profiles.Source{profiles.SourceBelady, profiles.SourceFOO, profiles.SourceFLACK}
+	t := &Table{Name: "fig15", Title: "FURBYS miss reduction by offline profile source (Fig. 15)",
+		Columns: []string{"application", "belady-profile", "foo-profile", "flack-profile"}}
+	sums := make([]float64, len(srcs))
+	for _, app := range ctx.AppList() {
+		_, pws, err := ctx.Trace(app, 0)
+		if err != nil {
+			return nil, err
+		}
+		base, err := ctx.lruBaseline(app)
+		if err != nil {
+			return nil, err
+		}
+		row := []any{app}
+		for i, src := range srcs {
+			prof, err := ctx.Profile(app, 0, src)
+			if err != nil {
+				return nil, err
+			}
+			pol, err := core.NewPolicy("furbys", prof, ctx.Cfg.UopCache, policy.FURBYSConfig{})
+			if err != nil {
+				return nil, err
+			}
+			res := core.RunBehavior(pws, ctx.Cfg, pol, core.BehaviorOptions{})
+			r := core.MissReduction(base, res.Stats)
+			sums[i] += r
+			row = append(row, pct(r))
+		}
+		t.AddRow(row...)
+	}
+	n := float64(len(ctx.AppList()))
+	t.AddRow("MEAN", pct(sums[0]/n), pct(sums[1]/n), pct(sums[2]/n))
+	t.Notes = append(t.Notes, "Paper: the FLACK profile yields ~3.47% more reduction than Belady's and ~4.39% more than FOO's.")
+	return t, nil
+}
+
+// Fig16SizeAssocSweep reproduces Fig. 16: FURBYS vs GHRP across cache sizes
+// and associativities.
+func Fig16SizeAssocSweep(ctx *Context) (*Table, error) {
+	t := &Table{Name: "fig16", Title: "Miss reduction across sizes and associativities: FURBYS vs GHRP (Fig. 16)",
+		Columns: []string{"entries", "ways", "furbys mean", "ghrp mean"}}
+	for _, entries := range []int{256, 512, 1024, 2048} {
+		for _, ways := range []int{4, 8, 16} {
+			cfg := ctx.Cfg
+			cfg.UopCache.Entries = entries
+			cfg.UopCache.Ways = ways
+			if cfg.UopCache.Validate() != nil {
+				continue
+			}
+			var fu, gh []float64
+			for _, app := range ctx.AppList() {
+				_, pws, err := ctx.Trace(app, 0)
+				if err != nil {
+					return nil, err
+				}
+				base := core.RunBehavior(pws, cfg, policy.NewLRU(), core.BehaviorOptions{})
+				prof := profiles.Collect(pws, cfg.UopCache, profiles.SourceFLACK)
+				pol, err := core.NewPolicy("furbys", prof, cfg.UopCache, policy.FURBYSConfig{})
+				if err != nil {
+					return nil, err
+				}
+				fu = append(fu, core.MissReduction(base.Stats, core.RunBehavior(pws, cfg, pol, core.BehaviorOptions{}).Stats))
+				gh = append(gh, core.MissReduction(base.Stats, core.RunBehavior(pws, cfg, policy.NewGHRP(), core.BehaviorOptions{}).Stats))
+			}
+			t.AddRow(entries, ways, pct(mean(fu)), pct(mean(gh)))
+		}
+	}
+	t.Notes = append(t.Notes, "Paper: FURBYS outperforms GHRP in every configuration; the gap narrows as capacity grows.")
+	return t, nil
+}
+
+// Fig18CrossValidation reproduces Fig. 18: profiles from training inputs
+// applied to a held-out test input.
+func Fig18CrossValidation(ctx *Context) (*Table, error) {
+	t := &Table{Name: "fig18", Title: "Cross-validation: train-input profile vs same-input profile (Fig. 18)",
+		Columns: []string{"application", "same-input", "cross-input", "retained"}}
+	var sumSame, sumCross float64
+	for _, app := range ctx.AppList() {
+		_, testPWs, err := ctx.Trace(app, 0)
+		if err != nil {
+			return nil, err
+		}
+		base, err := ctx.lruBaseline(app)
+		if err != nil {
+			return nil, err
+		}
+		// Same-input: profile from the test trace itself.
+		sameProf, err := ctx.Profile(app, 0, profiles.SourceFLACK)
+		if err != nil {
+			return nil, err
+		}
+		// Cross-input: merge profiles of two other inputs.
+		p1, err := ctx.Profile(app, 1, profiles.SourceFLACK)
+		if err != nil {
+			return nil, err
+		}
+		p2, err := ctx.Profile(app, 2, profiles.SourceFLACK)
+		if err != nil {
+			return nil, err
+		}
+		crossProf := profiles.Merge(p1, p2)
+
+		runWith := func(p *profiles.Profile) (float64, error) {
+			pol, err := core.NewPolicy("furbys", p, ctx.Cfg.UopCache, policy.FURBYSConfig{})
+			if err != nil {
+				return 0, err
+			}
+			res := core.RunBehavior(testPWs, ctx.Cfg, pol, core.BehaviorOptions{})
+			return core.MissReduction(base, res.Stats), nil
+		}
+		same, err := runWith(sameProf)
+		if err != nil {
+			return nil, err
+		}
+		cross, err := runWith(crossProf)
+		if err != nil {
+			return nil, err
+		}
+		sumSame += same
+		sumCross += cross
+		ret := "n/a"
+		if same > 0 {
+			ret = pct(cross / same)
+		}
+		t.AddRow(app, pct(same), pct(cross), ret)
+	}
+	n := float64(len(ctx.AppList()))
+	retained := 0.0
+	if sumSame != 0 {
+		retained = sumCross / sumSame
+	}
+	t.AddRow("MEAN", pct(sumSame/n), pct(sumCross/n), pct(retained))
+	t.Notes = append(t.Notes, "Paper: cross-input profiles retain 94.34% of the same-input reduction (13.51% vs LRU).")
+	return t, nil
+}
+
+// Fig19WeightBits sweeps the number of weight-group bits (Fig. 19).
+func Fig19WeightBits(ctx *Context) (*Table, error) {
+	t := &Table{Name: "fig19", Title: "Miss reduction vs number of weight bits (Fig. 19)",
+		Columns: []string{"bits", "groups", "mean reduction"}}
+	for bits := 1; bits <= 8; bits++ {
+		var vals []float64
+		for _, app := range ctx.AppList() {
+			_, pws, err := ctx.Trace(app, 0)
+			if err != nil {
+				return nil, err
+			}
+			base, err := ctx.lruBaseline(app)
+			if err != nil {
+				return nil, err
+			}
+			prof, err := ctx.Profile(app, 0, profiles.SourceFLACK)
+			if err != nil {
+				return nil, err
+			}
+			fcfg := policy.DefaultFURBYSConfig()
+			fcfg.WeightBits = bits
+			pol, err := core.NewPolicy("furbys", prof, ctx.Cfg.UopCache, fcfg)
+			if err != nil {
+				return nil, err
+			}
+			res := core.RunBehavior(pws, ctx.Cfg, pol, core.BehaviorOptions{})
+			vals = append(vals, core.MissReduction(base, res.Stats))
+		}
+		t.AddRow(bits, 1<<bits, pct(mean(vals)))
+	}
+	t.Notes = append(t.Notes, "Paper: 3 bits (8 groups) balances reduction against hardware overhead.")
+	return t, nil
+}
+
+// Fig20DetectorDepth sweeps the local miss-pitfall detector depth (Fig. 20).
+func Fig20DetectorDepth(ctx *Context) (*Table, error) {
+	t := &Table{Name: "fig20", Title: "Miss reduction vs pitfall detector depth (Fig. 20)",
+		Columns: []string{"depth", "mean reduction"}}
+	for depth := 0; depth <= 4; depth++ {
+		var vals []float64
+		for _, app := range ctx.AppList() {
+			_, pws, err := ctx.Trace(app, 0)
+			if err != nil {
+				return nil, err
+			}
+			base, err := ctx.lruBaseline(app)
+			if err != nil {
+				return nil, err
+			}
+			prof, err := ctx.Profile(app, 0, profiles.SourceFLACK)
+			if err != nil {
+				return nil, err
+			}
+			fcfg := policy.DefaultFURBYSConfig()
+			fcfg.DetectorDepth = depth
+			pol, err := core.NewPolicy("furbys", prof, ctx.Cfg.UopCache, fcfg)
+			if err != nil {
+				return nil, err
+			}
+			res := core.RunBehavior(pws, ctx.Cfg, pol, core.BehaviorOptions{})
+			vals = append(vals, core.MissReduction(base, res.Stats))
+		}
+		t.AddRow(depth, pct(mean(vals)))
+	}
+	t.Notes = append(t.Notes, "Paper: depth 2 gives the best miss reduction.")
+	return t, nil
+}
+
+// Fig21Bypass compares FURBYS with bypassing on and off (Fig. 21).
+func Fig21Bypass(ctx *Context) (*Table, error) {
+	t := &Table{Name: "fig21", Title: "FURBYS bypass mechanism on/off (Fig. 21)",
+		Columns: []string{"application", "bypass off", "bypass on", "bypassed insertions"}}
+	var sumOff, sumOn float64
+	for _, app := range ctx.AppList() {
+		_, pws, err := ctx.Trace(app, 0)
+		if err != nil {
+			return nil, err
+		}
+		base, err := ctx.lruBaseline(app)
+		if err != nil {
+			return nil, err
+		}
+		prof, err := ctx.Profile(app, 0, profiles.SourceFLACK)
+		if err != nil {
+			return nil, err
+		}
+		offCfg := policy.DefaultFURBYSConfig()
+		offCfg.BypassEnabled = false
+		polOff, err := core.NewPolicy("furbys", prof, ctx.Cfg.UopCache, offCfg)
+		if err != nil {
+			return nil, err
+		}
+		rOff := core.MissReduction(base, core.RunBehavior(pws, ctx.Cfg, polOff, core.BehaviorOptions{}).Stats)
+
+		polOn, err := core.NewPolicy("furbys", prof, ctx.Cfg.UopCache, policy.DefaultFURBYSConfig())
+		if err != nil {
+			return nil, err
+		}
+		resOn := core.RunBehavior(pws, ctx.Cfg, polOn, core.BehaviorOptions{})
+		rOn := core.MissReduction(base, resOn.Stats)
+		byFrac := 0.0
+		if resOn.FURBYS != nil && resOn.FURBYS.InsertAttempts > 0 {
+			byFrac = float64(resOn.FURBYS.Bypasses) / float64(resOn.FURBYS.InsertAttempts)
+		}
+		sumOff += rOff
+		sumOn += rOn
+		t.AddRow(app, pct(rOff), pct(rOn), pct(byFrac))
+	}
+	n := float64(len(ctx.AppList()))
+	t.AddRow("MEAN", pct(sumOff/n), pct(sumOn/n), "")
+	t.Notes = append(t.Notes, "Paper: bypassing adds 4.33% more miss reduction and bypasses ~30% of insertions.")
+	return t, nil
+}
+
+// Fig22Hotness reproduces the hot/warm/cold PW analysis on Kafka (Fig. 22).
+func Fig22Hotness(ctx *Context) (*Table, error) {
+	app := "kafka"
+	t := &Table{Name: "fig22", Title: "Hit rate by PW popularity decile on Kafka (Fig. 22)",
+		Columns: []string{"decile", "lru", "ghrp", "furbys", "flack"}}
+	_, pws, err := ctx.Trace(app, 0)
+	if err != nil {
+		return nil, err
+	}
+	deciles := map[string][10]stats.DecileStat{}
+	for _, name := range []string{"lru", "ghrp", "furbys", "flack"} {
+		res, err := core.RunBehaviorByName(name, pws, ctx.Cfg, core.BehaviorOptions{RecordPerLookup: true})
+		if err != nil {
+			return nil, err
+		}
+		deciles[name] = stats.HotnessDeciles(pws, res.PerLookup)
+	}
+	for d := 0; d < 10; d++ {
+		t.AddRow(fmt.Sprintf("%d-%d%%", d*10, (d+1)*10),
+			pct(deciles["lru"][d].HitRate()), pct(deciles["ghrp"][d].HitRate()),
+			pct(deciles["furbys"][d].HitRate()), pct(deciles["flack"][d].HitRate()))
+	}
+	t.Notes = append(t.Notes, "Paper: all policies handle hot PWs (<1% apart); FURBYS wins on warm PWs; the FLACK gap concentrates in cold PWs.")
+	return t, nil
+}
+
+// CoverageStats reports FURBYS decision provenance (Section VI-C).
+func CoverageStats(ctx *Context) (*Table, error) {
+	t := &Table{Name: "coverage", Title: "FURBYS victim-selection coverage and bypass rate (Section VI-C)",
+		Columns: []string{"application", "furbys-selected victims", "srrip fallback", "bypassed insertions"}}
+	var sumCov, sumBy float64
+	for _, app := range ctx.AppList() {
+		_, pws, err := ctx.Trace(app, 0)
+		if err != nil {
+			return nil, err
+		}
+		prof, err := ctx.Profile(app, 0, profiles.SourceFLACK)
+		if err != nil {
+			return nil, err
+		}
+		pol, err := core.NewPolicy("furbys", prof, ctx.Cfg.UopCache, policy.FURBYSConfig{})
+		if err != nil {
+			return nil, err
+		}
+		res := core.RunBehavior(pws, ctx.Cfg, pol, core.BehaviorOptions{})
+		if res.FURBYS == nil {
+			continue
+		}
+		cov := res.FURBYS.VictimCoverage()
+		byFrac := 0.0
+		if res.FURBYS.InsertAttempts > 0 {
+			byFrac = float64(res.FURBYS.Bypasses) / float64(res.FURBYS.InsertAttempts)
+		}
+		sumCov += cov
+		sumBy += byFrac
+		t.AddRow(app, pct(cov), pct(1-cov), pct(byFrac))
+	}
+	n := float64(len(ctx.AppList()))
+	t.AddRow("MEAN", pct(sumCov/n), pct(1-sumCov/n), pct(sumBy/n))
+	t.Notes = append(t.Notes, "Paper: FURBYS selects the victim 88.68% of the time; ~30% of insertions are bypassed.")
+	return t, nil
+}

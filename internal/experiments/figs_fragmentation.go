@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+
+	"uopsim/internal/core"
+	"uopsim/internal/policy"
+	"uopsim/internal/trace"
+	"uopsim/internal/uopcache"
+	"uopsim/internal/workload"
+)
+
+// SensFragmentation quantifies the fragmentation headroom the paper's
+// Section VIII points at (CLASP and compaction, Kotra & Kalamatianos):
+// cross-line windows (CLASP) reduce the number of line-boundary window
+// cuts, and idealized entry compaction removes internal fragmentation
+// entirely. Both are complementary to replacement policy — the experiment
+// runs all four combinations under LRU.
+func SensFragmentation(ctx *Context) (*Table, error) {
+	t := &Table{Name: "sens-fragmentation",
+		Title:   "Fragmentation attack: CLASP cross-line windows and idealized compaction (Section VIII)",
+		Columns: []string{"configuration", "mean uop miss rate", "mean utilization", "mean miss reduction vs baseline"}}
+	type variant struct {
+		label      string
+		crossLine  bool
+		compaction bool
+	}
+	variants := []variant{
+		{"baseline lru", false, false},
+		{"clasp", true, false},
+		{"compaction", false, true},
+		{"clasp+compaction", true, true},
+	}
+	baseRates := map[string]float64{}
+	for _, v := range variants {
+		var rates, utils, reds []float64
+		for _, app := range ctx.AppList() {
+			spec, err := workload.Get(app)
+			if err != nil {
+				return nil, err
+			}
+			blocks := workload.GenerateSpec(spec, ctx.Blocks, 0)
+			former := &trace.Former{MaxUops: trace.DefaultMaxUops, CrossLine: v.crossLine, MaxLines: 2}
+			pws := trace.FormPWsWith(blocks, former)
+			cfg := ctx.Cfg
+			cfg.UopCache.Compaction = v.compaction
+			res := core.RunBehavior(pws, cfg, policy.NewLRU(), core.BehaviorOptions{})
+			rates = append(rates, res.Stats.UopMissRate())
+			// Utilization sampled at end of run via a fresh cache
+			// replay is overkill; re-run and query.
+			c := uopcache.New(cfg.UopCache, policy.NewLRU())
+			uopcache.NewBehavior(c, nil).Run(pws)
+			utils = append(utils, c.Utilization())
+			if v.label == "baseline lru" {
+				baseRates[app] = res.Stats.UopMissRate()
+			}
+			if br := baseRates[app]; br > 0 {
+				reds = append(reds, (br-res.Stats.UopMissRate())/br)
+			}
+		}
+		t.AddRow(v.label, fmt.Sprintf("%.4f", mean(rates)), fmt.Sprintf("%.4f", mean(utils)), pct(mean(reds)))
+	}
+	t.Notes = append(t.Notes,
+		"Compaction is the idealized perfect-packing bound (utilization 1.0) and delivers a large miss reduction — the headroom Kotra & Kalamatianos's realizable designs chase.",
+		"Our CLASP-lite merges windows across one line boundary but does NOT model mid-window entry tags, so lookups targeting the absorbed second line miss entirely; utilization improves while misses worsen. The full CLASP design needs the intermediate-entry mechanism to win — a useful negative result for naive cross-line placement.")
+	return t, nil
+}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSummarizeFig8(t *testing.T) {
+	tbl := mkTable("fig8",
+		[]string{"application", "srrip", "ship++", "mockingjay", "ghrp", "thermometer", "furbys", "flack"},
+		[]string{"MEAN", "5.00%", "6.00%", "4.00%", "7.00%", "10.00%", "15.00%", "30.00%"},
+	)
+	lines := summarize(tbl)
+	if len(lines) != 2 {
+		t.Fatalf("lines = %+v", lines)
+	}
+	if lines[0].Measured != "15.00%" {
+		t.Errorf("furbys measured = %s", lines[0].Measured)
+	}
+	if lines[1].Measured != "50.00%" { // 15/30
+		t.Errorf("fraction of FLACK = %s", lines[1].Measured)
+	}
+}
+
+func TestSummarizeDiff(t *testing.T) {
+	tbl := mkTable("fig10",
+		[]string{"application", "belady", "foo", "foo+A", "foo+A+VC", "flack"},
+		[]string{"MEAN", "26.00%", "-3.00%", "28.00%", "38.00%", "39.00%"},
+	)
+	lines := summarize(tbl)
+	if lines[0].Measured != "+13.00pp" {
+		t.Errorf("flack-belady = %s", lines[0].Measured)
+	}
+}
+
+func TestIsoCapacityExtraction(t *testing.T) {
+	tbl := mkTable("fig12",
+		[]string{"configuration", "mean uop miss rate", "mean IPC", "red"},
+		[]string{"lru@512", "0.1500", "1.2", "0%"},
+		[]string{"lru@640", "0.1400", "1.21", "5%"},
+		[]string{"lru@768", "0.1200", "1.22", "15%"},
+		[]string{"furbys@512", "0.1250", "1.22", "12%"},
+	)
+	lines := summarize(tbl)
+	if !strings.Contains(lines[0].Measured, "lru@768") || !strings.Contains(lines[0].Measured, "1.50x") {
+		t.Errorf("iso capacity = %s", lines[0].Measured)
+	}
+	// Never matched case.
+	tbl2 := mkTable("fig12",
+		[]string{"configuration", "mean uop miss rate", "mean IPC", "red"},
+		[]string{"lru@512", "0.1500", "1.2", "0%"},
+		[]string{"lru@1024", "0.1300", "1.22", "10%"},
+		[]string{"furbys@512", "0.1000", "1.25", "30%"},
+	)
+	if got := summarize(tbl2)[0].Measured; !strings.Contains(got, "never matched") {
+		t.Errorf("unmatched iso = %s", got)
+	}
+}
+
+func TestKneeOf(t *testing.T) {
+	tbl := mkTable("fig19",
+		[]string{"bits", "groups", "mean reduction"},
+		[]string{"1", "2", "8.00%"},
+		[]string{"2", "4", "12.00%"},
+		[]string{"3", "8", "14.00%"},
+		[]string{"4", "16", "14.10%"},
+	)
+	lines := summarize(tbl)
+	if !strings.Contains(lines[0].Measured, "at 4") {
+		t.Errorf("knee = %s", lines[0].Measured)
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	tbl := mkTable("fig8",
+		[]string{"application", "srrip", "ship++", "mockingjay", "ghrp", "thermometer", "furbys", "flack"},
+		[]string{"kafka", "5%", "6%", "4%", "7%", "10%", "15%", "30%"},
+		[]string{"MEAN", "5.00%", "6.00%", "4.00%", "7.00%", "10.00%", "15.00%", "30.00%"},
+	)
+	checkRes := Check(tbl)
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, []*Table{tbl}, []CheckResult{checkRes}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Paper vs. measured", "| fig8 | FURBYS miss reduction (mean) | 14.34% | 15.00% |",
+		"Shape checks", "passed", "Full tables",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestSummarizeUnknownEmpty(t *testing.T) {
+	if got := summarize(mkTable("tab1", []string{"a", "b"})); got != nil {
+		t.Errorf("tab1 summary = %v", got)
+	}
+}

@@ -1,0 +1,199 @@
+// Package flow implements an integral min-cost max-flow solver (successive
+// shortest augmenting paths with Johnson potentials) used by the FOO and
+// FLACK offline replacement policies to solve their interval-caching
+// formulation (Berger et al., "Practical Bounds on Optimal Caching with
+// Variable Object Sizes").
+package flow
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Graph is a directed flow network with integer capacities and costs.
+// Nodes are dense integers [0, N).
+type Graph struct {
+	n int
+	// Forward/backward edges are stored as arc pairs: arc 2i is the
+	// forward direction of logical edge i, arc 2i+1 its residual.
+	to    []int32
+	next  []int32
+	headA []int32
+	cap   []int64
+	cost  []int64
+}
+
+// NewGraph creates a graph with n nodes.
+func NewGraph(n int) *Graph {
+	head := make([]int32, n)
+	for i := range head {
+		head[i] = -1
+	}
+	return &Graph{n: n, headA: head}
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return g.n }
+
+// AddEdge adds a directed edge u→v with the given capacity and per-unit
+// cost, returning its edge id (for Flow queries). Cost must be
+// non-negative (the FOO construction only has non-negative costs).
+func (g *Graph) AddEdge(u, v int, capacity, cost int64) int {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		panic(fmt.Sprintf("flow: edge (%d,%d) outside graph of %d nodes", u, v, g.n))
+	}
+	if capacity < 0 || cost < 0 {
+		panic(fmt.Sprintf("flow: negative capacity/cost (%d/%d)", capacity, cost))
+	}
+	id := len(g.to) / 2
+	g.addArc(u, v, capacity, cost)
+	g.addArc(v, u, 0, -cost)
+	return id
+}
+
+func (g *Graph) addArc(u, v int, capacity, cost int64) {
+	g.to = append(g.to, int32(v))
+	g.next = append(g.next, g.headA[u])
+	g.headA[u] = int32(len(g.to) - 1)
+	g.cap = append(g.cap, capacity)
+	g.cost = append(g.cost, cost)
+}
+
+// Flow returns the flow routed over edge id after a Solve call.
+func (g *Graph) Flow(id int) int64 {
+	// Residual capacity on the reverse arc equals the routed flow.
+	return g.cap[2*id+1]
+}
+
+// Result summarizes a solve.
+type Result struct {
+	// Flow is the total units routed from sources to sinks.
+	Flow int64
+	// Cost is the total cost of the routed flow.
+	Cost int64
+}
+
+// priority queue for Dijkstra.
+type pqItem struct {
+	node int32
+	dist int64
+}
+type pq []pqItem
+
+func (q pq) Len() int           { return len(q) }
+func (q pq) Less(i, j int) bool { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x any)        { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() any          { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
+
+// MinCostFlow routes up to maxFlow units from s to t at minimum cost,
+// stopping early when no augmenting path remains. Pass math.MaxInt64 to
+// route the maximum flow. All edge costs must be non-negative.
+func (g *Graph) MinCostFlow(s, t int, maxFlow int64) Result {
+	if s == t {
+		return Result{}
+	}
+	pot := make([]int64, g.n) // Johnson potentials; valid since costs >= 0
+	dist := make([]int64, g.n)
+	prevArc := make([]int32, g.n)
+	visited := make([]bool, g.n)
+	var res Result
+
+	for res.Flow < maxFlow {
+		// Dijkstra on reduced costs.
+		for i := range dist {
+			dist[i] = math.MaxInt64
+			visited[i] = false
+			prevArc[i] = -1
+		}
+		dist[s] = 0
+		q := pq{{int32(s), 0}}
+		for len(q) > 0 {
+			it := heap.Pop(&q).(pqItem)
+			u := int(it.node)
+			if visited[u] {
+				continue
+			}
+			visited[u] = true
+			for a := g.headA[u]; a != -1; a = g.next[a] {
+				if g.cap[a] <= 0 {
+					continue
+				}
+				v := int(g.to[a])
+				if visited[v] {
+					continue
+				}
+				rc := g.cost[a] + pot[u] - pot[v]
+				if nd := dist[u] + rc; nd < dist[v] {
+					dist[v] = nd
+					prevArc[v] = a
+					heap.Push(&q, pqItem{int32(v), nd})
+				}
+			}
+		}
+		if !visited[t] {
+			break
+		}
+		for i := 0; i < g.n; i++ {
+			if dist[i] < math.MaxInt64 {
+				pot[i] += dist[i]
+			}
+		}
+		// Bottleneck along the path.
+		push := maxFlow - res.Flow
+		for v := t; v != s; {
+			a := prevArc[v]
+			if g.cap[a] < push {
+				push = g.cap[a]
+			}
+			v = int(g.to[a^1])
+		}
+		for v := t; v != s; {
+			a := prevArc[v]
+			g.cap[a] -= push
+			g.cap[a^1] += push
+			res.Cost += push * g.cost[a]
+			v = int(g.to[a^1])
+		}
+		res.Flow += push
+	}
+	return res
+}
+
+// SolveSupplies satisfies per-node supplies (positive) and demands
+// (negative) at minimum cost by attaching a super source and sink. The
+// supply slice must sum to zero. It returns the routed flow (== total
+// supply) and its cost; err is non-nil when the network cannot absorb the
+// supplies.
+func (g *Graph) SolveSupplies(supply []int64) (Result, error) {
+	if len(supply) != g.n {
+		return Result{}, fmt.Errorf("flow: supply vector length %d != %d nodes", len(supply), g.n)
+	}
+	var total, balance int64
+	for _, s := range supply {
+		balance += s
+		if s > 0 {
+			total += s
+		}
+	}
+	if balance != 0 {
+		return Result{}, fmt.Errorf("flow: supplies sum to %d, want 0", balance)
+	}
+	// Extend the graph with super source and sink.
+	s, t := g.n, g.n+1
+	g.n += 2
+	g.headA = append(g.headA, -1, -1)
+	for i, sup := range supply {
+		if sup > 0 {
+			g.AddEdge(s, i, sup, 0)
+		} else if sup < 0 {
+			g.AddEdge(i, t, -sup, 0)
+		}
+	}
+	res := g.MinCostFlow(s, t, math.MaxInt64)
+	if res.Flow != total {
+		return res, fmt.Errorf("flow: infeasible, routed %d of %d", res.Flow, total)
+	}
+	return res, nil
+}

@@ -1,0 +1,195 @@
+package jenks
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestBreaksTwoObviousClusters(t *testing.T) {
+	vals := []float64{1, 1.1, 0.9, 1.05, 10, 10.2, 9.8, 10.1}
+	breaks, err := Breaks(vals, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(breaks) != 1 {
+		t.Fatalf("breaks = %v", breaks)
+	}
+	if breaks[0] < 1.1 || breaks[0] >= 9.8 {
+		t.Errorf("boundary %v should separate the clusters", breaks[0])
+	}
+	for _, v := range []float64{0.9, 1, 1.1} {
+		if Classify(v, breaks) != 0 {
+			t.Errorf("%v classified %d", v, Classify(v, breaks))
+		}
+	}
+	for _, v := range []float64{9.8, 10.2} {
+		if Classify(v, breaks) != 1 {
+			t.Errorf("%v classified %d", v, Classify(v, breaks))
+		}
+	}
+}
+
+func TestBreaksThreeClusters(t *testing.T) {
+	var vals []float64
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 30; i++ {
+		vals = append(vals, 0+rng.Float64()*0.1)
+		vals = append(vals, 5+rng.Float64()*0.1)
+		vals = append(vals, 50+rng.Float64()*0.1)
+	}
+	breaks, err := Breaks(vals, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(breaks[0] < 5 && breaks[1] < 50 && breaks[1] >= 5) {
+		t.Errorf("breaks = %v", breaks)
+	}
+	if GroupCount(breaks) != 3 {
+		t.Error("group count")
+	}
+}
+
+func TestBreaksErrors(t *testing.T) {
+	if _, err := Breaks(nil, 2); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := Breaks([]float64{1}, 0); err == nil {
+		t.Error("k=0 should fail")
+	}
+}
+
+func TestBreaksKGreaterThanN(t *testing.T) {
+	breaks, err := Breaks([]float64{3, 1, 2}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(breaks) != 7 {
+		t.Fatalf("breaks = %v", breaks)
+	}
+	// Each distinct value in its own class.
+	if Classify(1, breaks) == Classify(2, breaks) || Classify(2, breaks) == Classify(3, breaks) {
+		t.Errorf("distinct values share classes: %v", breaks)
+	}
+}
+
+func TestBreaksSingleClass(t *testing.T) {
+	breaks, err := Breaks([]float64{5, 2, 9}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(breaks) != 0 {
+		t.Errorf("breaks = %v", breaks)
+	}
+	if Classify(123, breaks) != 0 {
+		t.Error("single class classify")
+	}
+}
+
+func TestBreaksAllEqual(t *testing.T) {
+	breaks, err := Breaks([]float64{4, 4, 4, 4}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Classify(4, breaks) < 0 || Classify(4, breaks) > 2 {
+		t.Errorf("classify = %d", Classify(4, breaks))
+	}
+}
+
+// sseOfPartition computes the within-class SSE of a classification.
+func sseOfPartition(sorted []float64, cuts []int) float64 {
+	// cuts are start indices of classes after the first.
+	bounds := append([]int{0}, cuts...)
+	bounds = append(bounds, len(sorted))
+	total := 0.0
+	for c := 0; c+1 < len(bounds); c++ {
+		lo, hi := bounds[c], bounds[c+1]
+		if lo == hi {
+			continue
+		}
+		mean := 0.0
+		for _, v := range sorted[lo:hi] {
+			mean += v
+		}
+		mean /= float64(hi - lo)
+		for _, v := range sorted[lo:hi] {
+			total += (v - mean) * (v - mean)
+		}
+	}
+	return total
+}
+
+// TestBreaksOptimalAgainstBruteForce: the DP must match exhaustive search of
+// all cut placements on small inputs.
+func TestBreaksOptimalAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 50; iter++ {
+		n := 4 + rng.Intn(6)
+		k := 2 + rng.Intn(3)
+		if k > n {
+			k = n
+		}
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = math.Round(rng.Float64()*100) / 10
+		}
+		sorted := append([]float64(nil), vals...)
+		sort.Float64s(sorted)
+
+		breaks, err := Breaks(vals, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// SSE of the DP solution: classify each value, group, compute.
+		classes := make(map[int][]float64)
+		for _, v := range sorted {
+			classes[Classify(v, breaks)] = append(classes[Classify(v, breaks)], v)
+		}
+		gotSSE := 0.0
+		for _, vs := range classes {
+			mean := 0.0
+			for _, v := range vs {
+				mean += v
+			}
+			mean /= float64(len(vs))
+			for _, v := range vs {
+				gotSSE += (v - mean) * (v - mean)
+			}
+		}
+		// Brute force over all cut combinations.
+		best := math.Inf(1)
+		var rec func(cuts []int, from int)
+		rec = func(cuts []int, from int) {
+			if len(cuts) == k-1 {
+				if s := sseOfPartition(sorted, cuts); s < best {
+					best = s
+				}
+				return
+			}
+			for c := from; c < n; c++ {
+				rec(append(cuts, c), c+1)
+			}
+		}
+		rec(nil, 1)
+		if gotSSE > best+1e-6 {
+			t.Fatalf("iter %d: DP SSE %.6f > brute %.6f (vals %v, k %d, breaks %v)",
+				iter, gotSSE, best, sorted, k, breaks)
+		}
+	}
+}
+
+func TestClassifyMonotone(t *testing.T) {
+	breaks := []float64{0.2, 0.5, 0.8}
+	prev := -1
+	for _, v := range []float64{0, 0.2, 0.3, 0.5, 0.7, 0.8, 0.9} {
+		c := Classify(v, breaks)
+		if c < prev {
+			t.Errorf("classification not monotone at %v", v)
+		}
+		prev = c
+	}
+	if Classify(0.2, breaks) != 0 || Classify(0.21, breaks) != 1 {
+		t.Error("boundary inclusivity wrong")
+	}
+}

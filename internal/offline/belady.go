@@ -1,0 +1,46 @@
+package offline
+
+import (
+	"uopsim/internal/trace"
+	"uopsim/internal/uopcache"
+)
+
+// Belady implements Belady's MIN algorithm adapted to the micro-op cache's
+// whole-PW granularity: at insertion time (the paper's fix for asynchronous
+// lookup/insertion) it evicts the resident window whose next lookup lies
+// furthest in the future. It deliberately ignores window cost and overlap —
+// those are exactly the deficiencies the paper demonstrates (Figs. 3 and 4)
+// and that FLACK repairs.
+type Belady struct {
+	o *Oracle
+}
+
+// NewBelady builds the policy around a next-use oracle for the trace being
+// replayed.
+func NewBelady(o *Oracle) *Belady { return &Belady{o: o} }
+
+// Name implements uopcache.Policy.
+func (p *Belady) Name() string { return "belady" }
+
+// OnHit implements uopcache.Policy.
+func (p *Belady) OnHit(int, uint64) {}
+
+// OnInsert implements uopcache.Policy.
+func (p *Belady) OnInsert(int, trace.PW) {}
+
+// OnEvict implements uopcache.Policy.
+func (p *Belady) OnEvict(int, uint64) {}
+
+// Victim implements uopcache.Policy: evict the window with the furthest
+// next use (ties broken by key for determinism).
+func (p *Belady) Victim(_ int, residents []uopcache.Resident, _ trace.PW) uopcache.Decision {
+	var best uint64
+	bestNext := -1
+	for _, r := range residents {
+		n := p.o.NextUse(r.Key)
+		if n > bestNext || (n == bestNext && r.Key < best) {
+			best, bestNext = r.Key, n
+		}
+	}
+	return uopcache.Decision{VictimKey: best}
+}

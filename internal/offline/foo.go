@@ -1,0 +1,211 @@
+package offline
+
+import (
+	"uopsim/internal/flow"
+	"uopsim/internal/trace"
+	"uopsim/internal/uopcache"
+)
+
+// CostModel selects the objective of the flow formulation.
+type CostModel int
+
+const (
+	// CostOHR charges every missed interval 1, regardless of window size
+	// or micro-op count (FOO's object-hit-ratio objective).
+	CostOHR CostModel = iota
+	// CostBHR charges a missed interval its size in entries (FOO's
+	// byte-hit-ratio objective; entries play the role of bytes).
+	CostBHR
+	// CostVC charges a missed interval its micro-op count — FLACK's
+	// variable-cost objective, the paper's miss metric.
+	CostVC
+)
+
+// String names the cost model.
+func (m CostModel) String() string {
+	switch m {
+	case CostOHR:
+		return "ohr"
+	case CostBHR:
+		return "bhr"
+	case CostVC:
+		return "vc"
+	default:
+		return "unknown"
+	}
+}
+
+// costScale makes per-unit edge costs integral: it is divisible by every
+// possible window size in entries (1..8).
+const costScale = 840
+
+// DefaultSegmentLimit bounds the per-set request count solved in one
+// min-cost-flow instance; longer per-set traces are solved in consecutive
+// segments with boundary-crossing intervals treated as misses. This is the
+// standard practical deployment of FOO on long traces.
+const DefaultSegmentLimit = 4096
+
+// Decisions holds the offline keep/evict plan: Keep[i] reports whether the
+// window looked up at global position i should stay cached until its next
+// lookup.
+type Decisions struct {
+	Keep []bool
+	// Model records the objective the plan optimized.
+	Model CostModel
+	// FoldVariants records whether overlapping same-start windows were
+	// treated as one object (FLACK's SB feature).
+	FoldVariants bool
+}
+
+// KeptFraction reports the fraction of intervals the plan retains; useful
+// as a quick sanity measure in tests and reports.
+func (d *Decisions) KeptFraction() float64 {
+	if len(d.Keep) == 0 {
+		return 0
+	}
+	n := 0
+	for _, k := range d.Keep {
+		if k {
+			n++
+		}
+	}
+	return float64(n) / float64(len(d.Keep))
+}
+
+type fooRequest struct {
+	pos  int32 // global lookup position
+	id   uint64
+	size int32 // entries
+	cost int32 // micro-ops
+}
+
+// ComputeDecisions solves the FOO/FLACK interval-caching problem for the
+// whole lookup sequence. The cache's set-associativity decomposes the
+// problem: each set is an independent capacity-constrained timeline solved
+// with min-cost flow. foldVariants enables FLACK's treatment of overlapping
+// same-start windows as one object sized by its largest variant. segLimit
+// bounds the per-set flow instance (0 selects DefaultSegmentLimit).
+func ComputeDecisions(pws []trace.PW, cfg uopcache.Config, model CostModel, foldVariants bool, segLimit int) *Decisions {
+	if segLimit <= 0 {
+		segLimit = DefaultSegmentLimit
+	}
+	dec := &Decisions{Keep: make([]bool, len(pws)), Model: model, FoldVariants: foldVariants}
+
+	// Identity and (size, cost) per object. With folding, an object is
+	// the start address and its footprint is that of its largest
+	// variant (the steady-state stored window). Without folding, each
+	// (start, uops) variant is a separate object — Belady/FOO's view.
+	identity := func(p trace.PW) uint64 {
+		if foldVariants {
+			return p.Start
+		}
+		return p.Start ^ (uint64(p.NumUops) << 48)
+	}
+	// With folding, a request's footprint is the PREFIX max of its
+	// variants: the cache stores the largest window seen so far (growth
+	// happens on partial hits), so planning against the global max would
+	// overstate early intervals' size and cost.
+	prefixMax := make(map[uint64]int32)
+
+	// Partition requests per set.
+	perSet := make([][]fooRequest, cfg.Sets())
+	for i, p := range pws {
+		set := cfg.SetIndex(p.Start)
+		cost := int32(p.NumUops)
+		if foldVariants {
+			if cost > prefixMax[p.Start] {
+				prefixMax[p.Start] = cost
+			}
+			cost = prefixMax[p.Start]
+		}
+		size := (cost + int32(cfg.UopsPerEntry) - 1) / int32(cfg.UopsPerEntry)
+		if size < 1 {
+			size = 1
+		}
+		perSet[set] = append(perSet[set], fooRequest{
+			pos: int32(i), id: identity(p), size: size, cost: cost,
+		})
+	}
+
+	for _, reqs := range perSet {
+		for off := 0; off < len(reqs); off += segLimit {
+			end := off + segLimit
+			if end > len(reqs) {
+				end = len(reqs)
+			}
+			solveSegment(reqs[off:end], cfg.Ways, model, dec)
+		}
+	}
+	return dec
+}
+
+// solveSegment runs the min-cost-flow formulation on one per-set segment and
+// writes keep decisions into dec.
+func solveSegment(reqs []fooRequest, ways int, model CostModel, dec *Decisions) {
+	m := len(reqs)
+	if m < 2 {
+		return
+	}
+	g := flow.NewGraph(m)
+	// Inner edges: consecutive requests share the set's entry capacity.
+	for i := 0; i+1 < m; i++ {
+		g.AddEdge(i, i+1, int64(ways), 0)
+	}
+	// Outer edges: one per interval (request -> next request of the same
+	// object within the segment).
+	next := make(map[uint64]int, m) // id -> most recent earlier index
+	type interval struct {
+		edge int
+		from int
+	}
+	var intervals []interval
+	supply := make([]int64, m)
+	// Walk backward so "next occurrence" is known.
+	nextOcc := make([]int, m)
+	for i := m - 1; i >= 0; i-- {
+		if j, ok := next[reqs[i].id]; ok {
+			nextOcc[i] = j
+		} else {
+			nextOcc[i] = -1
+		}
+		next[reqs[i].id] = i
+	}
+	for i := 0; i < m; i++ {
+		j := nextOcc[i]
+		if j < 0 {
+			continue
+		}
+		size := int64(reqs[i].size)
+		var missCost int64
+		switch model {
+		case CostOHR:
+			missCost = 1
+		case CostBHR:
+			missCost = size
+		case CostVC:
+			missCost = int64(reqs[i].cost)
+		}
+		// Per-unit cost of NOT caching the interval; costScale keeps
+		// it integral for any size 1..8.
+		perUnit := costScale * missCost / size
+		e := g.AddEdge(i, j, size, perUnit)
+		intervals = append(intervals, interval{edge: e, from: i})
+		supply[i] += size
+		supply[j] -= size
+	}
+	if len(intervals) == 0 {
+		return
+	}
+	// The network is always feasible: every outer edge can carry its own
+	// supply. An error here is a programming bug.
+	if _, err := g.SolveSupplies(supply); err != nil {
+		panic("offline: infeasible FOO instance: " + err.Error())
+	}
+	for _, iv := range intervals {
+		// Zero flow on the outer (miss) edge means the whole object
+		// rode the inner edges: the interval is cached.
+		if g.Flow(iv.edge) == 0 {
+			dec.Keep[reqs[iv.from].pos] = true
+		}
+	}
+}

@@ -1,0 +1,63 @@
+// Package offline implements the paper's offline replacement policies for
+// the micro-op cache: Belady's algorithm (adapted to whole-PW eviction with
+// insertion-time decisions), FOO (flow-based offline optimal, Berger et
+// al.), and FLACK — the paper's contribution — which extends FOO with
+// asynchrony handling (A), variable miss costs (VC), and selective bypass
+// for partially-hitting overlapping windows (SB). The three features are
+// individually toggleable to regenerate the paper's Fig. 10 ablation.
+package offline
+
+import (
+	"math"
+
+	"uopsim/internal/trace"
+)
+
+// NoNextUse is returned by the oracle when a window is never looked up
+// again.
+const NoNextUse = math.MaxInt64
+
+// Oracle answers "when is this window next looked up?" for a fixed PW
+// lookup sequence. Positions are 0-based indices into the sequence. The
+// oracle tracks a current position that callers advance monotonically.
+type Oracle struct {
+	occ map[uint64][]int32
+	ptr map[uint64]int
+	pos int
+}
+
+// NewOracle indexes the lookup sequence by window start address.
+func NewOracle(pws []trace.PW) *Oracle {
+	occ := make(map[uint64][]int32, len(pws)/4+1)
+	for i, p := range pws {
+		occ[p.Start] = append(occ[p.Start], int32(i))
+	}
+	return &Oracle{occ: occ, ptr: make(map[uint64]int, len(occ)), pos: -1}
+}
+
+// Advance sets the current position; it must not decrease.
+func (o *Oracle) Advance(pos int) { o.pos = pos }
+
+// Pos returns the current position.
+func (o *Oracle) Pos() int { return o.pos }
+
+// NextUse returns the first lookup position AT OR AFTER the current
+// position at which the window with this start address is requested, or
+// NoNextUse. The inclusive convention matters: replacement decisions run
+// when a delayed insertion drains, which is before the current position's
+// lookup is served, so a window about to be used "now" must not look dead.
+func (o *Oracle) NextUse(start uint64) int {
+	occ := o.occ[start]
+	i := o.ptr[start]
+	for i < len(occ) && int(occ[i]) < o.pos {
+		i++
+	}
+	o.ptr[start] = i
+	if i == len(occ) {
+		return NoNextUse
+	}
+	return int(occ[i])
+}
+
+// Lookups returns the number of occurrences of a window in the sequence.
+func (o *Oracle) Lookups(start uint64) int { return len(o.occ[start]) }

@@ -1,0 +1,223 @@
+package offline
+
+import (
+	"uopsim/internal/cache"
+	"uopsim/internal/trace"
+	"uopsim/internal/uopcache"
+)
+
+// Features toggles FLACK's three extensions over raw FOO, matching the
+// paper's Fig. 10 ablation: raw FOO is the zero value; FLACK is all three.
+type Features struct {
+	// Async enables lazy eviction and late-insertion safeguarding: a
+	// window the plan stops keeping stays resident until replacement
+	// pressure needs its entries, and in-flight insertions of unkept
+	// windows are bypassed on arrival instead of being cancelled at
+	// lookup time.
+	Async bool
+	// VarCost switches the flow objective from OHR to the micro-op cost
+	// metric (cost/size per entry).
+	VarCost bool
+	// SelBypass folds overlapping same-start windows into one object
+	// (partial hits count as uses, the larger variant is kept) and
+	// throttles bypassing: unkept windows may still be inserted when the
+	// set has free space, increasing the chance of future partial hits.
+	SelBypass bool
+}
+
+// FLACKFeatures returns the full FLACK feature set.
+func FLACKFeatures() Features { return Features{Async: true, VarCost: true, SelBypass: true} }
+
+// Label names the feature combination the way the paper's Fig. 10 does.
+func (f Features) Label() string {
+	switch f {
+	case Features{}:
+		return "foo"
+	case Features{Async: true}:
+		return "foo+A"
+	case Features{Async: true, VarCost: true}:
+		return "foo+A+VC"
+	case FLACKFeatures():
+		return "flack"
+	}
+	s := "foo"
+	if f.Async {
+		s += "+A"
+	}
+	if f.VarCost {
+		s += "+VC"
+	}
+	if f.SelBypass {
+		s += "+SB"
+	}
+	return s
+}
+
+// replayPolicy enforces a Decisions plan inside the cache: victims are
+// residents whose current interval the plan does not keep (furthest next
+// use among them); when every resident is kept, the furthest-next-use
+// resident goes. Under SelBypass, unkept arrivals are bypassed only under
+// pressure (this method only runs when the set is full), which is exactly
+// FLACK's bypass throttling.
+type replayPolicy struct {
+	o *Oracle
+	// curKeep tracks, per window, whether the plan keeps its current
+	// interval (updated by the driver at each lookup).
+	curKeep map[uint64]bool
+}
+
+// Name implements uopcache.Policy.
+func (p *replayPolicy) Name() string { return "offline-replay" }
+
+// OnHit implements uopcache.Policy.
+func (p *replayPolicy) OnHit(int, uint64) {}
+
+// OnInsert implements uopcache.Policy.
+func (p *replayPolicy) OnInsert(int, trace.PW) {}
+
+// OnEvict implements uopcache.Policy.
+func (p *replayPolicy) OnEvict(int, uint64) {}
+
+// Victim implements uopcache.Policy.
+func (p *replayPolicy) Victim(_ int, residents []uopcache.Resident, incoming trace.PW) uopcache.Decision {
+	// Under pressure, an unkept arrival is bypassed rather than evicting
+	// anything.
+	if !p.curKeep[incoming.Start] {
+		return uopcache.Decision{Bypass: true}
+	}
+	var bestUnkept, bestAny uint64
+	unkeptNext, anyNext := -1, -1
+	for _, r := range residents {
+		n := p.o.NextUse(r.Key)
+		if n > anyNext || (n == anyNext && r.Key < bestAny) {
+			bestAny, anyNext = r.Key, n
+		}
+		if !p.curKeep[r.Key] {
+			if n > unkeptNext || (n == unkeptNext && r.Key < bestUnkept) {
+				bestUnkept, unkeptNext = r.Key, n
+			}
+		}
+	}
+	if unkeptNext >= 0 {
+		return uopcache.Decision{VictimKey: bestUnkept}
+	}
+	return uopcache.Decision{VictimKey: bestAny}
+}
+
+// Result bundles replay statistics with the per-lookup outcomes FURBYS's
+// profiling pipeline consumes.
+type Result struct {
+	Stats uopcache.Stats
+	// PerLookup records each lookup's outcome in trace order.
+	PerLookup []uopcache.ProbeResult
+}
+
+// Options configures an offline replay run.
+type Options struct {
+	// Features selects the FLACK extensions (zero = raw FOO).
+	Features Features
+	// SegmentLimit bounds per-set flow instances (0 = default).
+	SegmentLimit int
+	// ICache, when non-nil, is the inclusive L1i configuration; nil
+	// models a perfect icache (the paper evaluates the offline family
+	// under perfect L1i to isolate replacement effects).
+	ICache *cache.Config
+	// RecordPerLookup enables Result.PerLookup.
+	RecordPerLookup bool
+}
+
+// RunFOO replays the lookup sequence under a FOO/FLACK plan with the given
+// feature set and returns the measured statistics. This is the paper's
+// STEP(3): the offline behaviour simulator producing hit/miss decisions.
+func RunFOO(pws []trace.PW, cfg uopcache.Config, opts Options) Result {
+	model := CostOHR
+	if opts.Features.VarCost {
+		model = CostVC
+	}
+	dec := ComputeDecisions(pws, cfg, model, opts.Features.SelBypass, opts.SegmentLimit)
+	return replayDecisions(pws, cfg, dec, opts)
+}
+
+// ReplayPlan drives the behaviour simulator under an externally computed
+// plan — used by objective-comparison studies that want to vary the flow
+// objective independently of the replay features.
+func ReplayPlan(pws []trace.PW, cfg uopcache.Config, dec *Decisions, opts Options) Result {
+	return replayDecisions(pws, cfg, dec, opts)
+}
+
+// replayDecisions drives the behaviour simulator under a plan.
+func replayDecisions(pws []trace.PW, cfg uopcache.Config, dec *Decisions, opts Options) Result {
+	o := NewOracle(pws)
+	rp := &replayPolicy{o: o, curKeep: make(map[uint64]bool)}
+	c := uopcache.New(cfg, rp)
+	var ic *cache.Cache
+	if opts.ICache != nil {
+		ic = cache.New(*opts.ICache)
+	}
+	b := uopcache.NewBehavior(c, ic)
+	var res Result
+	if opts.RecordPerLookup {
+		res.PerLookup = make([]uopcache.ProbeResult, 0, len(pws))
+	}
+	for i, pw := range pws {
+		o.Advance(i)
+		kept := dec.Keep[i]
+		rp.curKeep[pw.Start] = kept
+		r := b.Access(pw)
+		if opts.RecordPerLookup {
+			res.PerLookup = append(res.PerLookup, r)
+		}
+		if !kept {
+			if !opts.Features.Async {
+				// Raw FOO applies its decision at lookup time:
+				// evict the resident now and cancel the pending
+				// insertion, oblivious to asynchrony.
+				c.EvictKey(pw.Start)
+				b.CancelInFlight(pw.Start)
+			} else if !opts.Features.SelBypass {
+				// A without SB: late insertions of unkept
+				// windows are bypassed on arrival (the queue
+				// safeguard), and residents linger until
+				// pressure (lazy eviction via the policy).
+				b.CancelInFlight(pw.Start)
+			}
+			// With SelBypass the window may still be inserted when
+			// space allows; the policy bypasses it under pressure.
+		}
+	}
+	b.Flush()
+	res.Stats = c.Stats
+	return res
+}
+
+// RunBelady replays the lookup sequence under Belady's algorithm.
+func RunBelady(pws []trace.PW, cfg uopcache.Config, opts Options) Result {
+	o := NewOracle(pws)
+	bp := NewBelady(o)
+	c := uopcache.New(cfg, bp)
+	var ic *cache.Cache
+	if opts.ICache != nil {
+		ic = cache.New(*opts.ICache)
+	}
+	b := uopcache.NewBehavior(c, ic)
+	var res Result
+	if opts.RecordPerLookup {
+		res.PerLookup = make([]uopcache.ProbeResult, 0, len(pws))
+	}
+	for i, pw := range pws {
+		o.Advance(i)
+		r := b.Access(pw)
+		if opts.RecordPerLookup {
+			res.PerLookup = append(res.PerLookup, r)
+		}
+	}
+	b.Flush()
+	res.Stats = c.Stats
+	return res
+}
+
+// RunFLACK replays under the full FLACK policy (all features).
+func RunFLACK(pws []trace.PW, cfg uopcache.Config, opts Options) Result {
+	opts.Features = FLACKFeatures()
+	return RunFOO(pws, cfg, opts)
+}

@@ -1,0 +1,105 @@
+package offline
+
+import (
+	"sort"
+
+	"uopsim/internal/trace"
+	"uopsim/internal/uopcache"
+)
+
+// SchedulePolicy packages an offline plan (Belady's oracle or a FOO/FLACK
+// keep schedule) as a plain uopcache.Policy so the TIMING simulator can run
+// offline policies too (the paper's Fig. 11 reports FLACK IPC). Because the
+// timing frontend performs the same PW lookup sequence as FormPWs produces,
+// the policy only needs to know the current lookup position — supplied by
+// Bind, typically reading the cache's lookup counter.
+type SchedulePolicy struct {
+	name string
+	o    *Oracle
+	// keepOcc maps a window to the positions of its lookups and the
+	// plan's keep decision at each (nil for Belady: pure oracle).
+	occ  map[uint64][]int32
+	keep []bool
+	pos  func() int
+}
+
+// NewBeladySchedule builds a timing-compatible Belady policy for the lookup
+// sequence.
+func NewBeladySchedule(pws []trace.PW) *SchedulePolicy {
+	return &SchedulePolicy{name: "belady", o: NewOracle(pws)}
+}
+
+// NewFLACKSchedule builds a timing-compatible FOO/FLACK policy: decisions
+// are precomputed from the lookup sequence with the given features.
+func NewFLACKSchedule(pws []trace.PW, cfg uopcache.Config, feats Features) *SchedulePolicy {
+	model := CostOHR
+	if feats.VarCost {
+		model = CostVC
+	}
+	dec := ComputeDecisions(pws, cfg, model, feats.SelBypass, 0)
+	occ := make(map[uint64][]int32, len(pws)/4+1)
+	for i, p := range pws {
+		occ[p.Start] = append(occ[p.Start], int32(i))
+	}
+	return &SchedulePolicy{name: feats.Label(), o: NewOracle(pws), occ: occ, keep: dec.Keep}
+}
+
+// Bind supplies the current-lookup-position callback; it must be called
+// before the first Victim decision.
+func (p *SchedulePolicy) Bind(pos func() int) { p.pos = pos }
+
+// Name implements uopcache.Policy.
+func (p *SchedulePolicy) Name() string { return p.name }
+
+// OnHit implements uopcache.Policy.
+func (p *SchedulePolicy) OnHit(int, uint64) {}
+
+// OnInsert implements uopcache.Policy.
+func (p *SchedulePolicy) OnInsert(int, trace.PW) {}
+
+// OnEvict implements uopcache.Policy.
+func (p *SchedulePolicy) OnEvict(int, uint64) {}
+
+// keptNow reports the plan's decision at the window's most recent lookup at
+// or before pos. Windows outside the plan default to unkept.
+func (p *SchedulePolicy) keptNow(key uint64, pos int) bool {
+	if p.keep == nil {
+		return true // Belady: no plan, victims by oracle only
+	}
+	occ := p.occ[key]
+	// Last occurrence <= pos.
+	i := sort.Search(len(occ), func(i int) bool { return int(occ[i]) > pos }) - 1
+	if i < 0 {
+		return false
+	}
+	return p.keep[occ[i]]
+}
+
+// Victim implements uopcache.Policy.
+func (p *SchedulePolicy) Victim(_ int, residents []uopcache.Resident, incoming trace.PW) uopcache.Decision {
+	pos := 0
+	if p.pos != nil {
+		pos = p.pos()
+	}
+	p.o.Advance(pos)
+	if p.keep != nil && !p.keptNow(incoming.Start, pos) {
+		return uopcache.Decision{Bypass: true}
+	}
+	var bestUnkept, bestAny uint64
+	unkeptNext, anyNext := -1, -1
+	for _, r := range residents {
+		n := p.o.NextUse(r.Key)
+		if n > anyNext || (n == anyNext && r.Key < bestAny) {
+			bestAny, anyNext = r.Key, n
+		}
+		if p.keep != nil && !p.keptNow(r.Key, pos) {
+			if n > unkeptNext || (n == unkeptNext && r.Key < bestUnkept) {
+				bestUnkept, unkeptNext = r.Key, n
+			}
+		}
+	}
+	if unkeptNext >= 0 {
+		return uopcache.Decision{VictimKey: bestUnkept}
+	}
+	return uopcache.Decision{VictimKey: bestAny}
+}

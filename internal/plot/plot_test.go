@@ -1,0 +1,163 @@
+package plot
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func validXML(t *testing.T, svg string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("invalid XML: %v\n%s", err, svg)
+		}
+	}
+}
+
+func TestBarSVGWellFormed(t *testing.T) {
+	svg := BarSVG("Miss reduction", "percent", []string{"kafka", "postgres"},
+		[]Series{
+			{Name: "furbys", Values: []float64{14.3, 1.9}},
+			{Name: "flack", Values: []float64{30.2, 33.5}},
+		})
+	validXML(t, svg)
+	for _, want := range []string{"<svg", "Miss reduction", "kafka", "furbys", "<rect"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("missing %q in SVG", want)
+		}
+	}
+}
+
+func TestBarSVGNegativeValues(t *testing.T) {
+	svg := BarSVG("t", "y", []string{"a"}, []Series{{Name: "s", Values: []float64{-5}}})
+	validXML(t, svg)
+	if !strings.Contains(svg, "<rect") {
+		t.Error("negative bar not drawn")
+	}
+}
+
+func TestBarSVGEmpty(t *testing.T) {
+	validXML(t, BarSVG("t", "y", nil, nil))
+	validXML(t, BarSVG("t", "y", []string{"a"}, nil))
+}
+
+func TestLineSVGWellFormed(t *testing.T) {
+	svg := LineSVG("Sweep", "percent", []string{"1", "2", "3"},
+		[]Series{{Name: "furbys", Values: []float64{5, 12, 14}}})
+	validXML(t, svg)
+	if !strings.Contains(svg, "<polyline") || !strings.Contains(svg, "<circle") {
+		t.Error("line chart missing marks")
+	}
+}
+
+func TestLineSVGSinglePoint(t *testing.T) {
+	validXML(t, LineSVG("t", "y", []string{"x"}, []Series{{Name: "s", Values: []float64{1}}}))
+}
+
+func TestEscaping(t *testing.T) {
+	svg := BarSVG("a<b & c>d", "y", []string{"g&g"}, []Series{{Name: "s<s", Values: []float64{1}}})
+	validXML(t, svg)
+	if strings.Contains(svg, "a<b") {
+		t.Error("title not escaped")
+	}
+}
+
+func TestNiceTicks(t *testing.T) {
+	ticks := niceTicks(0, 10)
+	if len(ticks) < 3 || len(ticks) > 12 {
+		t.Errorf("ticks = %v", ticks)
+	}
+	for i := 1; i < len(ticks); i++ {
+		if ticks[i] <= ticks[i-1] {
+			t.Errorf("non-increasing ticks: %v", ticks)
+		}
+	}
+	if got := niceTicks(5, 5); len(got) < 2 {
+		t.Errorf("degenerate range ticks = %v", got)
+	}
+}
+
+func TestParseCell(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+		ok   bool
+	}{
+		{"12.34%", 12.34, true},
+		{"-3.5%", -3.5, true},
+		{"7", 7, true},
+		{" 0.5 ", 0.5, true},
+		{"-", 0, false},
+		{"n/a", 0, false},
+		{"", 0, false},
+		{"kafka", 0, false},
+	}
+	for _, tc := range cases {
+		got, ok := parseCell(tc.in)
+		if ok != tc.ok || (ok && got != tc.want) {
+			t.Errorf("parseCell(%q) = %v, %v", tc.in, got, ok)
+		}
+	}
+}
+
+func TestFromTable(t *testing.T) {
+	td := TableData{
+		Name:    "fig8",
+		Title:   "T",
+		Columns: []string{"application", "furbys", "note"},
+		Rows: [][]string{
+			{"kafka", "25.66%", "hello"},
+			{"postgres", "1.87%", "world"},
+			{"MEAN", "13.77%", ""},
+		},
+	}
+	groups, series, ok := FromTable(td)
+	if !ok {
+		t.Fatal("not plottable")
+	}
+	if len(groups) != 2 || groups[0] != "kafka" {
+		t.Errorf("groups = %v (MEAN must be dropped)", groups)
+	}
+	if len(series) != 1 || series[0].Name != "furbys" {
+		t.Fatalf("series = %+v (text column must be dropped)", series)
+	}
+	if series[0].Values[1] != 1.87 {
+		t.Errorf("values = %v", series[0].Values)
+	}
+}
+
+func TestFromTableNotPlottable(t *testing.T) {
+	td := TableData{Columns: []string{"parameter", "value"},
+		Rows: [][]string{{"CPU", "3.2GHz"}, {"Decoder", "4-wide"}}}
+	if _, _, ok := FromTable(td); ok {
+		t.Error("text-only table should not be plottable")
+	}
+	if _, _, ok := FromTable(TableData{Columns: []string{"only"}}); ok {
+		t.Error("single-column table should not be plottable")
+	}
+	if _, _, ok := FromTable(TableData{Columns: []string{"a", "b"}, Rows: [][]string{{"MEAN", "1"}}}); ok {
+		t.Error("summary-only table should not be plottable")
+	}
+}
+
+func TestRenderTableFormSelection(t *testing.T) {
+	rows := [][]string{{"1", "5.0%"}, {"2", "8.0%"}}
+	bar, ok := RenderTable(TableData{Name: "fig8", Title: "t", Columns: []string{"app", "x"}, Rows: rows})
+	if !ok || !strings.Contains(bar, "<rect") || strings.Contains(bar, "<polyline") {
+		t.Error("fig8 should render as bars")
+	}
+	line, ok := RenderTable(TableData{Name: "fig19", Title: "t", Columns: []string{"bits", "x"}, Rows: rows})
+	if !ok || !strings.Contains(line, "<polyline") {
+		t.Error("fig19 should render as a line chart")
+	}
+	if _, ok := RenderTable(TableData{Name: "tab1", Columns: []string{"parameter", "value"},
+		Rows: [][]string{{"CPU", "fast"}}}); ok {
+		t.Error("tab1 should not be plottable")
+	}
+}

@@ -1,0 +1,105 @@
+package plot
+
+import (
+	"strconv"
+	"strings"
+)
+
+// TableData is the subset of an experiment table the plotter needs; it
+// mirrors experiments.Table without importing it (keeping plot dependency-
+// free and reusable).
+type TableData struct {
+	Name    string
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// parseCell parses a numeric cell, accepting a trailing '%'.
+func parseCell(s string) (float64, bool) {
+	s = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(s), "%"))
+	if s == "" || s == "-" || s == "n/a" {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// FromTable converts a table into chart inputs: the first column provides
+// group labels, every column whose cells parse numerically becomes a
+// series. Rows whose label is "MEAN" (summary rows) are dropped; rows with
+// no numeric cells are dropped. ok is false when nothing plottable remains.
+func FromTable(t TableData) (groups []string, series []Series, ok bool) {
+	if len(t.Columns) < 2 {
+		return nil, nil, false
+	}
+	// Decide per column whether it is numeric (majority of non-summary
+	// rows parse).
+	type colStat struct{ numeric, total int }
+	stats := make([]colStat, len(t.Columns))
+	var dataRows [][]string
+	for _, r := range t.Rows {
+		if len(r) == 0 || strings.EqualFold(r[0], "MEAN") {
+			continue
+		}
+		dataRows = append(dataRows, r)
+		for ci := 1; ci < len(t.Columns) && ci < len(r); ci++ {
+			stats[ci].total++
+			if _, ok := parseCell(r[ci]); ok {
+				stats[ci].numeric++
+			}
+		}
+	}
+	if len(dataRows) == 0 {
+		return nil, nil, false
+	}
+	var numericCols []int
+	for ci := 1; ci < len(t.Columns); ci++ {
+		if stats[ci].total > 0 && stats[ci].numeric*2 > stats[ci].total {
+			numericCols = append(numericCols, ci)
+		}
+	}
+	if len(numericCols) == 0 {
+		return nil, nil, false
+	}
+	for _, r := range dataRows {
+		groups = append(groups, r[0])
+	}
+	for _, ci := range numericCols {
+		s := Series{Name: t.Columns[ci], Values: make([]float64, len(dataRows))}
+		for ri, r := range dataRows {
+			if ci < len(r) {
+				if v, ok := parseCell(r[ci]); ok {
+					s.Values[ri] = v
+				}
+			}
+		}
+		series = append(series, s)
+	}
+	return groups, series, true
+}
+
+// sweepIDs lists experiments whose first column is a swept parameter; they
+// render as line charts rather than grouped bars.
+var sweepIDs = map[string]bool{
+	"fig12": true, "fig16": true, "fig19": true, "fig20": true,
+	"sens-delay": true, "sens-segment": true,
+}
+
+// RenderTable picks the chart form for a table (line chart for parameter
+// sweeps, grouped bars otherwise) and returns the SVG, or ok=false when the
+// table has no plottable series.
+func RenderTable(t TableData) (svg string, ok bool) {
+	groups, series, ok := FromTable(t)
+	if !ok {
+		return "", false
+	}
+	yLabel := "percent"
+	if sweepIDs[t.Name] {
+		return LineSVG(t.Title, yLabel, groups, series), true
+	}
+	return BarSVG(t.Title, yLabel, groups, series), true
+}

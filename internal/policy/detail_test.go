@@ -1,0 +1,172 @@
+package policy_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"uopsim/internal/policy"
+	"uopsim/internal/uopcache"
+)
+
+// TestSRRIPAgingEvictsEventually: even without hits, an insertion-heavy
+// stream must keep making progress (the aging loop terminates).
+func TestSRRIPAgingEvictsEventually(t *testing.T) {
+	p := policy.NewSRRIP()
+	c := oneSet(p)
+	addrs := sameSetAddrs(c, 40)
+	for _, a := range addrs {
+		c.Insert(pw(a, 4))
+	}
+	if c.UsedEntries(0) != 4 {
+		t.Errorf("set occupancy = %d", c.UsedEntries(0))
+	}
+	if c.Stats.Evictions != uint64(len(addrs)-4) {
+		t.Errorf("evictions = %d", c.Stats.Evictions)
+	}
+}
+
+// TestSHIPPPOptimisticStart: with an untrained SHCT, SHiP++ must not bypass
+// or immediately kill fresh insertions (counters start weakly reused).
+func TestSHIPPPOptimisticStart(t *testing.T) {
+	p := policy.NewSHiPPP()
+	c := oneSet(p)
+	addrs := sameSetAddrs(c, 4)
+	for _, a := range addrs {
+		if out := c.Insert(pw(a, 4)); out != uopcache.Inserted {
+			t.Errorf("fresh insert = %v", out)
+		}
+	}
+	// All four resident: no evictions needed yet.
+	if c.Stats.Evictions != 0 {
+		t.Errorf("evictions = %d", c.Stats.Evictions)
+	}
+}
+
+// TestGHRPHitProtects: a window that hits repeatedly must not be the
+// preferred victim over never-hit windows.
+func TestGHRPHitProtects(t *testing.T) {
+	p := policy.NewGHRP()
+	p.Bypass = false
+	c := oneSet(p)
+	addrs := sameSetAddrs(c, 5)
+	for _, a := range addrs[:4] {
+		c.Insert(pw(a, 4))
+	}
+	for i := 0; i < 10; i++ {
+		c.Lookup(pw(addrs[0], 4))
+	}
+	c.Insert(pw(addrs[4], 4))
+	if _, ok := c.ResidentFor(addrs[0]); !ok {
+		t.Error("repeatedly-hit window was evicted")
+	}
+}
+
+// TestMockingjayOverdueEvictable: a window whose predicted reuse has long
+// passed becomes an eviction candidate (the |ETR| rule).
+func TestMockingjayOverdueEvictable(t *testing.T) {
+	p := policy.NewMockingjay()
+	c := oneSet(p)
+	addrs := sameSetAddrs(c, 6)
+	dead := addrs[0]
+	// Train a short RD for dead, then stop touching it.
+	for i := 0; i < 6; i++ {
+		c.Lookup(pw(dead, 4))
+		c.Insert(pw(dead, 4))
+	}
+	// Fill and churn with other windows; dead's ETR goes far negative.
+	for round := 0; round < 20; round++ {
+		for _, a := range addrs[1:] {
+			c.Lookup(pw(a, 4))
+			c.Insert(pw(a, 4))
+		}
+	}
+	if _, ok := c.ResidentFor(dead); ok {
+		t.Error("long-overdue window still resident after heavy churn")
+	}
+}
+
+// TestFURBYSWeightClamping: weights above the configured bit width clamp.
+func TestFURBYSWeightClamping(t *testing.T) {
+	f := func(w uint8, bits uint8) bool {
+		b := int(bits%8) + 1
+		cfg := policy.DefaultFURBYSConfig()
+		cfg.WeightBits = b
+		p := policy.NewFURBYS(cfg, map[uint64]uint8{0x1000: w})
+		c := oneSet(p)
+		addrs := sameSetAddrs(c, 5)
+		for _, a := range addrs[:4] {
+			c.Insert(pw(a, 4))
+		}
+		// Trigger a decision involving 0x1000's weight indirectly: we
+		// only assert no panic and capacity invariants.
+		c.Insert(pw(addrs[4], 4))
+		return c.UsedEntries(0) <= 4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFURBYSBypassDetectorAdmitsHotWindow: a window bypassed twice in short
+// succession must be admitted (the cross-input robustness fix).
+func TestFURBYSBypassDetectorAdmitsHotWindow(t *testing.T) {
+	c := oneSet(policy.NewLRU())
+	addrs := sameSetAddrs(c, 5)
+	weights := map[uint64]uint8{
+		addrs[0]: 7, addrs[1]: 7, addrs[2]: 7, addrs[3]: 7,
+		addrs[4]: 0, // profiled cold, actually hot
+	}
+	p := policy.NewFURBYS(policy.DefaultFURBYSConfig(), weights)
+	c = oneSet(p)
+	for _, a := range addrs[:4] {
+		c.Insert(pw(a, 4))
+	}
+	if out := c.Insert(pw(addrs[4], 4)); out != uopcache.Bypassed {
+		t.Fatalf("first attempt = %v, want Bypassed", out)
+	}
+	if out := c.Insert(pw(addrs[4], 4)); out != uopcache.Inserted {
+		t.Fatalf("second attempt = %v, want Inserted (bypass detector)", out)
+	}
+	if p.Stats.Bypasses != 1 {
+		t.Errorf("bypasses = %d", p.Stats.Bypasses)
+	}
+}
+
+// TestFURBYSBypassDetectorDisabledByDepthZero: depth 0 disables both
+// detectors — bypass then repeats indefinitely.
+func TestFURBYSBypassDetectorDisabledByDepthZero(t *testing.T) {
+	c := oneSet(policy.NewLRU())
+	addrs := sameSetAddrs(c, 5)
+	weights := map[uint64]uint8{
+		addrs[0]: 7, addrs[1]: 7, addrs[2]: 7, addrs[3]: 7, addrs[4]: 0,
+	}
+	cfg := policy.DefaultFURBYSConfig()
+	cfg.DetectorDepth = 0
+	p := policy.NewFURBYS(cfg, weights)
+	c = oneSet(p)
+	for _, a := range addrs[:4] {
+		c.Insert(pw(a, 4))
+	}
+	for i := 0; i < 5; i++ {
+		if out := c.Insert(pw(addrs[4], 4)); out != uopcache.Bypassed {
+			t.Fatalf("attempt %d = %v, want Bypassed forever with depth 0", i, out)
+		}
+	}
+}
+
+// TestRecencyDeterministicTiebreak: two never-touched keys tie on stamp 0;
+// the lower key must win deterministically.
+func TestRecencyDeterministicTiebreak(t *testing.T) {
+	p := policy.NewLRU()
+	c := oneSet(p)
+	addrs := sameSetAddrs(c, 5)
+	// Insert without any hits; recency stamps are insertion order, so
+	// addrs[0] is LRU.
+	for _, a := range addrs[:4] {
+		c.Insert(pw(a, 4))
+	}
+	c.Insert(pw(addrs[4], 4))
+	if _, ok := c.ResidentFor(addrs[0]); ok {
+		t.Error("first-inserted window should be the LRU victim")
+	}
+}

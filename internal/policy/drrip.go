@@ -1,0 +1,114 @@
+package policy
+
+import (
+	"uopsim/internal/trace"
+	"uopsim/internal/uopcache"
+)
+
+// DRRIP implements Dynamic RRIP (Jaleel et al.): set dueling between SRRIP
+// insertion (RRPV = max-1) and bimodal RRIP insertion (BRRIP: usually
+// distant, occasionally long). The paper evaluates static SRRIP only; DRRIP
+// is included as an extension baseline to show scan-resistance alone does
+// not close the gap to profile-guided policies.
+type DRRIP struct {
+	rrpv map[key]uint8
+	rec  *recency
+	// psel is the policy-selection counter: SRRIP wins misses push it
+	// one way, BRRIP the other.
+	psel int
+	// brripCtr throttles BRRIP's rare long-re-reference insertions.
+	brripCtr int
+	// leader assignment: set % 32 == 0 -> SRRIP leader, == 1 -> BRRIP.
+	Stats struct {
+		SRRIPInserts, BRRIPInserts uint64
+	}
+}
+
+// NewDRRIP returns the DRRIP policy.
+func NewDRRIP() *DRRIP {
+	return &DRRIP{rrpv: make(map[key]uint8), rec: newRecency()}
+}
+
+// Name implements uopcache.Policy.
+func (p *DRRIP) Name() string { return "drrip" }
+
+// OnHit implements uopcache.Policy.
+func (p *DRRIP) OnHit(set int, pc uint64) {
+	p.rrpv[key{set, pc}] = 0
+	p.rec.touch(set, pc)
+}
+
+const (
+	drripLeaderMod = 32
+	drripPselMax   = 1023
+	drripBRRIPMod  = 32 // 1-in-32 inserts at long re-reference
+)
+
+// useSRRIP decides the insertion flavour for a set.
+func (p *DRRIP) useSRRIP(set int) bool {
+	switch set % drripLeaderMod {
+	case 0:
+		return true // SRRIP leader
+	case 1:
+		return false // BRRIP leader
+	default:
+		return p.psel <= drripPselMax/2 // follower
+	}
+}
+
+// OnInsert implements uopcache.Policy.
+func (p *DRRIP) OnInsert(set int, pw trace.PW) {
+	k := key{set, pw.Start}
+	if p.useSRRIP(set) {
+		p.rrpv[k] = rripMax - 1
+		p.Stats.SRRIPInserts++
+	} else {
+		p.brripCtr++
+		if p.brripCtr%drripBRRIPMod == 0 {
+			p.rrpv[k] = rripMax - 1
+		} else {
+			p.rrpv[k] = rripMax
+		}
+		p.Stats.BRRIPInserts++
+	}
+	p.rec.touch(set, pw.Start)
+}
+
+// OnEvict implements uopcache.Policy.
+func (p *DRRIP) OnEvict(set int, pc uint64) {
+	delete(p.rrpv, key{set, pc})
+	p.rec.drop(set, pc)
+}
+
+// Victim implements uopcache.Policy: the SRRIP scan, with leader-set misses
+// training the policy selector (a miss in a leader set votes against its
+// policy).
+func (p *DRRIP) Victim(set int, residents []uopcache.Resident, _ trace.PW) uopcache.Decision {
+	switch set % drripLeaderMod {
+	case 0: // SRRIP leader missed
+		if p.psel < drripPselMax {
+			p.psel++
+		}
+	case 1: // BRRIP leader missed
+		if p.psel > 0 {
+			p.psel--
+		}
+	}
+	for {
+		found := false
+		var best uint64
+		for _, r := range residents {
+			if p.rrpv[key{set, r.Key}] >= rripMax {
+				if !found || p.rec.older(set, r.Key, best) {
+					best, found = r.Key, true
+				}
+			}
+		}
+		if found {
+			return uopcache.Decision{VictimKey: best}
+		}
+		for _, r := range residents {
+			p.rrpv[key{set, r.Key}]++
+		}
+	}
+}

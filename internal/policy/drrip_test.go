@@ -1,0 +1,70 @@
+package policy_test
+
+import (
+	"testing"
+
+	"uopsim/internal/policy"
+	"uopsim/internal/uopcache"
+)
+
+func TestDRRIPName(t *testing.T) {
+	if policy.NewDRRIP().Name() != "drrip" {
+		t.Error("name")
+	}
+}
+
+func TestDRRIPUsesBothFlavours(t *testing.T) {
+	p := policy.NewDRRIP()
+	// 64 sets: includes both leader kinds.
+	c := uopcache.New(uopcache.Config{Entries: 512, Ways: 8, UopsPerEntry: 8}, p)
+	state := uint64(5)
+	for i := 0; i < 30000; i++ {
+		state = state*6364136223846793005 + 1
+		a := uint64(0x1000 + (state>>33)%2000*16)
+		w := pw(a, 1+int((state>>20)%12))
+		c.Lookup(w)
+		c.Insert(w)
+	}
+	if p.Stats.SRRIPInserts == 0 || p.Stats.BRRIPInserts == 0 {
+		t.Errorf("insert flavours: %+v — both leaders must fire", p.Stats)
+	}
+	st := c.Stats
+	if st.UopsHit+st.UopsMissed != st.UopsRequested {
+		t.Errorf("accounting broken: %+v", st)
+	}
+}
+
+func TestDRRIPScanResistance(t *testing.T) {
+	// A hot working set plus a one-shot scan: DRRIP should keep more of
+	// the hot set than pure LRU would (BRRIP inserts scans at distant).
+	p := policy.NewDRRIP()
+	c := uopcache.New(uopcache.Config{Entries: 64, Ways: 8, UopsPerEntry: 8}, p)
+	hot := make([]uint64, 24)
+	for i := range hot {
+		hot[i] = uint64(0x1000 + i*16)
+	}
+	touchHot := func() int {
+		hits := 0
+		for _, a := range hot {
+			w := pw(a, 4)
+			if r := c.Lookup(w); r.Kind == uopcache.ProbeFull {
+				hits++
+			} else {
+				c.Insert(w)
+			}
+		}
+		return hits
+	}
+	for i := 0; i < 30; i++ {
+		touchHot()
+	}
+	// Scan 500 one-shot windows.
+	for i := 0; i < 500; i++ {
+		w := pw(uint64(0x100000+i*16), 4)
+		c.Lookup(w)
+		c.Insert(w)
+	}
+	if hits := touchHot(); hits == 0 {
+		t.Error("scan wiped the entire hot set despite DRRIP")
+	}
+}

@@ -1,0 +1,247 @@
+package policy
+
+import (
+	"uopsim/internal/trace"
+	"uopsim/internal/uopcache"
+)
+
+// FURBYSConfig holds the tunables the paper's sensitivity study sweeps.
+type FURBYSConfig struct {
+	// WeightBits is the number of bits per weight group (paper default 3
+	// bits = 8 groups, swept 1–8 in Fig. 19).
+	WeightBits int
+	// K is the bypass slack: a new window is bypassed when its weight is
+	// below the set's minimum resident weight minus K (paper: K=1).
+	K int
+	// DetectorDepth is the local miss-pitfall detector's slot count
+	// (paper default 2, swept in Fig. 20; 0 disables it).
+	DetectorDepth int
+	// BypassEnabled toggles the selective bypass mechanism (Fig. 21).
+	BypassEnabled bool
+	// DefaultWeight is assigned to windows absent from the profile.
+	DefaultWeight int
+}
+
+// DefaultFURBYSConfig returns the paper's chosen configuration.
+func DefaultFURBYSConfig() FURBYSConfig {
+	return FURBYSConfig{WeightBits: 3, K: 1, DetectorDepth: 2, BypassEnabled: true, DefaultWeight: 2}
+}
+
+// MaxWeight returns the largest representable weight group.
+func (c FURBYSConfig) MaxWeight() int { return 1<<c.WeightBits - 1 }
+
+// FURBYS is the paper's practical profile-guided replacement policy. Per
+// window it keeps a 3-bit weight (its Jenks-grouped whole-execution FLACK
+// hit rate, delivered via binary hints — here, the weight map) and 2-bit
+// SRRIP metadata; per set it keeps a small miss-pitfall detector recording
+// recent evictions. Victims are the minimum-weight residents; when the
+// detector sees the same window evicted repeatedly (a globally-hot but
+// locally-cold phase) the policy degrades to SRRIP for one decision; and
+// arrivals whose weight is below the set minimum minus K are bypassed.
+type FURBYS struct {
+	cfg FURBYSConfig
+	// weights is the profile-derived hint map: window start → group.
+	weights map[uint64]uint8
+
+	rrpv map[key]uint8
+	rec  *recency
+	// detector[set] holds the keys of the most recent evictions.
+	detector map[int][]uint64
+	// bypassDetector[set] holds the keys of the most recent bypasses: a
+	// window bypassed twice in a row is locally hot despite its profiled
+	// weight (the same pitfall the eviction detector catches), so it is
+	// admitted instead. Without this, a stale or cross-input profile can
+	// starve a hot window indefinitely.
+	bypassDetector map[int][]uint64
+	// srripNext[set] forces the next victim decision in the set to SRRIP.
+	srripNext map[int]bool
+
+	Stats FURBYSStats
+}
+
+// FURBYSStats counts decision provenance for the paper's coverage numbers
+// (Section VI-C: FURBYS selects the victim 88.68% of the time; ~30% of
+// insertions are bypassed).
+type FURBYSStats struct {
+	VictimByWeight uint64
+	VictimBySRRIP  uint64
+	Bypasses       uint64
+	InsertAttempts uint64
+}
+
+// VictimCoverage returns the fraction of victim decisions made by the
+// weight mechanism rather than the SRRIP fallback.
+func (s FURBYSStats) VictimCoverage() float64 {
+	t := s.VictimByWeight + s.VictimBySRRIP
+	if t == 0 {
+		return 1
+	}
+	return float64(s.VictimByWeight) / float64(t)
+}
+
+// NewFURBYS builds the policy from a weight map (see package profiles for
+// how the map is produced from FLACK decisions).
+func NewFURBYS(cfg FURBYSConfig, weights map[uint64]uint8) *FURBYS {
+	if cfg.WeightBits <= 0 {
+		cfg = DefaultFURBYSConfig()
+	}
+	return &FURBYS{
+		cfg:            cfg,
+		weights:        weights,
+		rrpv:           make(map[key]uint8),
+		rec:            newRecency(),
+		detector:       make(map[int][]uint64),
+		bypassDetector: make(map[int][]uint64),
+		srripNext:      make(map[int]bool),
+	}
+}
+
+// Name implements uopcache.Policy.
+func (p *FURBYS) Name() string { return "furbys" }
+
+// Config returns the policy configuration.
+func (p *FURBYS) Config() FURBYSConfig { return p.cfg }
+
+func (p *FURBYS) weightOf(pc uint64) int {
+	if w, ok := p.weights[pc]; ok {
+		m := p.cfg.MaxWeight()
+		if int(w) > m {
+			return m
+		}
+		return int(w)
+	}
+	d := p.cfg.DefaultWeight
+	if m := p.cfg.MaxWeight(); d > m {
+		d = m
+	}
+	return d
+}
+
+// OnHit implements uopcache.Policy.
+func (p *FURBYS) OnHit(set int, pc uint64) {
+	p.rrpv[key{set, pc}] = 0
+	p.rec.touch(set, pc)
+}
+
+// OnInsert implements uopcache.Policy: RRPV initialized to 2 per the paper.
+func (p *FURBYS) OnInsert(set int, pw trace.PW) {
+	p.rrpv[key{set, pw.Start}] = 2
+	p.rec.touch(set, pw.Start)
+}
+
+// OnEvict implements uopcache.Policy.
+func (p *FURBYS) OnEvict(set int, pc uint64) {
+	delete(p.rrpv, key{set, pc})
+	p.rec.drop(set, pc)
+}
+
+// recordEviction pushes a victim into the set's pitfall detector and reports
+// whether the same window was already recorded (a repeated eviction — the
+// local miss-pitfall signal).
+func (p *FURBYS) recordEviction(set int, victim uint64) bool {
+	if p.cfg.DetectorDepth <= 0 {
+		return false
+	}
+	d := p.detector[set]
+	repeated := false
+	for _, k := range d {
+		if k == victim {
+			repeated = true
+			break
+		}
+	}
+	d = append(d, victim)
+	if len(d) > p.cfg.DetectorDepth {
+		d = d[len(d)-p.cfg.DetectorDepth:]
+	}
+	p.detector[set] = d
+	return repeated
+}
+
+// recordBypass pushes a bypassed window into the set's bypass detector and
+// reports whether it was already recorded (a repeated bypass).
+func (p *FURBYS) recordBypass(set int, key uint64) bool {
+	if p.cfg.DetectorDepth <= 0 {
+		return false
+	}
+	d := p.bypassDetector[set]
+	repeated := false
+	for _, k := range d {
+		if k == key {
+			repeated = true
+			break
+		}
+	}
+	d = append(d, key)
+	if len(d) > p.cfg.DetectorDepth {
+		d = d[len(d)-p.cfg.DetectorDepth:]
+	}
+	p.bypassDetector[set] = d
+	return repeated
+}
+
+// srripVictim runs the standard SRRIP scan over the residents.
+func (p *FURBYS) srripVictim(set int, residents []uopcache.Resident) uint64 {
+	for {
+		found := false
+		var best uint64
+		for _, r := range residents {
+			if p.rrpv[key{set, r.Key}] >= rripMax {
+				if !found || p.rec.older(set, r.Key, best) {
+					best, found = r.Key, true
+				}
+			}
+		}
+		if found {
+			return best
+		}
+		for _, r := range residents {
+			p.rrpv[key{set, r.Key}]++
+		}
+	}
+}
+
+// Victim implements uopcache.Policy.
+func (p *FURBYS) Victim(set int, residents []uopcache.Resident, incoming trace.PW) uopcache.Decision {
+	p.Stats.InsertAttempts++
+	// Find the minimum-weight resident (min module in Fig. 7) with
+	// LRU tiebreak.
+	var minKey uint64
+	minW := -1
+	for _, r := range residents {
+		w := p.weightOf(r.Key)
+		switch {
+		case minW < 0 || w < minW:
+			minKey, minW = r.Key, w
+		case w == minW && p.rec.older(set, r.Key, minKey):
+			minKey = r.Key
+		}
+	}
+	// Selective bypass: the pending window's weight is compared with the
+	// set minimum (step 3 in Fig. 7). A window the detector has seen
+	// bypassed recently is locally hot regardless of its profiled
+	// weight, so it is admitted — the bypass-side analogue of the local
+	// miss-pitfall detector.
+	if p.cfg.BypassEnabled && p.weightOf(incoming.Start) < minW-p.cfg.K {
+		if !p.recordBypass(set, incoming.Start) {
+			p.Stats.Bypasses++
+			return uopcache.Decision{Bypass: true}
+		}
+	}
+	// Local miss-pitfall handling: if a previous decision flagged this
+	// set, make exactly one SRRIP decision, then resume normal operation.
+	if p.srripNext[set] {
+		p.srripNext[set] = false
+		v := p.srripVictim(set, residents)
+		p.Stats.VictimBySRRIP++
+		p.recordEviction(set, v)
+		return uopcache.Decision{VictimKey: v}
+	}
+	// Normal FURBYS decision; a repeated eviction of the same window arms
+	// the SRRIP fallback for the next decision in this set.
+	if p.recordEviction(set, minKey) {
+		p.srripNext[set] = true
+	}
+	p.Stats.VictimByWeight++
+	return uopcache.Decision{VictimKey: minKey}
+}

@@ -1,0 +1,154 @@
+package policy
+
+import (
+	"uopsim/internal/trace"
+	"uopsim/internal/uopcache"
+)
+
+// GHRP implements the Global History Reuse Predictor (Ajorpaz et al., ISCA
+// 2018), the strongest prior online policy in the paper's study. It keeps a
+// global history of recent window addresses; dead-block predictor tables
+// indexed by hashes of (address, history) vote on whether a window is dead
+// (will not be reused before eviction). Predicted-dead residents are
+// preferred victims and predicted-dead arrivals are bypassed.
+type ghrpMeta struct {
+	sig    uint32 // hash of (pc, history) at fill/last touch
+	reused bool
+}
+
+// GHRP is the dead-block-predicting policy.
+type GHRP struct {
+	tables  [][]uint8 // saturating counters, one slice per feature table
+	history uint64
+	meta    map[key]*ghrpMeta
+	rec     *recency
+	// Bypass enables dead-on-arrival bypassing (on in the paper).
+	Bypass bool
+	// HistoryBits controls how many recent-window hashes fold into each
+	// signature: 0 = PC-only (per-window dead-block prediction), larger
+	// values correlate predictions with the path leading to the window.
+	HistoryBits int
+}
+
+const (
+	ghrpTables    = 3
+	ghrpTableBits = 12
+	ghrpCtrMax    = 3
+	// ghrpThreshold: a table votes "dead" when its counter is at or
+	// above this value; majority of tables decides.
+	ghrpThreshold = 2
+)
+
+// NewGHRP returns the GHRP policy with bypassing enabled.
+func NewGHRP() *GHRP {
+	t := make([][]uint8, ghrpTables)
+	for i := range t {
+		t[i] = make([]uint8, 1<<ghrpTableBits)
+	}
+	return &GHRP{tables: t, meta: make(map[key]*ghrpMeta), rec: newRecency(), Bypass: true, HistoryBits: 20}
+}
+
+// Name implements uopcache.Policy.
+func (p *GHRP) Name() string { return "ghrp" }
+
+func (p *GHRP) index(table int, sig uint32) uint32 {
+	h := mix(uint64(sig) + uint64(table)*0x9E3779B97F4A7C15)
+	return uint32(h) & ((1 << ghrpTableBits) - 1)
+}
+
+func (p *GHRP) signature(pc uint64) uint32 {
+	h := p.history
+	if p.HistoryBits < 64 {
+		h &= (1 << uint(p.HistoryBits)) - 1
+	}
+	return uint32(mix(pc ^ h))
+}
+
+// predictDead returns the majority dead vote for a signature.
+func (p *GHRP) predictDead(sig uint32) bool {
+	votes := 0
+	for t := 0; t < ghrpTables; t++ {
+		if p.tables[t][p.index(t, sig)] >= ghrpThreshold {
+			votes++
+		}
+	}
+	return votes*2 > ghrpTables
+}
+
+// train adjusts the tables toward dead (true) or live (false) for sig.
+func (p *GHRP) train(sig uint32, dead bool) {
+	for t := 0; t < ghrpTables; t++ {
+		i := p.index(t, sig)
+		if dead {
+			if p.tables[t][i] < ghrpCtrMax {
+				p.tables[t][i]++
+			}
+		} else if p.tables[t][i] > 0 {
+			p.tables[t][i]--
+		}
+	}
+}
+
+// updateHistory shifts a window address into the global history register.
+func (p *GHRP) updateHistory(pc uint64) {
+	p.history = (p.history << 5) ^ mix(pc)
+}
+
+// OnHit implements uopcache.Policy: a hit proves the previous prediction
+// point was live; re-signature the block at its new access.
+func (p *GHRP) OnHit(set int, pc uint64) {
+	k := key{set, pc}
+	if m := p.meta[k]; m != nil {
+		p.train(m.sig, false)
+		m.reused = true
+		m.sig = p.signature(pc)
+	}
+	p.rec.touch(set, pc)
+	p.updateHistory(pc)
+}
+
+// OnInsert implements uopcache.Policy.
+func (p *GHRP) OnInsert(set int, pw trace.PW) {
+	k := key{set, pw.Start}
+	p.meta[k] = &ghrpMeta{sig: p.signature(pw.Start)}
+	p.rec.touch(set, pw.Start)
+	p.updateHistory(pw.Start)
+}
+
+// OnEvict implements uopcache.Policy: dying without reuse trains "dead".
+func (p *GHRP) OnEvict(set int, pc uint64) {
+	k := key{set, pc}
+	if m := p.meta[k]; m != nil {
+		p.train(m.sig, !m.reused)
+		delete(p.meta, k)
+	}
+	p.rec.drop(set, pc)
+}
+
+// Victim implements uopcache.Policy: bypass dead arrivals; otherwise evict a
+// predicted-dead resident (LRU tiebreak), falling back to plain LRU.
+func (p *GHRP) Victim(set int, residents []uopcache.Resident, incoming trace.PW) uopcache.Decision {
+	if p.Bypass && p.predictDead(p.signature(incoming.Start)) {
+		return uopcache.Decision{Bypass: true}
+	}
+	var deadBest uint64
+	foundDead := false
+	for _, r := range residents {
+		m := p.meta[key{set, r.Key}]
+		if m != nil && p.predictDead(m.sig) {
+			if !foundDead || p.rec.older(set, r.Key, deadBest) {
+				deadBest, foundDead = r.Key, true
+			}
+		}
+	}
+	if foundDead {
+		return uopcache.Decision{VictimKey: deadBest}
+	}
+	best := residents[0].Key
+	for _, r := range residents[1:] {
+		if p.rec.older(set, r.Key, best) {
+			best = r.Key
+		}
+	}
+	return uopcache.Decision{VictimKey: best}
+}

@@ -1,0 +1,143 @@
+package policy
+
+import (
+	"uopsim/internal/trace"
+	"uopsim/internal/uopcache"
+)
+
+// Mockingjay (Shah, Jain, Lin — HPCA 2022) mimics Belady's MIN online by
+// predicting each block's time to reuse with a reuse-distance predictor
+// (RDP) trained from sampled history, then evicting the resident with the
+// largest estimated time remaining. The paper notes that for the micro-op
+// cache every PC maps to exactly one PW, so the PC-based RDP degenerates to
+// per-window reuse-distance tracking — which is how we implement it.
+type mjMeta struct {
+	lastAccess uint64 // set-local clock at last touch
+}
+
+// Mockingjay is the reuse-distance-predicting policy.
+type Mockingjay struct {
+	// rdp maps a window signature to its EWMA reuse distance measured in
+	// set-local accesses.
+	rdp  map[uint32]float64
+	meta map[key]*mjMeta
+	// last maps a window signature to the set clock of its previous
+	// access for RDP training.
+	last  map[key]uint64
+	clock map[int]uint64
+	rec   *recency
+	// InfiniteRD is the predicted distance for never-seen windows.
+	InfiniteRD float64
+	// OverdueDamp scales the |ETR| of overdue residents (predicted reuse
+	// already passed): 1 treats overdue lines as fully dead, 0 protects
+	// them. Intermediate values avoid evicting hot windows whose loop
+	// merely paused.
+	OverdueDamp float64
+	// BypassFactor: bypass the arrival when its predicted reuse distance
+	// exceeds this multiple of the worst resident's remaining time.
+	BypassFactor float64
+}
+
+// NewMockingjay returns the Mockingjay policy.
+func NewMockingjay() *Mockingjay {
+	return &Mockingjay{
+		rdp:          make(map[uint32]float64),
+		meta:         make(map[key]*mjMeta),
+		last:         make(map[key]uint64),
+		clock:        make(map[int]uint64),
+		rec:          newRecency(),
+		InfiniteRD:   64,
+		OverdueDamp:  1,
+		BypassFactor: 0,
+	}
+}
+
+// Name implements uopcache.Policy.
+func (p *Mockingjay) Name() string { return "mockingjay" }
+
+func (p *Mockingjay) sig(pc uint64) uint32 { return uint32(mix(pc) & 0xFFFF) }
+
+// observe trains the RDP with an observed set-local reuse distance.
+func (p *Mockingjay) observe(set int, pc uint64) {
+	k := key{set, pc}
+	now := p.clock[set]
+	if prev, ok := p.last[k]; ok {
+		d := float64(now - prev)
+		s := p.sig(pc)
+		if old, ok := p.rdp[s]; ok {
+			p.rdp[s] = 0.75*old + 0.25*d
+		} else {
+			p.rdp[s] = d
+		}
+	}
+	p.last[k] = now
+}
+
+func (p *Mockingjay) predictRD(pc uint64) float64 {
+	if d, ok := p.rdp[p.sig(pc)]; ok {
+		return d
+	}
+	return p.InfiniteRD
+}
+
+// OnHit implements uopcache.Policy.
+func (p *Mockingjay) OnHit(set int, pc uint64) {
+	p.clock[set]++
+	p.observe(set, pc)
+	if m := p.meta[key{set, pc}]; m != nil {
+		m.lastAccess = p.clock[set]
+	}
+	p.rec.touch(set, pc)
+}
+
+// OnInsert implements uopcache.Policy.
+func (p *Mockingjay) OnInsert(set int, pw trace.PW) {
+	p.clock[set]++
+	p.observe(set, pw.Start)
+	p.meta[key{set, pw.Start}] = &mjMeta{lastAccess: p.clock[set]}
+	p.rec.touch(set, pw.Start)
+}
+
+// OnEvict implements uopcache.Policy.
+func (p *Mockingjay) OnEvict(set int, pc uint64) {
+	delete(p.meta, key{set, pc})
+	p.rec.drop(set, pc)
+}
+
+// etr estimates a resident's time remaining until its next use.
+func (p *Mockingjay) etr(set int, r uopcache.Resident) float64 {
+	m := p.meta[key{set, r.Key}]
+	now := float64(p.clock[set])
+	var last float64
+	if m != nil {
+		last = float64(m.lastAccess)
+	}
+	return last + p.predictRD(r.Key) - now
+}
+
+// Victim implements uopcache.Policy: following Mockingjay's ETR rule, evict
+// the resident with the largest |estimated time remaining| — either its next
+// use is furthest away, or it is long overdue (predicted reuse never came,
+// so it is probably dead). Arrivals whose own predicted reuse distance
+// exceeds every resident's by a wide margin are bypassed.
+func (p *Mockingjay) Victim(set int, residents []uopcache.Resident, incoming trace.PW) uopcache.Decision {
+	var worst uopcache.Resident
+	worstScore, worstETR := -1.0, 0.0
+	first := true
+	for _, r := range residents {
+		e := p.etr(set, r)
+		score := e
+		if score < 0 {
+			score = -score * p.OverdueDamp
+		}
+		if first || score > worstScore || (score == worstScore && p.rec.older(set, r.Key, worst.Key)) {
+			worst, worstScore, worstETR, first = r, score, e, false
+		}
+	}
+	if p.BypassFactor > 0 && worstETR > 0 {
+		if in := p.predictRD(incoming.Start); in > p.BypassFactor*worstETR && in >= p.InfiniteRD {
+			return uopcache.Decision{Bypass: true}
+		}
+	}
+	return uopcache.Decision{VictimKey: worst.Key}
+}

@@ -1,0 +1,139 @@
+// Package policy implements every online micro-op cache replacement policy
+// the paper evaluates: the LRU baseline, Random, SRRIP, SHiP++, GHRP,
+// Mockingjay, the profile-guided Thermometer, and the paper's contribution
+// FURBYS. All of them implement uopcache.Policy at whole-PW granularity.
+//
+// Determinism note: uopcache passes resident snapshots in map order, so every
+// policy here derives victim choice from a total order over its own metadata
+// (criterion, then recency stamp, then key) — never from slice order.
+package policy
+
+import (
+	"uopsim/internal/trace"
+	"uopsim/internal/uopcache"
+)
+
+// key identifies a resident window within the whole cache.
+type key struct {
+	set int
+	pc  uint64
+}
+
+// recency is a shared building block tracking LRU stamps per resident.
+type recency struct {
+	clock uint64
+	stamp map[key]uint64
+}
+
+func newRecency() *recency { return &recency{stamp: make(map[key]uint64)} }
+
+func (r *recency) touch(set int, pc uint64) {
+	r.clock++
+	r.stamp[key{set, pc}] = r.clock
+}
+
+func (r *recency) drop(set int, pc uint64) { delete(r.stamp, key{set, pc}) }
+
+func (r *recency) of(set int, pc uint64) uint64 { return r.stamp[key{set, pc}] }
+
+// older reports whether (a) is a strictly better LRU victim than (b):
+// smaller stamp wins; key breaks exact ties (possible only for the zero
+// stamp of untracked residents).
+func (r *recency) older(set int, a, b uint64) bool {
+	sa, sb := r.of(set, a), r.of(set, b)
+	if sa != sb {
+		return sa < sb
+	}
+	return a < b
+}
+
+// ---------------------------------------------------------------------------
+// LRU
+
+// LRU is the least-recently-used baseline the paper normalizes against.
+type LRU struct{ rec *recency }
+
+// NewLRU returns the LRU policy.
+func NewLRU() *LRU { return &LRU{rec: newRecency()} }
+
+// Name implements uopcache.Policy.
+func (p *LRU) Name() string { return "lru" }
+
+// OnHit implements uopcache.Policy.
+func (p *LRU) OnHit(set int, pc uint64) { p.rec.touch(set, pc) }
+
+// OnInsert implements uopcache.Policy.
+func (p *LRU) OnInsert(set int, pw trace.PW) { p.rec.touch(set, pw.Start) }
+
+// OnEvict implements uopcache.Policy.
+func (p *LRU) OnEvict(set int, pc uint64) { p.rec.drop(set, pc) }
+
+// Victim implements uopcache.Policy: evict the least recently used window.
+func (p *LRU) Victim(set int, residents []uopcache.Resident, _ trace.PW) uopcache.Decision {
+	best := residents[0].Key
+	for _, r := range residents[1:] {
+		if p.rec.older(set, r.Key, best) {
+			best = r.Key
+		}
+	}
+	return uopcache.Decision{VictimKey: best}
+}
+
+// ---------------------------------------------------------------------------
+// Random
+
+// Random evicts a pseudo-random resident; a sanity baseline.
+type Random struct {
+	state uint64
+}
+
+// NewRandom returns the random policy seeded deterministically.
+func NewRandom(seed uint64) *Random {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &Random{state: seed}
+}
+
+// Name implements uopcache.Policy.
+func (p *Random) Name() string { return "random" }
+
+// OnHit implements uopcache.Policy.
+func (p *Random) OnHit(int, uint64) {}
+
+// OnInsert implements uopcache.Policy.
+func (p *Random) OnInsert(int, trace.PW) {}
+
+// OnEvict implements uopcache.Policy.
+func (p *Random) OnEvict(int, uint64) {}
+
+func (p *Random) next() uint64 {
+	// xorshift64*
+	p.state ^= p.state >> 12
+	p.state ^= p.state << 25
+	p.state ^= p.state >> 27
+	return p.state * 0x2545F4914F6CDD1D
+}
+
+// Victim implements uopcache.Policy. To stay independent of the snapshot's
+// map order, the victim is the resident with the smallest hashed key.
+func (p *Random) Victim(set int, residents []uopcache.Resident, _ trace.PW) uopcache.Decision {
+	salt := p.next()
+	best := residents[0].Key
+	bestH := mix(best ^ salt)
+	for _, r := range residents[1:] {
+		if h := mix(r.Key ^ salt); h < bestH {
+			best, bestH = r.Key, h
+		}
+	}
+	return uopcache.Decision{VictimKey: best}
+}
+
+func mix(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xFF51AFD7ED558CCD
+	x ^= x >> 33
+	x *= 0xC4CEB9FE1A85EC53
+	x ^= x >> 33
+	return x
+}

@@ -1,0 +1,171 @@
+package policy
+
+import (
+	"uopsim/internal/trace"
+	"uopsim/internal/uopcache"
+)
+
+// rripMax is the distant re-reference value for 2-bit RRPV (the paper's
+// SRRIP configuration stores 2 bits per entry).
+const rripMax = 3
+
+// SRRIP implements Static Re-Reference Interval Prediction (Jaleel et al.)
+// at whole-PW granularity: 2-bit RRPV per window, inserted at long
+// re-reference (rripMax-1), promoted to 0 on hit; the victim is a window at
+// rripMax, ageing the whole set when none exists.
+type SRRIP struct {
+	rrpv map[key]uint8
+	rec  *recency
+}
+
+// NewSRRIP returns the SRRIP policy.
+func NewSRRIP() *SRRIP {
+	return &SRRIP{rrpv: make(map[key]uint8), rec: newRecency()}
+}
+
+// Name implements uopcache.Policy.
+func (p *SRRIP) Name() string { return "srrip" }
+
+// OnHit implements uopcache.Policy.
+func (p *SRRIP) OnHit(set int, pc uint64) {
+	p.rrpv[key{set, pc}] = 0
+	p.rec.touch(set, pc)
+}
+
+// OnInsert implements uopcache.Policy.
+func (p *SRRIP) OnInsert(set int, pw trace.PW) {
+	p.rrpv[key{set, pw.Start}] = rripMax - 1
+	p.rec.touch(set, pw.Start)
+}
+
+// OnEvict implements uopcache.Policy.
+func (p *SRRIP) OnEvict(set int, pc uint64) {
+	delete(p.rrpv, key{set, pc})
+	p.rec.drop(set, pc)
+}
+
+// Victim implements uopcache.Policy.
+func (p *SRRIP) Victim(set int, residents []uopcache.Resident, _ trace.PW) uopcache.Decision {
+	for {
+		found := false
+		var best uint64
+		for _, r := range residents {
+			if p.rrpv[key{set, r.Key}] >= rripMax {
+				if !found || p.rec.older(set, r.Key, best) {
+					best, found = r.Key, true
+				}
+			}
+		}
+		if found {
+			return uopcache.Decision{VictimKey: best}
+		}
+		for _, r := range residents {
+			p.rrpv[key{set, r.Key}]++
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// SHiP++
+
+// shctBits sizes the Signature History Counter Table (14-bit hash per the
+// paper's description of SHiP++).
+const shctBits = 14
+
+// SHiPPP implements SHiP++ (Young et al.): a signature history counter
+// table predicts whether a window inserted by a given signature (hash of the
+// window start, the miss-causing PC) will be reused; never-reused signatures
+// are inserted at distant RRPV so SRRIP evicts them quickly.
+type SHiPPP struct {
+	rrpv   map[key]uint8
+	reused map[key]bool
+	sig    map[key]uint32
+	shct   []uint8 // 3-bit counters
+	rec    *recency
+}
+
+// NewSHiPPP returns the SHiP++ policy.
+func NewSHiPPP() *SHiPPP {
+	t := make([]uint8, 1<<shctBits)
+	for i := range t {
+		t[i] = 1 // weakly reused, per SHiP++'s optimistic start
+	}
+	return &SHiPPP{
+		rrpv:   make(map[key]uint8),
+		reused: make(map[key]bool),
+		sig:    make(map[key]uint32),
+		shct:   t,
+		rec:    newRecency(),
+	}
+}
+
+// Name implements uopcache.Policy.
+func (p *SHiPPP) Name() string { return "ship++" }
+
+func signature(pc uint64) uint32 {
+	return uint32(mix(pc) & ((1 << shctBits) - 1))
+}
+
+// OnHit implements uopcache.Policy.
+func (p *SHiPPP) OnHit(set int, pc uint64) {
+	k := key{set, pc}
+	p.rrpv[k] = 0
+	p.rec.touch(set, pc)
+	if !p.reused[k] {
+		p.reused[k] = true
+		s := p.sig[k]
+		if p.shct[s] < 7 {
+			p.shct[s]++
+		}
+	}
+}
+
+// OnInsert implements uopcache.Policy.
+func (p *SHiPPP) OnInsert(set int, pw trace.PW) {
+	k := key{set, pw.Start}
+	s := signature(pw.Start)
+	p.sig[k] = s
+	p.reused[k] = false
+	if p.shct[s] == 0 {
+		p.rrpv[k] = rripMax // predicted dead: distant insertion
+	} else {
+		p.rrpv[k] = rripMax - 1
+	}
+	p.rec.touch(set, pw.Start)
+}
+
+// OnEvict implements uopcache.Policy.
+func (p *SHiPPP) OnEvict(set int, pc uint64) {
+	k := key{set, pc}
+	if !p.reused[k] {
+		s := p.sig[k]
+		if p.shct[s] > 0 {
+			p.shct[s]--
+		}
+	}
+	delete(p.rrpv, k)
+	delete(p.reused, k)
+	delete(p.sig, k)
+	p.rec.drop(set, pc)
+}
+
+// Victim implements uopcache.Policy (SRRIP victim scan).
+func (p *SHiPPP) Victim(set int, residents []uopcache.Resident, _ trace.PW) uopcache.Decision {
+	for {
+		found := false
+		var best uint64
+		for _, r := range residents {
+			if p.rrpv[key{set, r.Key}] >= rripMax {
+				if !found || p.rec.older(set, r.Key, best) {
+					best, found = r.Key, true
+				}
+			}
+		}
+		if found {
+			return uopcache.Decision{VictimKey: best}
+		}
+		for _, r := range residents {
+			p.rrpv[key{set, r.Key}]++
+		}
+	}
+}

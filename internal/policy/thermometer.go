@@ -1,0 +1,74 @@
+package policy
+
+import (
+	"uopsim/internal/trace"
+	"uopsim/internal/uopcache"
+)
+
+// ThermoClass is Thermometer's three-way classification of windows by
+// profiled hit rate.
+type ThermoClass uint8
+
+const (
+	// ThermoCold windows had low profiled hit rates.
+	ThermoCold ThermoClass = iota
+	// ThermoWarm windows had middling profiled hit rates.
+	ThermoWarm
+	// ThermoHot windows had high profiled hit rates.
+	ThermoHot
+)
+
+// Thermometer implements the profile-guided policy of Song et al. (ISCA
+// 2022), the state-of-the-art profile-guided baseline in the paper: windows
+// are classified hot/warm/cold by whole-execution profiled hit rate; cold
+// windows are evicted first and hot windows protected. It captures holistic
+// information but — as the paper observes — has no mechanism to adapt to
+// transient (local) behaviour, which is exactly what FURBYS adds.
+type Thermometer struct {
+	class map[uint64]ThermoClass
+	// DefaultClass applies to windows absent from the profile.
+	DefaultClass ThermoClass
+	rec          *recency
+}
+
+// NewThermometer builds the policy from a profile classification.
+func NewThermometer(class map[uint64]ThermoClass) *Thermometer {
+	return &Thermometer{class: class, DefaultClass: ThermoWarm, rec: newRecency()}
+}
+
+// Name implements uopcache.Policy.
+func (p *Thermometer) Name() string { return "thermometer" }
+
+func (p *Thermometer) classOf(pc uint64) ThermoClass {
+	if c, ok := p.class[pc]; ok {
+		return c
+	}
+	return p.DefaultClass
+}
+
+// OnHit implements uopcache.Policy.
+func (p *Thermometer) OnHit(set int, pc uint64) { p.rec.touch(set, pc) }
+
+// OnInsert implements uopcache.Policy.
+func (p *Thermometer) OnInsert(set int, pw trace.PW) { p.rec.touch(set, pw.Start) }
+
+// OnEvict implements uopcache.Policy.
+func (p *Thermometer) OnEvict(set int, pc uint64) { p.rec.drop(set, pc) }
+
+// Victim implements uopcache.Policy: evict the LRU window of the coldest
+// class present.
+func (p *Thermometer) Victim(set int, residents []uopcache.Resident, _ trace.PW) uopcache.Decision {
+	var best uint64
+	bestClass := ThermoHot + 1
+	found := false
+	for _, r := range residents {
+		c := p.classOf(r.Key)
+		switch {
+		case !found || c < bestClass:
+			best, bestClass, found = r.Key, c, true
+		case c == bestClass && p.rec.older(set, r.Key, best):
+			best = r.Key
+		}
+	}
+	return uopcache.Decision{VictimKey: best}
+}

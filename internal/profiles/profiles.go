@@ -1,0 +1,280 @@
+// Package profiles implements the FURBYS offline pipeline of the paper's
+// Fig. 6: record the PW lookup sequence (STEP 2), obtain per-window hit/miss
+// behaviour from an offline policy — FLACK by default, Belady or FOO for the
+// Fig. 15 sensitivity study — (STEPS 3–5), group windows by hit rate with
+// Jenks natural breaks at set granularity (STEP 6), and emit the weight
+// hints the modified decoder would read from the binary's reserved branch
+// bits (STEP 7). It also supports merging profiles from multiple inputs for
+// the cross-validation experiment (Fig. 18).
+package profiles
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"uopsim/internal/jenks"
+	"uopsim/internal/offline"
+	"uopsim/internal/policy"
+	"uopsim/internal/trace"
+	"uopsim/internal/uopcache"
+)
+
+// Source selects the offline policy whose decisions the profile is built
+// from (the paper's Fig. 15 compares all three).
+type Source int
+
+const (
+	// SourceFLACK uses the paper's near-optimal policy (the default).
+	SourceFLACK Source = iota
+	// SourceBelady uses Belady's algorithm.
+	SourceBelady
+	// SourceFOO uses raw flow-based offline optimal.
+	SourceFOO
+)
+
+// String names the source.
+func (s Source) String() string {
+	switch s {
+	case SourceFLACK:
+		return "flack"
+	case SourceBelady:
+		return "belady"
+	case SourceFOO:
+		return "foo"
+	default:
+		return "unknown"
+	}
+}
+
+// Rate accumulates a window's micro-op-weighted hit statistics.
+type Rate struct {
+	HitUops   uint64
+	TotalUops uint64
+	Lookups   uint64
+}
+
+// Value returns the hit rate in [0,1].
+func (r Rate) Value() float64 {
+	if r.TotalUops == 0 {
+		return 0
+	}
+	return float64(r.HitUops) / float64(r.TotalUops)
+}
+
+// Profile maps each window start address to its profiled hit rate under the
+// chosen offline policy.
+type Profile struct {
+	Rates  map[uint64]Rate
+	Source Source
+}
+
+// Collect runs the offline policy over the lookup sequence and accumulates
+// per-window hit rates (the paper's STEPS 3–6 input).
+func Collect(pws []trace.PW, cfg uopcache.Config, src Source) *Profile {
+	opts := offline.Options{RecordPerLookup: true}
+	var res offline.Result
+	switch src {
+	case SourceBelady:
+		res = offline.RunBelady(pws, cfg, opts)
+	case SourceFOO:
+		opts.Features = offline.Features{}
+		res = offline.RunFOO(pws, cfg, opts)
+	default:
+		res = offline.RunFLACK(pws, cfg, opts)
+	}
+	p := &Profile{Rates: make(map[uint64]Rate, len(pws)/8+1), Source: src}
+	for i, r := range res.PerLookup {
+		start := pws[i].Start
+		acc := p.Rates[start]
+		acc.HitUops += uint64(r.HitUops)
+		acc.TotalUops += uint64(r.HitUops + r.MissUops)
+		acc.Lookups++
+		p.Rates[start] = acc
+	}
+	return p
+}
+
+// Merge combines profiles from multiple inputs into one (cross-validation:
+// the training traces' profiles are merged into the deployed hint set).
+func Merge(profiles ...*Profile) *Profile {
+	out := &Profile{Rates: make(map[uint64]Rate)}
+	for _, p := range profiles {
+		if p == nil {
+			continue
+		}
+		out.Source = p.Source
+		for k, r := range p.Rates {
+			acc := out.Rates[k]
+			acc.HitUops += r.HitUops
+			acc.TotalUops += r.TotalUops
+			acc.Lookups += r.Lookups
+			out.Rates[k] = acc
+		}
+	}
+	return out
+}
+
+// quantize buckets hit rates so the per-set Jenks DP stays small; 1/256
+// resolution loses nothing at 3-bit group granularity.
+func quantize(v float64) float64 { return math.Round(v*256) / 256 }
+
+// minClassGap is the smallest hit-rate difference two weight classes may be
+// apart. Jenks always forms k classes even when a set's rates are nearly
+// identical; without a floor, FURBYS's bypass (weight < min-K) fires between
+// windows whose profiled behaviour is indistinguishable, which measurably
+// hurts loop-heavy applications.
+const minClassGap = 0.05
+
+// Weights computes the FURBYS hint map: windows are grouped per cache set
+// (replacement decisions are per-set, so weights are computed at set
+// granularity — paper Section V) into 2^bits classes by Jenks natural
+// breaks over their hit rates; the class index is the weight, 0 = coldest.
+// Class boundaries closer than minClassGap are merged.
+func (p *Profile) Weights(cfg uopcache.Config, bits int) map[uint64]uint8 {
+	if bits <= 0 {
+		bits = 3
+	}
+	k := 1 << bits
+	perSet := make(map[int][]uint64)
+	for start := range p.Rates {
+		set := cfg.SetIndex(start)
+		perSet[set] = append(perSet[set], start)
+	}
+	weights := make(map[uint64]uint8, len(p.Rates))
+	for _, starts := range perSet {
+		// Deterministic order (map iteration is random).
+		sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+		distinct := make(map[float64]struct{})
+		vals := make([]float64, 0, len(starts))
+		for _, s := range starts {
+			v := quantize(p.Rates[s].Value())
+			vals = append(vals, v)
+			distinct[v] = struct{}{}
+		}
+		// Jenks over the distinct quantized values only (identical
+		// break structure, much smaller DP).
+		uniq := make([]float64, 0, len(distinct))
+		for v := range distinct {
+			uniq = append(uniq, v)
+		}
+		sort.Float64s(uniq)
+		breaks, err := jenks.Breaks(uniq, k)
+		if err != nil {
+			// Only possible for empty input; skip the set.
+			continue
+		}
+		breaks = enforceGap(breaks, minClassGap)
+		for i, s := range starts {
+			weights[s] = uint8(jenks.Classify(vals[i], breaks))
+		}
+	}
+	return weights
+}
+
+// enforceGap drops class boundaries closer than gap to their predecessor,
+// merging statistically indistinguishable classes.
+func enforceGap(breaks []float64, gap float64) []float64 {
+	out := breaks[:0]
+	last := math.Inf(-1)
+	for _, b := range breaks {
+		if b-last >= gap {
+			out = append(out, b)
+			last = b
+		}
+	}
+	return out
+}
+
+// ThermoClasses derives Thermometer's hot/warm/cold classification from the
+// same profile (three Jenks classes over global hit rates).
+func (p *Profile) ThermoClasses() map[uint64]policy.ThermoClass {
+	vals := make([]float64, 0, len(p.Rates))
+	starts := make([]uint64, 0, len(p.Rates))
+	for s := range p.Rates {
+		starts = append(starts, s)
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	distinct := make(map[float64]struct{})
+	for _, s := range starts {
+		v := quantize(p.Rates[s].Value())
+		vals = append(vals, v)
+		distinct[v] = struct{}{}
+	}
+	uniq := make([]float64, 0, len(distinct))
+	for v := range distinct {
+		uniq = append(uniq, v)
+	}
+	sort.Float64s(uniq)
+	out := make(map[uint64]policy.ThermoClass, len(starts))
+	if len(uniq) == 0 {
+		return out
+	}
+	breaks, err := jenks.Breaks(uniq, 3)
+	if err != nil {
+		return out
+	}
+	for i, s := range starts {
+		out[s] = policy.ThermoClass(jenks.Classify(vals[i], breaks))
+	}
+	return out
+}
+
+// Save writes the profile in a line-oriented text format:
+//
+//	uopprofile <source>
+//	<start-hex> <hitUops> <totalUops> <lookups>
+func (p *Profile) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "uopprofile %s\n", p.Source); err != nil {
+		return err
+	}
+	starts := make([]uint64, 0, len(p.Rates))
+	for s := range p.Rates {
+		starts = append(starts, s)
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	for _, s := range starts {
+		r := p.Rates[s]
+		if _, err := fmt.Fprintf(bw, "%x %d %d %d\n", s, r.HitUops, r.TotalUops, r.Lookups); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a profile written by Save.
+func Load(r io.Reader) (*Profile, error) {
+	br := bufio.NewScanner(r)
+	br.Buffer(make([]byte, 1<<20), 1<<20)
+	if !br.Scan() {
+		return nil, fmt.Errorf("profiles: empty input")
+	}
+	var srcName string
+	if _, err := fmt.Sscanf(br.Text(), "uopprofile %s", &srcName); err != nil {
+		return nil, fmt.Errorf("profiles: bad header %q", br.Text())
+	}
+	p := &Profile{Rates: make(map[uint64]Rate)}
+	switch srcName {
+	case "flack":
+		p.Source = SourceFLACK
+	case "belady":
+		p.Source = SourceBelady
+	case "foo":
+		p.Source = SourceFOO
+	default:
+		return nil, fmt.Errorf("profiles: unknown source %q", srcName)
+	}
+	line := 1
+	for br.Scan() {
+		line++
+		var s, h, tot, lk uint64
+		if _, err := fmt.Sscanf(br.Text(), "%x %d %d %d", &s, &h, &tot, &lk); err != nil {
+			return nil, fmt.Errorf("profiles: line %d: %w", line, err)
+		}
+		p.Rates[s] = Rate{HitUops: h, TotalUops: tot, Lookups: lk}
+	}
+	return p, br.Err()
+}

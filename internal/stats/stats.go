@@ -1,0 +1,238 @@
+// Package stats implements the paper's trace analyses: the
+// cold/capacity/conflict miss classification of Section III-B (via infinite
+// and fully-associative shadow simulations), the reuse-distance spectra of
+// Section III-E (stack distances over PWs, icache lines and branch PCs), and
+// the hot/warm/cold PW hit-rate analysis of Fig. 22.
+package stats
+
+import (
+	"sort"
+
+	"uopsim/internal/trace"
+	"uopsim/internal/uopcache"
+)
+
+// MissClassification splits a run's lookup misses by cause.
+type MissClassification struct {
+	// Cold misses are first-ever lookups of a window.
+	Cold uint64
+	// Capacity misses would also miss in a fully-associative cache of
+	// the same total capacity.
+	Capacity uint64
+	// Conflict misses are the remainder: set-mapping artifacts.
+	Conflict uint64
+	// Total is all misses in the actual configuration.
+	Total uint64
+}
+
+// Fractions returns the cold/capacity/conflict shares of total misses.
+func (m MissClassification) Fractions() (cold, capacity, conflict float64) {
+	if m.Total == 0 {
+		return 0, 0, 0
+	}
+	t := float64(m.Total)
+	return float64(m.Cold) / t, float64(m.Capacity) / t, float64(m.Conflict) / t
+}
+
+// MissCounter counts lookup-granularity misses of a policy over a trace for
+// an arbitrary cache geometry. The stats package provides LRUMisses; the
+// experiment harness can substitute offline policies.
+type MissCounter func(pws []trace.PW, cfg uopcache.Config) uint64
+
+// Classify runs the three-simulation classification: the actual geometry
+// (via count), a fully-associative shadow of equal capacity, and an
+// infinite cache (distinct windows = cold misses).
+func Classify(pws []trace.PW, cfg uopcache.Config, count MissCounter) MissClassification {
+	var m MissClassification
+	m.Total = count(pws, cfg)
+
+	fa := cfg
+	fa.Ways = cfg.Entries // one set
+	faMisses := count(pws, fa)
+
+	seen := make(map[uint64]struct{})
+	for _, p := range pws {
+		seen[p.Start] = struct{}{}
+	}
+	m.Cold = uint64(len(seen))
+	if faMisses > m.Cold {
+		m.Capacity = faMisses - m.Cold
+	}
+	if m.Total > faMisses {
+		m.Conflict = m.Total - faMisses
+	}
+	// Clamp pathological cases (FA can in rare traces miss more than the
+	// set-associative one under LRU — Belady anomalies).
+	if m.Cold+m.Capacity+m.Conflict > m.Total {
+		over := m.Cold + m.Capacity + m.Conflict - m.Total
+		if m.Capacity >= over {
+			m.Capacity -= over
+		} else {
+			m.Conflict = 0
+			m.Capacity = m.Total - m.Cold
+		}
+	}
+	return m
+}
+
+// ---------------------------------------------------------------------------
+// Reuse (stack) distances.
+
+// ReuseHistogram is a stack-distance histogram with an overflow bucket.
+type ReuseHistogram struct {
+	// Buckets[d] counts accesses with stack distance exactly d, for
+	// d < len(Buckets)-1; the final bucket is the overflow.
+	Buckets []uint64
+	// ColdAccesses counts first-touch accesses (no reuse distance).
+	ColdAccesses uint64
+	// Total is all accesses with a defined distance.
+	Total uint64
+}
+
+// FracAbove returns the fraction of (warm) accesses whose stack distance
+// exceeds d.
+func (h ReuseHistogram) FracAbove(d int) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	var above uint64
+	for i, c := range h.Buckets {
+		if i > d {
+			above += c
+		}
+	}
+	return float64(above) / float64(h.Total)
+}
+
+// fenwick is a binary indexed tree over positions.
+type fenwick struct{ t []int }
+
+func newFenwick(n int) *fenwick { return &fenwick{t: make([]int, n+1)} }
+
+func (f *fenwick) add(i, v int) {
+	for i++; i < len(f.t); i += i & (-i) {
+		f.t[i] += v
+	}
+}
+
+func (f *fenwick) sum(i int) int { // prefix sum of [0, i]
+	s := 0
+	for i++; i > 0; i -= i & (-i) {
+		s += f.t[i]
+	}
+	return s
+}
+
+// ReuseDistances computes the stack-distance histogram of a key sequence
+// with maxBucket exact buckets (distances >= maxBucket land in overflow).
+func ReuseDistances(keys []uint64, maxBucket int) ReuseHistogram {
+	h := ReuseHistogram{Buckets: make([]uint64, maxBucket+1)}
+	last := make(map[uint64]int, 1024)
+	fw := newFenwick(len(keys))
+	for i, k := range keys {
+		if prev, ok := last[k]; ok {
+			// Distinct keys accessed in (prev, i) = marked positions.
+			d := fw.sum(i-1) - fw.sum(prev)
+			if d >= maxBucket {
+				h.Buckets[maxBucket]++
+			} else {
+				h.Buckets[d]++
+			}
+			h.Total++
+			fw.add(prev, -1)
+		} else {
+			h.ColdAccesses++
+		}
+		last[k] = i
+		fw.add(i, 1)
+	}
+	return h
+}
+
+// PWKeys extracts the start-address key sequence from a PW lookup trace.
+func PWKeys(pws []trace.PW) []uint64 {
+	out := make([]uint64, len(pws))
+	for i, p := range pws {
+		out[i] = p.Start
+	}
+	return out
+}
+
+// LineKeys extracts the icache-line key sequence from a block trace.
+func LineKeys(blocks []trace.Block) []uint64 {
+	out := make([]uint64, 0, len(blocks))
+	for _, b := range blocks {
+		out = append(out, trace.LineAddr(b.Addr))
+	}
+	return out
+}
+
+// BranchKeys extracts the branch-PC key sequence (BTB accesses).
+func BranchKeys(blocks []trace.Block) []uint64 {
+	out := make([]uint64, 0, len(blocks))
+	for _, b := range blocks {
+		if b.Kind.IsBranch() {
+			out = append(out, b.BranchPC)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Hotness analysis (Fig. 22).
+
+// DecileStat is the hit rate of windows in one popularity decile.
+type DecileStat struct {
+	// Lookups and HitUops/TotalUops aggregate the decile.
+	Lookups   uint64
+	HitUops   uint64
+	TotalUops uint64
+}
+
+// HitRate returns the decile's micro-op hit rate.
+func (d DecileStat) HitRate() float64 {
+	if d.TotalUops == 0 {
+		return 0
+	}
+	return float64(d.HitUops) / float64(d.TotalUops)
+}
+
+// HotnessDeciles sorts windows by access count (descending), splits them
+// into ten deciles by window count, and aggregates each decile's hit rate
+// from per-lookup outcomes. Decile 0 is the hottest 10% of windows.
+func HotnessDeciles(pws []trace.PW, outcomes []uopcache.ProbeResult) [10]DecileStat {
+	var out [10]DecileStat
+	counts := make(map[uint64]uint64)
+	for _, p := range pws {
+		counts[p.Start]++
+	}
+	keys := make([]uint64, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if counts[keys[i]] != counts[keys[j]] {
+			return counts[keys[i]] > counts[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	decileOf := make(map[uint64]int, len(keys))
+	for i, k := range keys {
+		d := i * 10 / len(keys)
+		if d > 9 {
+			d = 9
+		}
+		decileOf[k] = d
+	}
+	n := len(outcomes)
+	if n > len(pws) {
+		n = len(pws)
+	}
+	for i := 0; i < n; i++ {
+		d := decileOf[pws[i].Start]
+		out[d].Lookups++
+		out[d].HitUops += uint64(outcomes[i].HitUops)
+		out[d].TotalUops += uint64(outcomes[i].HitUops + outcomes[i].MissUops)
+	}
+	return out
+}

@@ -1,0 +1,77 @@
+package trace
+
+// Analysis summarizes the structural properties of a PW lookup sequence
+// that the paper's design arguments rest on: window footprint, cost
+// variance (Section II-C), and the overlapping-window rate (Section II-D).
+type Analysis struct {
+	// Lookups is the sequence length.
+	Lookups int
+	// DistinctStarts is the static window footprint.
+	DistinctStarts int
+	// OverlappingStarts counts start addresses observed with more than
+	// one window length — the partial-hit population.
+	OverlappingStarts int
+	// TotalUops is the micro-op volume of the sequence.
+	TotalUops uint64
+	// AvgUops is mean micro-ops per window lookup.
+	AvgUops float64
+	// AvgEntries is mean cache entries per window (8 uops/entry).
+	AvgEntries float64
+	// SizeHist[k] counts lookups of windows occupying k entries
+	// (index 0 unused).
+	SizeHist [8]uint64
+	// EndsTakenFrac is the fraction of windows terminated by a taken
+	// branch (the rest hit line boundaries or the micro-op cap).
+	EndsTakenFrac float64
+}
+
+// OverlapFrac returns the fraction of static windows with multiple lengths.
+func (a Analysis) OverlapFrac() float64 {
+	if a.DistinctStarts == 0 {
+		return 0
+	}
+	return float64(a.OverlappingStarts) / float64(a.DistinctStarts)
+}
+
+// Analyze computes the structural summary of a lookup sequence, assuming
+// uopsPerEntry micro-ops per cache entry (0 selects 8).
+func Analyze(pws []PW, uopsPerEntry int) Analysis {
+	if uopsPerEntry <= 0 {
+		uopsPerEntry = 8
+	}
+	var a Analysis
+	a.Lookups = len(pws)
+	sizes := make(map[uint64]map[uint16]struct{})
+	var entriesSum, taken uint64
+	for _, p := range pws {
+		a.TotalUops += uint64(p.NumUops)
+		e := p.Entries(uopsPerEntry)
+		entriesSum += uint64(e)
+		if e >= 1 && e < len(a.SizeHist) {
+			a.SizeHist[e]++
+		} else if e >= len(a.SizeHist) {
+			a.SizeHist[len(a.SizeHist)-1]++
+		}
+		if p.EndsTaken {
+			taken++
+		}
+		m := sizes[p.Start]
+		if m == nil {
+			m = make(map[uint16]struct{}, 1)
+			sizes[p.Start] = m
+		}
+		m[p.NumUops] = struct{}{}
+	}
+	a.DistinctStarts = len(sizes)
+	for _, m := range sizes {
+		if len(m) > 1 {
+			a.OverlappingStarts++
+		}
+	}
+	if a.Lookups > 0 {
+		a.AvgUops = float64(a.TotalUops) / float64(a.Lookups)
+		a.AvgEntries = float64(entriesSum) / float64(a.Lookups)
+		a.EndsTakenFrac = float64(taken) / float64(a.Lookups)
+	}
+	return a
+}

@@ -1,0 +1,169 @@
+package trace
+
+// Former incrementally converts a dynamic block stream into the PW stream the
+// micro-op cache frontend observes. A window terminates on:
+//
+//   - a taken branch (conditional taken, unconditional, call, return,
+//     indirect), since the next fetch address is discontiguous;
+//   - an icache line boundary, since the frontend's prediction windows never
+//     span L1i lines (Section II-B of the paper);
+//   - the maximum window capacity in micro-ops (MaxUops), modelling the
+//     bounded number of entries a single PW may occupy in the cache.
+//
+// Predicted-not-taken conditional branches do NOT terminate a window, which
+// is what makes two windows with the same start address but different lengths
+// possible (overlapping PWs).
+type Former struct {
+	// MaxUops caps the number of micro-ops per window; windows exceeding
+	// it are split, with the continuation starting a new window.
+	MaxUops int
+	// CrossLine allows a window to span up to MaxLines icache lines
+	// instead of terminating at every boundary — the CLASP technique
+	// (Kotra & Kalamatianos, MICRO 2020) that reduces the fragmentation
+	// created by line-boundary window cuts.
+	CrossLine bool
+	// MaxLines bounds a cross-line window's footprint (default 2, as in
+	// CLASP's adjacent-line placement).
+	MaxLines int
+
+	cur       PW
+	curActive bool
+}
+
+// DefaultMaxUops is 4 entries of 8 micro-ops each, the Zen3-like default.
+const DefaultMaxUops = 32
+
+// NewFormer returns a Former with the given per-window micro-op cap;
+// maxUops <= 0 selects DefaultMaxUops.
+func NewFormer(maxUops int) *Former {
+	if maxUops <= 0 {
+		maxUops = DefaultMaxUops
+	}
+	return &Former{MaxUops: maxUops}
+}
+
+// instSlice describes one instruction carved out of a block.
+type instSlice struct {
+	addr  uint64
+	bytes uint16
+	uops  uint16
+}
+
+// splitInsts deterministically apportions a block's bytes and micro-ops
+// across its instructions: the first remainder instructions receive one extra
+// unit. This approximates instruction boundaries without modelling real x86
+// encodings; all that matters downstream is where line boundaries fall and
+// how many micro-ops each side of a cut carries.
+func splitInsts(b Block) []instSlice {
+	n := int(b.NumInst)
+	if n == 0 {
+		return nil
+	}
+	insts := make([]instSlice, n)
+	bb, br := int(b.Bytes)/n, int(b.Bytes)%n
+	ub, ur := int(b.NumUops)/n, int(b.NumUops)%n
+	addr := b.Addr
+	for i := 0; i < n; i++ {
+		by := bb
+		if i < br {
+			by++
+		}
+		uo := ub
+		if i < ur {
+			uo++
+		}
+		insts[i] = instSlice{addr: addr, bytes: uint16(by), uops: uint16(uo)}
+		addr += uint64(by)
+	}
+	return insts
+}
+
+// Add consumes one dynamic block, emitting any completed windows.
+func (f *Former) Add(b Block, emit func(PW)) {
+	for _, in := range splitInsts(b) {
+		if !f.curActive {
+			f.begin(in.addr)
+		}
+		// A window never spans more lines than allowed: cut before
+		// adding an instruction that starts in a line beyond the
+		// window's budget (1 line normally; MaxLines under CLASP).
+		// Cutting lazily (at the next instruction rather than when
+		// the current one ends exactly on the boundary) keeps the
+		// taken-branch terminator attributable to the window it
+		// belongs to.
+		if f.lineBudgetExceeded(in.addr) {
+			f.finish(false, emit)
+			f.begin(in.addr)
+		}
+		// Cut before exceeding the micro-op cap, unless the window is
+		// empty (a single instruction larger than the cap still forms
+		// a window on its own).
+		if f.cur.NumInst > 0 && int(f.cur.NumUops)+int(in.uops) > f.MaxUops {
+			f.finish(false, emit)
+			f.begin(in.addr)
+		}
+		f.cur.Bytes += in.bytes
+		f.cur.NumInst++
+		f.cur.NumUops += in.uops
+	}
+	if b.Kind.IsBranch() && b.Taken && f.curActive {
+		f.finish(true, emit)
+	}
+}
+
+// Flush emits the in-progress window, if any. Call at end of trace.
+func (f *Former) Flush(emit func(PW)) {
+	if f.curActive && f.cur.NumInst > 0 {
+		f.finish(false, emit)
+	}
+	f.curActive = false
+}
+
+// lineBudgetExceeded reports whether extending the current window to an
+// instruction at addr would exceed its icache-line budget.
+func (f *Former) lineBudgetExceeded(addr uint64) bool {
+	budget := 1
+	if f.CrossLine {
+		budget = f.MaxLines
+		if budget < 1 {
+			budget = 2
+		}
+	}
+	span := int((LineAddr(addr)-LineAddr(f.cur.Start))/LineSize) + 1
+	return span > budget
+}
+
+func (f *Former) begin(addr uint64) {
+	f.cur = PW{Start: addr}
+	f.curActive = true
+}
+
+func (f *Former) finish(taken bool, emit func(PW)) {
+	if f.cur.NumInst == 0 {
+		f.curActive = false
+		return
+	}
+	f.cur.EndsTaken = taken
+	f.cur.Lines = SpanLines(f.cur.Start, f.cur.Bytes)
+	emit(f.cur)
+	f.curActive = false
+}
+
+// FormPWs converts an entire block trace into its PW lookup sequence. This
+// is the paper's STEP(2): with a zero-size micro-op cache every lookup is
+// observable, so the emitted sequence is exactly the lookup trace.
+func FormPWs(blocks []Block, maxUops int) []PW {
+	return FormPWsWith(blocks, NewFormer(maxUops))
+}
+
+// FormPWsWith runs a configured Former (e.g. with CLASP cross-line windows)
+// over an entire block trace.
+func FormPWsWith(blocks []Block, f *Former) []PW {
+	var pws []PW
+	emit := func(p PW) { pws = append(pws, p) }
+	for _, b := range blocks {
+		f.Add(b, emit)
+	}
+	f.Flush(emit)
+	return pws
+}

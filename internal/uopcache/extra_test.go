@@ -1,0 +1,127 @@
+package uopcache_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"uopsim/internal/policy"
+	"uopsim/internal/trace"
+	"uopsim/internal/uopcache"
+)
+
+func TestUtilizationAndOccupancy(t *testing.T) {
+	c := uopcache.New(uopcache.Config{Entries: 8, Ways: 4, UopsPerEntry: 8}, policy.NewLRU())
+	if c.Utilization() != 0 || c.Occupancy() != 0 {
+		t.Error("empty cache should have zero utilization/occupancy")
+	}
+	c.Insert(pw(0x1000, 8)) // 1 entry, fully packed
+	if got := c.Utilization(); got != 1.0 {
+		t.Errorf("utilization = %v, want 1.0", got)
+	}
+	c.Insert(pw(0x2000, 9)) // 2 entries, 9/16 packed
+	// Total: 17 uops over 3 entries (24 capacity).
+	if got := c.Utilization(); got != 17.0/24.0 {
+		t.Errorf("utilization = %v, want %v", got, 17.0/24.0)
+	}
+	if got := c.Occupancy(); got != 3.0/8.0 {
+		t.Errorf("occupancy = %v, want 3/8", got)
+	}
+}
+
+func TestResetStatsKeepsContents(t *testing.T) {
+	c := newTiny()
+	c.Insert(pw(0x1000, 4))
+	c.Lookup(pw(0x1000, 4))
+	c.ResetStats()
+	if c.Stats.Lookups != 0 {
+		t.Error("stats not reset")
+	}
+	if r := c.Lookup(pw(0x1000, 4)); r.Kind != uopcache.ProbeFull {
+		t.Error("contents lost on ResetStats")
+	}
+}
+
+func TestRunWithWarmup(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.InsertDelay = 0
+	seq := make([]trace.PW, 0, 100)
+	for i := 0; i < 100; i++ {
+		seq = append(seq, pw(0x1000, 4))
+	}
+	// With 50% warmup, the cold miss at position 0 is discarded: zero
+	// misses measured.
+	c := uopcache.New(cfg, policy.NewLRU())
+	st := uopcache.NewBehavior(c, nil).RunWithWarmup(seq, 0.5)
+	if st.Misses != 0 {
+		t.Errorf("warmed-up misses = %d, want 0", st.Misses)
+	}
+	if st.Lookups != 50 {
+		t.Errorf("measured lookups = %d, want 50", st.Lookups)
+	}
+	// Clamping: negative and >0.9 fractions are tolerated.
+	c2 := uopcache.New(cfg, policy.NewLRU())
+	if st := uopcache.NewBehavior(c2, nil).RunWithWarmup(seq, -1); st.Lookups != 100 {
+		t.Errorf("clamped-low lookups = %d", st.Lookups)
+	}
+	c3 := uopcache.New(cfg, policy.NewLRU())
+	if st := uopcache.NewBehavior(c3, nil).RunWithWarmup(seq, 5); st.Lookups != 10 {
+		t.Errorf("clamped-high lookups = %d", st.Lookups)
+	}
+}
+
+// TestQuickAccountingInvariants drives random operation sequences (derived
+// from a quick-checked seed) and verifies the cache's accounting invariants.
+func TestQuickAccountingInvariants(t *testing.T) {
+	f := func(seed uint64, delayRaw uint8) bool {
+		cfg := uopcache.Config{Entries: 32, Ways: 8, UopsPerEntry: 8, InsertDelay: int(delayRaw % 6)}
+		c := uopcache.New(cfg, policy.NewLRU())
+		b := uopcache.NewBehavior(c, nil)
+		state := seed | 1
+		for i := 0; i < 3000; i++ {
+			state = state*6364136223846793005 + 1442695040888963407
+			start := uint64(0x1000 + (state>>33)%300*16)
+			uops := 1 + int((state>>17)%24)
+			b.Access(pw(start, uops))
+		}
+		b.Flush()
+		st := c.Stats
+		if st.UopsHit+st.UopsMissed != st.UopsRequested {
+			return false
+		}
+		if st.Lookups != st.FullHits+st.PartialHits+st.Misses {
+			return false
+		}
+		if c.TotalUsedEntries() > cfg.Entries {
+			return false
+		}
+		u := c.Utilization()
+		return u >= 0 && u <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickGrowNeverShrinks: for any pair of same-start windows, the
+// resident after both insertions has the larger micro-op count.
+func TestQuickGrowNeverShrinks(t *testing.T) {
+	f := func(a, b uint8) bool {
+		ua := int(a%31) + 1
+		ub := int(b%31) + 1
+		c := uopcache.New(uopcache.Config{Entries: 8, Ways: 8, UopsPerEntry: 8}, policy.NewLRU())
+		c.Insert(pw(0x1000, ua))
+		c.Insert(pw(0x1000, ub))
+		r, ok := c.ResidentFor(0x1000)
+		if !ok {
+			return false
+		}
+		want := ua
+		if ub > want {
+			want = ub
+		}
+		return r.Uops == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,511 @@
+// Package uopcache models the micro-op cache: a set-associative structure
+// whose storage unit is a fixed-size entry (8 micro-ops by default) but whose
+// lookup/insertion/eviction unit is the prediction window (PW), which may
+// span multiple entries in the same set. It implements the three properties
+// the paper identifies as essential and absent from conventional caches:
+//
+//   - disproportionate miss costs: a PW's size (entries) and cost (micro-ops)
+//     are independent; misses are accounted in micro-ops;
+//   - partial hits: a stored window serves any lookup with the same start
+//     address and fewer micro-ops (intermediate exit points); a lookup for
+//     MORE micro-ops than stored is served partially, with the remainder
+//     decoded and the merged larger window re-inserted;
+//   - asynchronous lookup and insertion: insertions complete a configurable
+//     number of lookups after the triggering miss, with in-flight windows
+//     coalescing subsequent misses.
+//
+// Replacement is delegated to a Policy; every policy the paper evaluates
+// (online and offline) implements that interface.
+package uopcache
+
+import (
+	"fmt"
+
+	"uopsim/internal/trace"
+)
+
+// Config sizes the micro-op cache. The zero value is not valid; use
+// DefaultConfig.
+type Config struct {
+	// Entries is the total number of fixed-size entries (paper: 512).
+	Entries int
+	// Ways is the number of entries per set (paper: 8).
+	Ways int
+	// UopsPerEntry is the micro-op capacity of one entry (paper: 8).
+	UopsPerEntry int
+	// InsertDelay is the number of subsequent lookups after which a
+	// triggered insertion completes, modelling the decode-pipeline
+	// latency relative to the lookup rate (behaviour mode).
+	InsertDelay int
+	// Compaction enables idealized entry compaction (the upper bound of
+	// the CLASP/compaction techniques of Kotra & Kalamatianos, MICRO
+	// 2020): windows share entries perfectly, so a set's capacity is
+	// accounted in micro-ops (Ways x UopsPerEntry) rather than whole
+	// entries, eliminating internal fragmentation.
+	Compaction bool
+}
+
+// DefaultConfig returns the paper's Zen3-like configuration: 512 entries,
+// 8-way, 8 micro-ops per entry, with a 3-lookup insertion delay.
+func DefaultConfig() Config {
+	return Config{Entries: 512, Ways: 8, UopsPerEntry: 8, InsertDelay: 3}
+}
+
+// Sets returns the number of sets.
+func (c Config) Sets() int { return c.Entries / c.Ways }
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Entries <= 0 || c.Ways <= 0 || c.UopsPerEntry <= 0 {
+		return fmt.Errorf("uopcache: non-positive geometry %+v", c)
+	}
+	if c.Entries%c.Ways != 0 {
+		return fmt.Errorf("uopcache: %d entries not divisible by %d ways", c.Entries, c.Ways)
+	}
+	s := c.Sets()
+	if s&(s-1) != 0 {
+		return fmt.Errorf("uopcache: set count %d not a power of two", s)
+	}
+	if c.InsertDelay < 0 {
+		return fmt.Errorf("uopcache: negative insert delay")
+	}
+	return nil
+}
+
+// Resident describes a PW currently stored in the cache.
+type Resident struct {
+	// Key is the window's start address.
+	Key uint64
+	// Uops is the stored micro-op count (the cost).
+	Uops int
+	// EntriesUsed is the number of entry slots occupied (the size).
+	EntriesUsed int
+	// Lines are the icache lines the window's code lives in (one line
+	// normally; two when CLASP-style cross-line windows are enabled in
+	// the former), used for inclusive invalidation.
+	Lines []uint64
+	// InsertedAt is the lookup sequence number of the insertion.
+	InsertedAt uint64
+	// LastHitAt is the lookup sequence number of the last hit.
+	LastHitAt uint64
+}
+
+// Decision is a replacement policy's answer when space is needed.
+type Decision struct {
+	// Bypass requests that the incoming window not be inserted.
+	Bypass bool
+	// VictimKey names the resident PW to evict when not bypassing.
+	VictimKey uint64
+}
+
+// Policy selects victims and observes cache events. Implementations keep
+// whatever per-PW metadata they need, keyed by (set, key).
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// OnHit fires when a lookup hits resident window key in set.
+	OnHit(set int, key uint64)
+	// OnInsert fires after window pw was inserted into set.
+	OnInsert(set int, pw trace.PW)
+	// OnEvict fires when window key leaves set (eviction, invalidation,
+	// or replacement by a larger same-start window).
+	OnEvict(set int, key uint64)
+	// Victim chooses the next eviction victim among residents, or
+	// requests a bypass of the incoming window. It is called repeatedly
+	// until enough entries are free. residents is non-empty.
+	Victim(set int, residents []Resident, incoming trace.PW) Decision
+}
+
+// ProbeKind classifies a lookup outcome.
+type ProbeKind uint8
+
+const (
+	// ProbeMiss: no window with this start address is resident.
+	ProbeMiss ProbeKind = iota
+	// ProbeFull: the stored window covers the whole lookup.
+	ProbeFull
+	// ProbePartial: a window with this start is resident but shorter
+	// than the lookup; stored micro-ops are served, the rest is decoded.
+	ProbePartial
+)
+
+// ProbeResult reports what a lookup found.
+type ProbeResult struct {
+	Kind ProbeKind
+	// HitUops is the number of micro-ops served from the cache.
+	HitUops int
+	// MissUops is the number of micro-ops that must come from the
+	// legacy decode path.
+	MissUops int
+}
+
+// Cache is the micro-op cache structure. It is not safe for concurrent use.
+type Cache struct {
+	cfg    Config
+	policy Policy
+	sets   []cset
+	// lineIndex maps an icache line address to the set indices holding
+	// windows from that line, enabling inclusive invalidation.
+	lineIndex map[uint64]map[int]int // line -> set -> refcount
+	clock     uint64
+
+	Stats Stats
+}
+
+type cset struct {
+	residents map[uint64]*Resident
+	used      int
+}
+
+// Stats aggregates micro-op cache activity. Misses are counted in micro-ops
+// (the paper's metric) as well as in lookups.
+type Stats struct {
+	Lookups     uint64
+	FullHits    uint64
+	PartialHits uint64
+	Misses      uint64
+
+	UopsRequested uint64
+	UopsHit       uint64
+	UopsMissed    uint64
+
+	Insertions     uint64
+	EntriesWritten uint64
+	Bypasses       uint64
+	Evictions      uint64
+	Invalidations  uint64
+}
+
+// UopMissRate returns missed micro-ops / requested micro-ops.
+func (s Stats) UopMissRate() float64 {
+	if s.UopsRequested == 0 {
+		return 0
+	}
+	return float64(s.UopsMissed) / float64(s.UopsRequested)
+}
+
+// New builds a micro-op cache with the given replacement policy; it panics
+// on invalid configuration (configurations are static).
+func New(cfg Config, policy Policy) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	sets := make([]cset, cfg.Sets())
+	for i := range sets {
+		sets[i].residents = make(map[uint64]*Resident, cfg.Ways)
+	}
+	return &Cache{
+		cfg:    cfg,
+		policy: policy,
+		sets:   sets,
+
+		lineIndex: make(map[uint64]map[int]int),
+	}
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Policy returns the replacement policy.
+func (c *Cache) Policy() Policy { return c.policy }
+
+// SetIndex maps a window start address to its set.
+func (c *Cache) SetIndex(start uint64) int { return c.cfg.SetIndex(start) }
+
+// SetIndex maps a window start address to its set for this geometry; offline
+// policies use it to partition the lookup trace per set.
+func (c Config) SetIndex(start uint64) int {
+	// Fold two bit ranges above the low offset bits. Plain bit selection
+	// ((start>>4) & mask) severely imbalances sets on structured code
+	// layouts (functions laid out at regular strides), inflating conflict
+	// misses far beyond the paper's ~11%; XOR-folding is the standard
+	// cure and matches how real frontends hash micro-op cache indices.
+	return int(((start >> 4) ^ (start >> 11)) & uint64(c.Sets()-1))
+}
+
+// EvictKey force-evicts the window with the given start address, if
+// resident (used by offline policies performing eager evictions). It
+// returns true when a window was removed.
+func (c *Cache) EvictKey(start uint64) bool {
+	set := c.SetIndex(start)
+	if _, ok := c.sets[set].residents[start]; !ok {
+		return false
+	}
+	c.Stats.Evictions++
+	c.removeResident(set, start, true)
+	return true
+}
+
+// Lookup probes the cache for pw, updating hit statistics and policy
+// recency. It does NOT trigger an insertion; callers (the behaviour wrapper
+// or the timing frontend) own insertion scheduling, because that is where
+// the asynchrony lives.
+func (c *Cache) Lookup(pw trace.PW) ProbeResult {
+	c.clock++
+	c.Stats.Lookups++
+	want := int(pw.NumUops)
+	c.Stats.UopsRequested += uint64(want)
+	set := c.SetIndex(pw.Start)
+	r, ok := c.sets[set].residents[pw.Start]
+	if !ok {
+		c.Stats.Misses++
+		c.Stats.UopsMissed += uint64(want)
+		return ProbeResult{Kind: ProbeMiss, MissUops: want}
+	}
+	r.LastHitAt = c.clock
+	c.policy.OnHit(set, pw.Start)
+	if r.Uops >= want {
+		c.Stats.FullHits++
+		c.Stats.UopsHit += uint64(want)
+		return ProbeResult{Kind: ProbeFull, HitUops: want}
+	}
+	c.Stats.PartialHits++
+	c.Stats.UopsHit += uint64(r.Uops)
+	c.Stats.UopsMissed += uint64(want - r.Uops)
+	return ProbeResult{Kind: ProbePartial, HitUops: r.Uops, MissUops: want - r.Uops}
+}
+
+// Probe reports what a lookup would find without touching statistics or
+// policy state (used by oracles and shadow analyses).
+func (c *Cache) Probe(pw trace.PW) ProbeResult {
+	want := int(pw.NumUops)
+	set := c.SetIndex(pw.Start)
+	r, ok := c.sets[set].residents[pw.Start]
+	if !ok {
+		return ProbeResult{Kind: ProbeMiss, MissUops: want}
+	}
+	if r.Uops >= want {
+		return ProbeResult{Kind: ProbeFull, HitUops: want}
+	}
+	return ProbeResult{Kind: ProbePartial, HitUops: r.Uops, MissUops: want - r.Uops}
+}
+
+// InsertOutcome reports what Insert did.
+type InsertOutcome uint8
+
+const (
+	// Inserted: the window is now resident.
+	Inserted InsertOutcome = iota
+	// Bypassed: the policy declined to insert.
+	Bypassed
+	// Redundant: an equal-or-larger window with the same start was
+	// already resident; nothing changed.
+	Redundant
+	// TooLarge: the window needs more entries than a whole set has.
+	TooLarge
+)
+
+// setCapacity returns a set's capacity in the active accounting unit:
+// entries normally, micro-ops under idealized compaction.
+func (c *Cache) setCapacity() int {
+	if c.cfg.Compaction {
+		return c.cfg.Ways * c.cfg.UopsPerEntry
+	}
+	return c.cfg.Ways
+}
+
+// footprint returns a window's cost against setCapacity's unit.
+func (c *Cache) footprint(uops int) int {
+	if c.cfg.Compaction {
+		if uops < 1 {
+			return 1
+		}
+		return uops
+	}
+	n := (uops + c.cfg.UopsPerEntry - 1) / c.cfg.UopsPerEntry
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Insert places pw into the cache, consulting the policy for victims as
+// needed. If a smaller window with the same start address is resident it is
+// replaced (the paper and the AMD patent keep the larger window); an
+// equal-or-larger resident makes the insertion redundant.
+func (c *Cache) Insert(pw trace.PW) InsertOutcome {
+	set := c.SetIndex(pw.Start)
+	s := &c.sets[set]
+	need := c.footprint(int(pw.NumUops))
+	if need > c.setCapacity() {
+		c.Stats.Bypasses++
+		return TooLarge
+	}
+	if existing, ok := s.residents[pw.Start]; ok {
+		if existing.Uops >= int(pw.NumUops) {
+			return Redundant
+		}
+		// Grow: the merged larger window replaces the smaller one.
+		c.removeResident(set, pw.Start, false)
+	}
+	for s.used+need > c.setCapacity() {
+		residents := c.residentsView(set)
+		d := c.policy.Victim(set, residents, pw)
+		if d.Bypass {
+			c.Stats.Bypasses++
+			return Bypassed
+		}
+		if _, ok := s.residents[d.VictimKey]; !ok {
+			panic(fmt.Sprintf("uopcache: policy %s chose non-resident victim %#x in set %d",
+				c.policy.Name(), d.VictimKey, set))
+		}
+		c.Stats.Evictions++
+		c.removeResident(set, d.VictimKey, true)
+	}
+	lines := pw.Lines
+	if len(lines) == 0 {
+		lines = []uint64{trace.LineAddr(pw.Start)}
+	}
+	r := &Resident{
+		Key:         pw.Start,
+		Uops:        int(pw.NumUops),
+		EntriesUsed: need,
+		Lines:       append([]uint64(nil), lines...),
+		InsertedAt:  c.clock,
+	}
+	s.residents[pw.Start] = r
+	s.used += need
+	for _, line := range lines {
+		refs := c.lineIndex[line]
+		if refs == nil {
+			refs = make(map[int]int)
+			c.lineIndex[line] = refs
+		}
+		refs[set]++
+	}
+	c.Stats.Insertions++
+	c.Stats.EntriesWritten += uint64(pw.Entries(c.cfg.UopsPerEntry))
+	c.policy.OnInsert(set, pw)
+	return Inserted
+}
+
+// removeResident deletes key from set, updating bookkeeping; notify controls
+// whether the policy hears about it (growth-replacement notifies too, via
+// its caller passing false and the subsequent OnInsert).
+func (c *Cache) removeResident(set int, key uint64, notify bool) {
+	s := &c.sets[set]
+	r := s.residents[key]
+	delete(s.residents, key)
+	s.used -= r.EntriesUsed
+	for _, line := range r.Lines {
+		if refs := c.lineIndex[line]; refs != nil {
+			refs[set]--
+			if refs[set] == 0 {
+				delete(refs, set)
+			}
+			if len(refs) == 0 {
+				delete(c.lineIndex, line)
+			}
+		}
+	}
+	c.policy.OnEvict(set, key)
+	_ = notify
+}
+
+// InvalidateLine evicts every window whose code lives in the given icache
+// line; the micro-op cache is inclusive in the L1i (Section II-A), so the
+// L1i eviction path calls this.
+func (c *Cache) InvalidateLine(lineAddr uint64) int {
+	refs := c.lineIndex[lineAddr]
+	if len(refs) == 0 {
+		return 0
+	}
+	n := 0
+	// Collect set list first; removal mutates the index.
+	setsToScan := make([]int, 0, len(refs))
+	for set := range refs {
+		setsToScan = append(setsToScan, set)
+	}
+	for _, set := range setsToScan {
+		var victims []uint64
+		for key, r := range c.sets[set].residents {
+			for _, line := range r.Lines {
+				if line == lineAddr {
+					victims = append(victims, key)
+					break
+				}
+			}
+		}
+		for _, key := range victims {
+			c.removeResident(set, key, true)
+			c.Stats.Invalidations++
+			n++
+		}
+	}
+	return n
+}
+
+// residentsView snapshots the residents of a set for the policy.
+func (c *Cache) residentsView(set int) []Resident {
+	s := &c.sets[set]
+	out := make([]Resident, 0, len(s.residents))
+	for _, r := range s.residents {
+		out = append(out, *r)
+	}
+	return out
+}
+
+// Residents returns a snapshot of the residents of a set (for analyses).
+func (c *Cache) Residents(set int) []Resident { return c.residentsView(set) }
+
+// ResidentFor returns the resident window for a start address, if any.
+func (c *Cache) ResidentFor(start uint64) (Resident, bool) {
+	set := c.SetIndex(start)
+	r, ok := c.sets[set].residents[start]
+	if !ok {
+		return Resident{}, false
+	}
+	return *r, true
+}
+
+// UsedEntries returns the number of occupied entries in a set.
+func (c *Cache) UsedEntries(set int) int { return c.sets[set].used }
+
+// TotalUsedEntries returns the number of occupied entries cache-wide.
+func (c *Cache) TotalUsedEntries() int {
+	n := 0
+	for i := range c.sets {
+		n += c.sets[i].used
+	}
+	return n
+}
+
+// Clock returns the lookup sequence number (monotonic).
+func (c *Cache) Clock() uint64 { return c.clock }
+
+// Utilization reports how full the occupied entries are: stored micro-ops
+// divided by the micro-op capacity of the entries they occupy. Values below
+// 1 quantify the internal fragmentation the paper's Section II-C describes
+// (a PW's last entry is generally only partially filled); CLASP/compaction
+// (Kotra & Kalamatianos) attack exactly this gap.
+func (c *Cache) Utilization() float64 {
+	var uops, capUops int
+	for i := range c.sets {
+		for _, r := range c.sets[i].residents {
+			uops += r.Uops
+			if c.cfg.Compaction {
+				capUops += r.EntriesUsed
+			} else {
+				capUops += r.EntriesUsed * c.cfg.UopsPerEntry
+			}
+		}
+	}
+	if capUops == 0 {
+		return 0
+	}
+	return float64(uops) / float64(capUops)
+}
+
+// Occupancy returns the fraction of total capacity currently allocated
+// (entries normally, micro-ops under compaction).
+func (c *Cache) Occupancy() float64 {
+	total := c.cfg.Entries
+	if c.cfg.Compaction {
+		total = c.cfg.Entries * c.cfg.UopsPerEntry
+	}
+	return float64(c.TotalUsedEntries()) / float64(total)
+}
+
+// ResetStats clears the statistics without disturbing contents; behaviour
+// runs use it to discard warmup effects.
+func (c *Cache) ResetStats() { c.Stats = Stats{} }

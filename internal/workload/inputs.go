@@ -1,0 +1,88 @@
+package workload
+
+import "fmt"
+
+// Input describes one input variant of an application. The paper varies
+// input data size, the webpage requested, client request rates, random
+// seeds, query mapping styles, database scaling factors, and query mixes to
+// obtain multiple traces per application (Section VI-A); variant 0 is the
+// default input used for the main results and the others feed the
+// cross-validation study (Fig. 18).
+type Input struct {
+	// Index is the value passed to Generate.
+	Index int
+	// Description says what the paper-equivalent variation would be.
+	Description string
+}
+
+// Inputs returns the named input variants for an application. Every
+// application has the default plus three alternates; the generator derives
+// per-variant behaviour (branch outcomes, loop counts, phase order, mild
+// popularity perturbation) from the index.
+func Inputs(app string) ([]Input, error) {
+	desc, err := inputDescriptions(app)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Input, len(desc))
+	for i, d := range desc {
+		out[i] = Input{Index: i, Description: d}
+	}
+	return out, nil
+}
+
+func inputDescriptions(app string) ([]string, error) {
+	switch app {
+	case "cassandra", "kafka", "tomcat":
+		return []string{
+			"default DaCapo input",
+			"small input data size",
+			"large input data size",
+			"alternate random seed",
+		}, nil
+	case "drupal", "mediawiki", "wordpress":
+		return []string{
+			"default page (feed=rss2)",
+			"alternate page (p=37)",
+			"2 client requests per second",
+			"10 client requests per second",
+		}, nil
+	case "postgres":
+		return []string{
+			"pgbench default scaling",
+			"pgbench scale factor 100",
+			"pgbench scale factor 8000",
+			"pgbench select-only mix",
+		}, nil
+	case "mysql":
+		return []string{
+			"TPC-C default mix",
+			"oltp_read_only queries",
+			"oltp_write_only queries",
+			"alternate warehouse count",
+		}, nil
+	case "python":
+		return []string{
+			"pyperformance default",
+			"random seed 1",
+			"random seed 10",
+			"alternate benchmark subset",
+		}, nil
+	case "finagle":
+		return []string{
+			"default request mix",
+			"imperative query mapping",
+			"declarative query mapping",
+			"alternate fanout",
+		}, nil
+	case "clang":
+		return []string{
+			"LLVM default build",
+			"debug build flags",
+			"release build flags",
+			"alternate module order",
+		}, nil
+	default:
+		return nil, fmt.Errorf("workload: unknown application %q", app)
+	}
+}

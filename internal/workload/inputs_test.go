@@ -1,0 +1,69 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestInputsAllApps(t *testing.T) {
+	for _, app := range Names() {
+		ins, err := Inputs(app)
+		if err != nil {
+			t.Fatalf("%s: %v", app, err)
+		}
+		if len(ins) != 4 {
+			t.Errorf("%s: %d inputs, want 4", app, len(ins))
+		}
+		for i, in := range ins {
+			if in.Index != i {
+				t.Errorf("%s input %d has index %d", app, i, in.Index)
+			}
+			if in.Description == "" {
+				t.Errorf("%s input %d lacks a description", app, i)
+			}
+		}
+	}
+}
+
+func TestInputsUnknownApp(t *testing.T) {
+	if _, err := Inputs("nosuch"); err == nil {
+		t.Error("unknown app should error")
+	}
+}
+
+// TestInputVariantsShareStaticCode: the cross-validation premise — every
+// input executes the same binary, so the sets of PW start addresses overlap
+// heavily across variants.
+func TestInputVariantsShareStaticCode(t *testing.T) {
+	s, _ := Get("tomcat")
+	p := s.Build()
+	starts := func(input int) map[uint64]bool {
+		out := map[uint64]bool{}
+		for _, b := range p.Generate(30000, input) {
+			out[b.Addr] = true
+		}
+		return out
+	}
+	s0, s1 := starts(0), starts(1)
+	common := 0
+	for k := range s0 {
+		if s1[k] {
+			common++
+		}
+	}
+	if frac := float64(common) / float64(len(s0)); frac < 0.5 {
+		t.Errorf("inputs share only %.1f%% of static blocks; profiles could not transfer", 100*frac)
+	}
+}
+
+// TestInputVariantsDifferInBehaviour: variants must not be identical (or the
+// cross-validation experiment would be vacuous).
+func TestInputVariantsDifferInBehaviour(t *testing.T) {
+	s, _ := Get("tomcat")
+	p := s.Build()
+	a := p.Generate(5000, 1)
+	b := p.Generate(5000, 2)
+	if reflect.DeepEqual(a, b) {
+		t.Error("different inputs generated identical traces")
+	}
+}
