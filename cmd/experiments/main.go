@@ -4,7 +4,14 @@
 //
 //	experiments -list
 //	experiments [-blocks N] [-apps a,b,c] [-csv dir] [-md file] fig8 fig10 ...
-//	experiments all
+//	experiments [-quiet] [-manifest run.json] [-telemetry FILE] [-events FILE]
+//	            [-pprof ADDR] all
+//
+// Progress lines ([fig8] kafka 3/11 1.2s) stream to stderr unless -quiet.
+// A run manifest (configuration, build info, per-figure and per-app
+// wall-clock, failures) is written next to the CSV/SVG output, or to
+// -manifest. Any failed experiment or write makes the exit status non-zero,
+// but later experiments still run.
 package main
 
 import (
@@ -17,19 +24,24 @@ import (
 
 	"uopsim/internal/experiments"
 	"uopsim/internal/plot"
+	"uopsim/internal/telemetry"
 )
 
 func main() {
 	var (
-		list   = flag.Bool("list", false, "list experiment ids and exit")
-		blocks = flag.Int("blocks", 60000, "dynamic blocks per application trace")
-		apps   = flag.String("apps", "", "comma-separated app subset (default: all 11)")
-		csvDir = flag.String("csv", "", "directory to write per-experiment CSV files")
-		svgDir = flag.String("svg", "", "directory to write per-experiment SVG figures")
-		check  = flag.Bool("check", false, "verify the paper's qualitative claims against each table")
-		mdFile = flag.String("md", "", "file to append markdown tables to (default stdout only)")
-		report = flag.String("report", "", "file to write the paper-vs-measured report (summary + checks + tables)")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		blocks   = flag.Int("blocks", 60000, "dynamic blocks per application trace")
+		apps     = flag.String("apps", "", "comma-separated app subset (default: all 11)")
+		csvDir   = flag.String("csv", "", "directory to write per-experiment CSV files")
+		svgDir   = flag.String("svg", "", "directory to write per-experiment SVG figures")
+		check    = flag.Bool("check", false, "verify the paper's qualitative claims against each table")
+		mdFile   = flag.String("md", "", "file to append markdown tables to (default stdout only)")
+		report   = flag.String("report", "", "file to write the paper-vs-measured report (summary + checks + tables)")
+		quiet    = flag.Bool("quiet", false, "suppress per-app progress lines on stderr")
+		manifest = flag.String("manifest", "", "write the run manifest to `FILE` (default: run.json in -csv or -svg dir)")
 	)
+	var obs telemetry.CLI
+	obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -46,10 +58,40 @@ func main() {
 	if len(ids) == 1 && ids[0] == "all" {
 		ids = experiments.IDs()
 	}
+	for _, id := range ids {
+		if _, ok := experiments.Lookup(id); !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", id)
+			os.Exit(2)
+		}
+	}
+	if err := obs.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
 
 	ctx := experiments.NewContext(*blocks)
 	if *apps != "" {
 		ctx.Apps = strings.Split(*apps, ",")
+	}
+	ctx.Telemetry.Metrics = obs.Registry
+	if obs.Sink != nil {
+		ctx.Telemetry.Events = obs.Sink
+	}
+	if !*quiet {
+		ctx.Progress = telemetry.NewProgress(os.Stderr)
+	}
+
+	man := telemetry.NewRunManifest("experiments", os.Args[1:])
+	man.Blocks = *blocks
+	man.Apps = ctx.AppList()
+	man.Config = map[string]any{
+		"blocks": *blocks, "apps": strings.Join(ctx.AppList(), ","),
+		"csv": *csvDir, "svg": *svgDir, "check": *check,
+	}
+	fail := func(format string, args ...any) {
+		msg := fmt.Sprintf(format, args...)
+		fmt.Fprintln(os.Stderr, "experiments: "+msg)
+		man.Failures = append(man.Failures, msg)
 	}
 
 	var md *os.File
@@ -63,30 +105,31 @@ func main() {
 		md = f
 	}
 
-	failures := 0
+	checkFailures := 0
 	var allTables []*experiments.Table
 	var allChecks []experiments.CheckResult
 	for _, id := range ids {
-		run, ok := experiments.Lookup(id)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", id)
-			os.Exit(2)
-		}
+		run, _ := experiments.Lookup(id)
+		ctx.Begin(id)
 		start := time.Now()
 		tbl, err := run(ctx)
+		fig := telemetry.FigureRun{ID: id, WallSeconds: time.Since(start).Seconds(), Apps: ctx.Timings(id)}
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
-			os.Exit(1)
+			fig.Error = err.Error()
+			man.Figures = append(man.Figures, fig)
+			fail("%s: %v", id, err)
+			continue
 		}
+		fig.Title = tbl.Title
+		fig.Rows = len(tbl.Rows)
+		man.Figures = append(man.Figures, fig)
 		fmt.Printf("== %s (%s) ==\n", id, time.Since(start).Round(time.Millisecond))
 		if err := tbl.Markdown(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			fail("%s: stdout: %v", id, err)
 		}
 		if md != nil {
 			if err := tbl.Markdown(md); err != nil {
-				fmt.Fprintln(os.Stderr, "experiments:", err)
-				os.Exit(1)
+				fail("%s: %s: %v", id, *mdFile, err)
 			}
 		}
 		allTables = append(allTables, tbl)
@@ -99,58 +142,99 @@ func main() {
 				}
 				for _, f := range res.Failed {
 					fmt.Printf("CHECK FAIL %s: %s\n", id, f)
-					failures++
+					checkFailures++
 				}
 			}
 		}
 		if *csvDir != "" {
-			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-				fmt.Fprintln(os.Stderr, "experiments:", err)
-				os.Exit(1)
+			if err := writeCSV(*csvDir, id, tbl); err != nil {
+				fail("%s: %v", id, err)
 			}
-			f, err := os.Create(filepath.Join(*csvDir, id+".csv"))
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "experiments:", err)
-				os.Exit(1)
-			}
-			if err := tbl.CSV(f); err != nil {
-				f.Close()
-				fmt.Fprintln(os.Stderr, "experiments:", err)
-				os.Exit(1)
-			}
-			f.Close()
 		}
 		if *svgDir != "" {
-			if err := os.MkdirAll(*svgDir, 0o755); err != nil {
-				fmt.Fprintln(os.Stderr, "experiments:", err)
-				os.Exit(1)
-			}
-			svg, ok := plot.RenderTable(plot.TableData{
-				Name: tbl.Name, Title: tbl.Title, Columns: tbl.Columns, Rows: tbl.Rows,
-			})
-			if ok {
-				if err := os.WriteFile(filepath.Join(*svgDir, id+".svg"), []byte(svg), 0o644); err != nil {
-					fmt.Fprintln(os.Stderr, "experiments:", err)
-					os.Exit(1)
-				}
+			if err := writeSVG(*svgDir, id, tbl); err != nil {
+				fail("%s: %v", id, err)
 			}
 		}
 	}
 	if *report != "" {
-		f, err := os.Create(*report)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+		if err := writeReport(*report, allTables, allChecks); err != nil {
+			fail("report: %v", err)
 		}
-		if err := experiments.WriteReport(f, allTables, allChecks); err != nil {
-			f.Close()
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
-		}
-		f.Close()
 	}
-	if failures > 0 {
-		fmt.Fprintf(os.Stderr, "experiments: %d claim(s) failed\n", failures)
+	if checkFailures > 0 {
+		fail("%d claim(s) failed", checkFailures)
+	}
+
+	man.Finish()
+	if path := manifestPath(*manifest, *csvDir, *svgDir); path != "" {
+		if err := man.WriteFile(path); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: manifest:", err)
+			os.Exit(1)
+		}
+		if !*quiet {
+			fmt.Fprintln(os.Stderr, "experiments: manifest written to", path)
+		}
+	}
+	if err := obs.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
+	if len(man.Failures) > 0 {
+		os.Exit(1)
+	}
+}
+
+// manifestPath picks where the run manifest goes: the explicit flag first,
+// else next to the CSV output, else next to the SVGs, else nowhere.
+func manifestPath(explicit, csvDir, svgDir string) string {
+	switch {
+	case explicit != "":
+		return explicit
+	case csvDir != "":
+		return filepath.Join(csvDir, "run.json")
+	case svgDir != "":
+		return filepath.Join(svgDir, "run.json")
+	}
+	return ""
+}
+
+func writeCSV(dir, id string, tbl *experiments.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, id+".csv"))
+	if err != nil {
+		return err
+	}
+	if err := tbl.CSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeSVG(dir, id string, tbl *experiments.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	svg, ok := plot.RenderTable(plot.TableData{
+		Name: tbl.Name, Title: tbl.Title, Columns: tbl.Columns, Rows: tbl.Rows,
+	})
+	if !ok {
+		return nil
+	}
+	return os.WriteFile(filepath.Join(dir, id+".svg"), []byte(svg), 0o644)
+}
+
+func writeReport(path string, tables []*experiments.Table, checks []experiments.CheckResult) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := experiments.WriteReport(f, tables, checks); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -7,6 +7,7 @@
 //
 //	profilegen -app kafka -blocks 100000 -o kafka.prof
 //	profilegen -trace kafka.trace -o kafka.prof -source belady
+//	           [-telemetry FILE] [-events FILE -sample N] [-pprof ADDR] [-progress]
 package main
 
 import (
@@ -14,22 +15,27 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"uopsim/internal/core"
 	"uopsim/internal/profiles"
+	"uopsim/internal/telemetry"
 	"uopsim/internal/trace"
 	"uopsim/internal/workload"
 )
 
 func main() {
 	var (
-		app     = flag.String("app", "", "application to generate a trace for: "+strings.Join(workload.Names(), ", "))
-		traceIn = flag.String("trace", "", "existing trace file (alternative to -app)")
-		blocks  = flag.Int("blocks", 100000, "dynamic blocks when generating")
-		input   = flag.Int("input", 0, "input variant when generating")
-		source  = flag.String("source", "flack", "offline decision source: flack, belady, foo")
-		out     = flag.String("o", "", "output profile file (required)")
+		app      = flag.String("app", "", "application to generate a trace for: "+strings.Join(workload.Names(), ", "))
+		traceIn  = flag.String("trace", "", "existing trace file (alternative to -app)")
+		blocks   = flag.Int("blocks", 100000, "dynamic blocks when generating")
+		input    = flag.Int("input", 0, "input variant when generating")
+		source   = flag.String("source", "flack", "offline decision source: flack, belady, foo")
+		out      = flag.String("o", "", "output profile file (required)")
+		progress = flag.Bool("progress", false, "print phase status lines to stderr")
 	)
+	var obs telemetry.CLI
+	obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "profilegen: -o is required")
@@ -47,8 +53,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "profilegen: unknown source %q\n", *source)
 		os.Exit(2)
 	}
+	if err := obs.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "profilegen:", err)
+		os.Exit(1)
+	}
+	var prog *telemetry.Progress
+	if *progress {
+		prog = telemetry.NewProgress(os.Stderr)
+	}
 
 	var pws []trace.PW
+	start := time.Now()
+	name := *app
 	switch {
 	case *traceIn != "":
 		f, err := os.Open(*traceIn)
@@ -63,6 +79,7 @@ func main() {
 			os.Exit(1)
 		}
 		pws = trace.FormPWs(blks, 0)
+		name = *traceIn
 	case *app != "":
 		_, p, err := core.TraceFor(*app, *blocks, *input)
 		if err != nil {
@@ -74,9 +91,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "profilegen: need -app or -trace")
 		os.Exit(2)
 	}
+	prog.Step("trace", name, 1, 3, time.Since(start))
 
 	cfg := core.DefaultConfig()
-	prof := profiles.Collect(pws, cfg.UopCache, src)
+	phase := time.Now()
+	var events telemetry.EventSink
+	if obs.Sink != nil {
+		events = obs.Sink
+	}
+	prof := profiles.CollectObserved(pws, cfg.UopCache, src, obs.Registry, events)
+	prog.Step("profile", src.String(), 2, 3, time.Since(phase))
+	phase = time.Now()
 	f, err := os.Create(*out)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "profilegen:", err)
@@ -84,6 +109,11 @@ func main() {
 	}
 	defer f.Close()
 	if err := prof.Save(f); err != nil {
+		fmt.Fprintln(os.Stderr, "profilegen:", err)
+		os.Exit(1)
+	}
+	prog.Step("write", *out, 3, 3, time.Since(phase))
+	if err := obs.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "profilegen:", err)
 		os.Exit(1)
 	}

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	tracegen -app postgres -blocks 200000 -input 0 -o postgres.trace
+//	         [-telemetry FILE] [-pprof ADDR] [-progress]
 package main
 
 import (
@@ -11,40 +12,74 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
+	"uopsim/internal/telemetry"
 	"uopsim/internal/trace"
 	"uopsim/internal/workload"
 )
 
 func main() {
 	var (
-		app    = flag.String("app", "kafka", "application: "+strings.Join(workload.Names(), ", "))
-		blocks = flag.Int("blocks", 100000, "dynamic blocks to generate")
-		input  = flag.Int("input", 0, "input variant")
-		out    = flag.String("o", "", "output file (required)")
+		app      = flag.String("app", "kafka", "application: "+strings.Join(workload.Names(), ", "))
+		blocks   = flag.Int("blocks", 100000, "dynamic blocks to generate")
+		input    = flag.Int("input", 0, "input variant")
+		out      = flag.String("o", "", "output file (required)")
+		progress = flag.Bool("progress", false, "print phase status lines to stderr")
 	)
+	var obs telemetry.CLI
+	obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "tracegen: -o is required")
 		os.Exit(2)
+	}
+	if err := obs.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	var prog *telemetry.Progress
+	if *progress {
+		prog = telemetry.NewProgress(os.Stderr)
 	}
 	spec, err := workload.Get(*app)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}
+	start := time.Now()
 	blks := workload.GenerateSpec(spec, *blocks, *input)
+	prog.Step("generate", *app, 1, 2, time.Since(start))
 	f, err := os.Create(*out)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}
 	defer f.Close()
+	phase := time.Now()
 	if err := trace.WriteBlocks(f, blks); err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}
 	pws := trace.FormPWs(blks, 0)
+	prog.Step("write", *out, 2, 2, time.Since(phase))
+	if reg := obs.Registry; reg != nil {
+		reg.Counter("tracegen_blocks_total").Add(uint64(len(blks)))
+		reg.Counter("tracegen_pws_total").Add(uint64(len(pws)))
+		h := reg.Histogram("tracegen_pw_uops")
+		for _, pw := range pws {
+			h.Observe(uint64(pw.NumUops))
+		}
+	}
+	if sink := obs.Sink; sink != nil {
+		for _, pw := range pws {
+			sink.Emit(telemetry.Event{Kind: "pw", Key: pw.Start, Uops: int(pw.NumUops)})
+		}
+	}
+	if err := obs.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
 	fmt.Printf("wrote %d blocks (%d PW lookups) for %s input %d to %s\n",
 		len(blks), len(pws), *app, *input, *out)
 }

@@ -6,6 +6,7 @@
 //
 //	uopsim -app kafka -policy furbys [-mode behavior|timing] [-blocks N]
 //	       [-input N] [-icache] [-zen4]
+//	       [-telemetry FILE] [-events FILE -sample N] [-pprof ADDR] [-progress]
 package main
 
 import (
@@ -13,39 +14,61 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"uopsim/internal/core"
 	"uopsim/internal/profiles"
+	"uopsim/internal/telemetry"
 	"uopsim/internal/trace"
 	"uopsim/internal/workload"
 )
 
 func main() {
 	var (
-		app    = flag.String("app", "kafka", "application: "+strings.Join(workload.Names(), ", "))
-		traceF = flag.String("trace", "", "trace file from tracegen (overrides -app/-blocks/-input)")
-		pol    = flag.String("policy", "lru", "replacement policy: "+strings.Join(append(core.PolicyNames(), core.OfflineNames()...), ", "))
-		mode   = flag.String("mode", "behavior", "simulation mode: behavior or timing")
-		blocks = flag.Int("blocks", 100000, "dynamic blocks to simulate")
-		input  = flag.Int("input", 0, "input variant (cross-validation inputs are 1, 2, ...)")
-		icache = flag.Bool("icache", false, "model the inclusive L1i (behavior mode); default is a perfect icache")
-		zen4   = flag.Bool("zen4", false, "use the Zen4 configuration instead of Zen3")
+		app      = flag.String("app", "kafka", "application: "+strings.Join(workload.Names(), ", "))
+		traceF   = flag.String("trace", "", "trace file from tracegen (overrides -app/-blocks/-input)")
+		pol      = flag.String("policy", "lru", "replacement policy: "+strings.Join(append(core.PolicyNames(), core.OfflineNames()...), ", "))
+		mode     = flag.String("mode", "behavior", "simulation mode: behavior or timing")
+		blocks   = flag.Int("blocks", 100000, "dynamic blocks to simulate")
+		input    = flag.Int("input", 0, "input variant (cross-validation inputs are 1, 2, ...)")
+		icache   = flag.Bool("icache", false, "model the inclusive L1i (behavior mode); default is a perfect icache")
+		zen4     = flag.Bool("zen4", false, "use the Zen4 configuration instead of Zen3")
+		progress = flag.Bool("progress", false, "print phase status lines to stderr")
 	)
+	var obs telemetry.CLI
+	obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
-	if err := run(*app, *traceF, *pol, *mode, *blocks, *input, *icache, *zen4); err != nil {
+	if err := obs.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "uopsim:", err)
+		os.Exit(1)
+	}
+	err := run(*app, *traceF, *pol, *mode, *blocks, *input, *icache, *zen4, *progress, &obs)
+	if cerr := obs.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "uopsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(app, traceFile, pol, mode string, blocks, input int, icache, zen4 bool) error {
+func run(app, traceFile, pol, mode string, blocks, input int, icache, zen4, progress bool, obs *telemetry.CLI) error {
 	cfg := core.DefaultConfig()
 	if zen4 {
 		cfg = core.Zen4Config()
 	}
+	var prog *telemetry.Progress
+	if progress {
+		prog = telemetry.NewProgress(os.Stderr)
+	}
+	tel := core.Telemetry{Metrics: obs.Registry}
+	if obs.Sink != nil {
+		tel.Events = obs.Sink
+	}
 	var blks []trace.Block
 	var pws []trace.PW
 	var err error
+	start := time.Now()
 	if traceFile != "" {
 		f, err := os.Open(traceFile)
 		if err != nil {
@@ -64,15 +87,19 @@ func run(app, traceFile, pol, mode string, blocks, input int, icache, zen4 bool)
 			return err
 		}
 	}
+	prog.Step("trace", app, 1, 3, time.Since(start))
 	fmt.Printf("app=%s policy=%s mode=%s blocks=%d pw-lookups=%d config=%s\n",
 		app, pol, mode, len(blks), len(pws), cfg.Name)
 
 	switch mode {
 	case "behavior":
-		res, err := core.RunBehaviorByName(pol, pws, cfg, core.BehaviorOptions{WithICache: icache})
+		phase := time.Now()
+		opts := core.BehaviorOptions{WithICache: icache, Telemetry: tel}
+		res, err := core.RunBehaviorByName(pol, pws, cfg, opts)
 		if err != nil {
 			return err
 		}
+		prog.Step("simulate", app, 3, 3, time.Since(phase))
 		s := res.Stats
 		fmt.Printf("lookups=%d full-hits=%d partial-hits=%d misses=%d\n", s.Lookups, s.FullHits, s.PartialHits, s.Misses)
 		fmt.Printf("uops requested=%d hit=%d missed=%d  uop-miss-rate=%.4f\n", s.UopsRequested, s.UopsHit, s.UopsMissed, s.UopMissRate())
@@ -86,12 +113,16 @@ func run(app, traceFile, pol, mode string, blocks, input int, icache, zen4 bool)
 	case "timing":
 		var prof *profiles.Profile
 		if pol == "furbys" || pol == "thermometer" {
+			phase := time.Now()
 			prof = profiles.Collect(pws, cfg.UopCache, profiles.SourceFLACK)
+			prog.Step("profile", app, 2, 3, time.Since(phase))
 		}
-		res, err := core.RunTimingByName(pol, blks, pws, cfg, prof)
+		phase := time.Now()
+		res, err := core.RunTimingByNameObserved(pol, blks, pws, cfg, prof, tel)
 		if err != nil {
 			return err
 		}
+		prog.Step("simulate", app, 3, 3, time.Since(phase))
 		fr := res.Frontend
 		fmt.Printf("instructions=%d uops=%d cycles=%d IPC=%.4f\n", fr.Instructions, fr.Uops, fr.Cycles, fr.IPC())
 		fmt.Printf("branch MPKI=%.2f (mispredicts=%d)\n", fr.Branch.MPKI(), fr.Branch.Mispredicts())

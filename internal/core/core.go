@@ -17,6 +17,7 @@ import (
 	"uopsim/internal/policy"
 	"uopsim/internal/power"
 	"uopsim/internal/profiles"
+	"uopsim/internal/telemetry"
 	"uopsim/internal/trace"
 	"uopsim/internal/uopcache"
 	"uopsim/internal/workload"
@@ -117,6 +118,35 @@ func TraceFor(app string, numBlocks, input int) ([]trace.Block, []trace.PW, erro
 	return blocks, trace.FormPWs(blocks, 0), nil
 }
 
+// Telemetry bundles the optional observability attachments threaded into a
+// run: a metrics registry receiving live uopcache_* (and per-policy)
+// counters, and a structured event sink receiving the cache-decision trace.
+// The zero value disables both.
+type Telemetry struct {
+	Metrics *telemetry.Registry
+	Events  telemetry.EventSink
+}
+
+// attach wires the attachments into a cache and, when metrics are enabled,
+// returns the policy wrapped with per-policy decision counters.
+func (t Telemetry) attach(c *uopcache.Cache) {
+	if t.Metrics != nil {
+		c.AttachMetrics(t.Metrics)
+	}
+	if t.Events != nil {
+		c.SetEventSink(t.Events)
+	}
+}
+
+// instrument wraps pol with per-policy decision counters when metrics are
+// attached.
+func (t Telemetry) instrument(pol uopcache.Policy) uopcache.Policy {
+	if t.Metrics == nil {
+		return pol
+	}
+	return policy.Instrument(pol, t.Metrics)
+}
+
 // BehaviorOptions tunes a behaviour-mode run.
 type BehaviorOptions struct {
 	// WithICache models the inclusive L1i; off = perfect icache.
@@ -124,6 +154,8 @@ type BehaviorOptions struct {
 	// RecordPerLookup captures each lookup's outcome (for hotness and
 	// profiling analyses).
 	RecordPerLookup bool
+	// Telemetry attaches observability to the run (zero value = off).
+	Telemetry Telemetry
 }
 
 // BehaviorResult is a behaviour-mode run's output.
@@ -138,7 +170,10 @@ type BehaviorResult struct {
 // RunBehavior drives a PW lookup sequence through the micro-op cache under
 // an online policy.
 func RunBehavior(pws []trace.PW, cfg Config, pol uopcache.Policy, opts BehaviorOptions) BehaviorResult {
+	base := pol
+	pol = opts.Telemetry.instrument(pol)
 	c := uopcache.New(cfg.UopCache, pol)
+	opts.Telemetry.attach(c)
 	var ic *cache.Cache
 	if opts.WithICache {
 		ic = cache.New(cfg.L1I)
@@ -155,7 +190,7 @@ func RunBehavior(pws []trace.PW, cfg Config, pol uopcache.Policy, opts BehaviorO
 	} else {
 		res.Stats = b.Run(pws)
 	}
-	if f, ok := pol.(*policy.FURBYS); ok {
+	if f, ok := base.(*policy.FURBYS); ok {
 		st := f.Stats
 		res.FURBYS = &st
 	}
@@ -189,7 +224,11 @@ func RunBehaviorByName(name string, pws []trace.PW, cfg Config, opts BehaviorOpt
 }
 
 func offlineOptions(cfg Config, opts BehaviorOptions) offline.Options {
-	o := offline.Options{RecordPerLookup: opts.RecordPerLookup}
+	o := offline.Options{
+		RecordPerLookup: opts.RecordPerLookup,
+		Metrics:         opts.Telemetry.Metrics,
+		Events:          opts.Telemetry.Events,
+	}
 	if opts.WithICache {
 		ic := cfg.L1I
 		o.ICache = &ic
@@ -209,11 +248,25 @@ type TimingResult struct {
 // Offline SchedulePolicy instances are bound to the cache's lookup counter
 // so their plans stay aligned with the PW stream.
 func RunTiming(blocks []trace.Block, cfg Config, pol uopcache.Policy) TimingResult {
+	return RunTimingObserved(blocks, cfg, pol, Telemetry{})
+}
+
+// RunTimingObserved is RunTiming with observability attached: the cache's
+// uopcache_* counters and decision events stream into tel during the run,
+// and the frontend_* aggregates are published at the end.
+func RunTimingObserved(blocks []trace.Block, cfg Config, pol uopcache.Policy, tel Telemetry) TimingResult {
 	bp := branch.New(cfg.Branch)
+	base := policy.Unwrap(pol)
+	pol = tel.instrument(pol)
 	uc := uopcache.New(cfg.UopCache, pol)
-	if sp, ok := pol.(*offline.SchedulePolicy); ok {
+	tel.attach(uc)
+	if sp, ok := base.(*offline.SchedulePolicy); ok {
 		sp.Bind(func() int { return int(uc.Stats.Lookups) })
 	}
+	return runTiming(blocks, cfg, bp, uc, tel)
+}
+
+func runTiming(blocks []trace.Block, cfg Config, bp *branch.Predictor, uc *uopcache.Cache, tel Telemetry) TimingResult {
 	var l1i *cache.Cache
 	if !cfg.Frontend.PerfectICache {
 		l1i = cache.New(cfg.L1I)
@@ -221,6 +274,9 @@ func RunTiming(blocks []trace.Block, cfg Config, pol uopcache.Policy) TimingResu
 	be := backend.New(cfg.Backend)
 	f := frontend.New(cfg.Frontend, bp, uc, l1i, be)
 	res := f.RunBlocks(blocks)
+	if tel.Metrics != nil {
+		res.PublishMetrics(tel.Metrics)
+	}
 	pb := power.Compute(res, cfg.Energy)
 	return TimingResult{Frontend: res, Power: pb, PPW: power.PPW(res, pb)}
 }
@@ -229,6 +285,11 @@ func RunTiming(blocks []trace.Block, cfg Config, pol uopcache.Policy) TimingResu
 // the timing model. Profile-guided policies collect a FLACK profile from the
 // same trace when prof is nil.
 func RunTimingByName(name string, blocks []trace.Block, pws []trace.PW, cfg Config, prof *profiles.Profile) (TimingResult, error) {
+	return RunTimingByNameObserved(name, blocks, pws, cfg, prof, Telemetry{})
+}
+
+// RunTimingByNameObserved is RunTimingByName with observability attached.
+func RunTimingByNameObserved(name string, blocks []trace.Block, pws []trace.PW, cfg Config, prof *profiles.Profile, tel Telemetry) (TimingResult, error) {
 	var pol uopcache.Policy
 	switch name {
 	case "belady":
@@ -249,7 +310,7 @@ func RunTimingByName(name string, blocks []trace.Block, pws []trace.PW, cfg Conf
 		}
 		pol = p
 	}
-	return RunTiming(blocks, cfg, pol), nil
+	return RunTimingObserved(blocks, cfg, pol, tel), nil
 }
 
 // MissReduction is the paper's headline metric: the relative reduction in

@@ -11,9 +11,12 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"time"
 
 	"uopsim/internal/core"
+	"uopsim/internal/offline"
 	"uopsim/internal/profiles"
+	"uopsim/internal/telemetry"
 	"uopsim/internal/trace"
 	"uopsim/internal/workload"
 )
@@ -57,23 +60,43 @@ func (t *Table) CSV(w io.Writer) error {
 	return nil
 }
 
-// Markdown writes the table as GitHub-flavoured markdown.
+// Markdown writes the table as GitHub-flavoured markdown. Every write is
+// error-checked (through a sticky-error writer) so a full disk or closed
+// pipe surfaces instead of silently truncating a report.
 func (t *Table) Markdown(w io.Writer) error {
-	fmt.Fprintf(w, "### %s — %s\n\n", t.Name, t.Title)
-	fmt.Fprintf(w, "| %s |\n", strings.Join(t.Columns, " | "))
+	ew := &errWriter{w: w}
+	fmt.Fprintf(ew, "### %s — %s\n\n", t.Name, t.Title)
+	fmt.Fprintf(ew, "| %s |\n", strings.Join(t.Columns, " | "))
 	sep := make([]string, len(t.Columns))
 	for i := range sep {
 		sep[i] = "---"
 	}
-	fmt.Fprintf(w, "| %s |\n", strings.Join(sep, " | "))
+	fmt.Fprintf(ew, "| %s |\n", strings.Join(sep, " | "))
 	for _, r := range t.Rows {
-		fmt.Fprintf(w, "| %s |\n", strings.Join(r, " | "))
+		fmt.Fprintf(ew, "| %s |\n", strings.Join(r, " | "))
 	}
 	for _, n := range t.Notes {
-		fmt.Fprintf(w, "\n> %s\n", n)
+		fmt.Fprintf(ew, "\n> %s\n", n)
 	}
-	_, err := fmt.Fprintln(w)
-	return err
+	fmt.Fprintln(ew)
+	return ew.err
+}
+
+// errWriter carries the first write error through a multi-write render.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.err != nil {
+		return 0, e.err
+	}
+	n, err := e.w.Write(p)
+	if err != nil {
+		e.err = err
+	}
+	return n, err
 }
 
 // Context carries shared configuration and caches.
@@ -84,10 +107,19 @@ type Context struct {
 	Blocks int
 	// Apps restricts the application list (nil = all 11).
 	Apps []string
+	// Telemetry is attached to every simulation the experiments launch
+	// (zero value = off).
+	Telemetry core.Telemetry
+	// Progress, when non-nil, receives one status line per completed
+	// (experiment, app) pair.
+	Progress *telemetry.Progress
 
 	mu     sync.Mutex
 	traces map[string]tracePair
 	profs  map[string]*profiles.Profile
+
+	curID   string
+	timings map[string][]telemetry.AppRun
 }
 
 type tracePair struct {
@@ -101,11 +133,67 @@ func NewContext(blocks int) *Context {
 		blocks = 60000
 	}
 	return &Context{
-		Cfg:    core.DefaultConfig(),
-		Blocks: blocks,
-		traces: make(map[string]tracePair),
-		profs:  make(map[string]*profiles.Profile),
+		Cfg:     core.DefaultConfig(),
+		Blocks:  blocks,
+		traces:  make(map[string]tracePair),
+		profs:   make(map[string]*profiles.Profile),
+		timings: make(map[string][]telemetry.AppRun),
 	}
+}
+
+// Begin marks the start of the named experiment: subsequent per-app progress
+// lines and wall-clock records are scoped under id. The driver calls it
+// before invoking each runner.
+func (c *Context) Begin(id string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.curID = id
+}
+
+// Timings returns the per-app wall-clock records collected while running
+// the named experiment (for the run manifest).
+func (c *Context) Timings(id string) []telemetry.AppRun {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.timings[id]
+}
+
+// recordApp notes one completed (experiment, app) unit and emits a progress
+// line; done is the caller's completion count within its own sweep.
+func (c *Context) recordApp(app string, elapsed time.Duration, done, total int, err error) {
+	c.mu.Lock()
+	id := c.curID
+	run := telemetry.AppRun{App: app, WallSeconds: elapsed.Seconds()}
+	if err != nil {
+		run.Error = err.Error()
+	}
+	if id != "" {
+		c.timings[id] = append(c.timings[id], run)
+	}
+	c.mu.Unlock()
+	if id == "" {
+		id = "experiments"
+	}
+	c.Progress.Step(id, app, done, total, elapsed)
+}
+
+// runOpts returns BehaviorOptions carrying the context's telemetry.
+func (c *Context) runOpts() core.BehaviorOptions {
+	return core.BehaviorOptions{Telemetry: c.Telemetry}
+}
+
+// runOptsRecord is runOpts with per-lookup outcome recording enabled.
+func (c *Context) runOptsRecord() core.BehaviorOptions {
+	opts := c.runOpts()
+	opts.RecordPerLookup = true
+	return opts
+}
+
+// offlineOpts attaches the context's telemetry to offline replay options.
+func (c *Context) offlineOpts(o offline.Options) offline.Options {
+	o.Metrics = c.Telemetry.Metrics
+	o.Events = c.Telemetry.Events
+	return o
 }
 
 // AppList returns the applications under study.
@@ -149,7 +237,7 @@ func (c *Context) Profile(app string, input int, src profiles.Source) (*profiles
 	if err != nil {
 		return nil, err
 	}
-	p = profiles.Collect(pws, c.Cfg.UopCache, src)
+	p = profiles.CollectObserved(pws, c.Cfg.UopCache, src, c.Telemetry.Metrics, c.Telemetry.Events)
 	c.mu.Lock()
 	c.profs[key] = p
 	c.mu.Unlock()
@@ -233,13 +321,22 @@ func (c *Context) forEachApp(fn func(app string) error) error {
 	var wg sync.WaitGroup
 	var errOnce sync.Once
 	var firstErr error
+	var done int32
+	var doneMu sync.Mutex
 	ch := make(chan string)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for app := range ch {
-				if err := fn(app); err != nil {
+				start := time.Now()
+				err := fn(app)
+				doneMu.Lock()
+				done++
+				n := int(done)
+				doneMu.Unlock()
+				c.recordApp(app, time.Since(start), n, len(apps), err)
+				if err != nil {
 					errOnce.Do(func() { firstErr = err })
 				}
 			}
@@ -251,6 +348,22 @@ func (c *Context) forEachApp(fn func(app string) error) error {
 	close(ch)
 	wg.Wait()
 	return firstErr
+}
+
+// eachApp is forEachApp's serial sibling for figures whose per-app bodies
+// must run in AppList order (shared accumulators, ordered table rows). It
+// records the same per-app wall time and progress; the first error aborts.
+func (c *Context) eachApp(fn func(app string) error) error {
+	apps := c.AppList()
+	for i, app := range apps {
+		start := time.Now()
+		err := fn(app)
+		c.recordApp(app, time.Since(start), i+1, len(apps), err)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // pct formats a fraction as a percentage string.

@@ -20,7 +20,7 @@ func (c *Context) lruBaseline(app string) (uopcache.Stats, error) {
 	if err != nil {
 		return uopcache.Stats{}, err
 	}
-	return core.RunBehavior(pws, c.Cfg, policy.NewLRU(), core.BehaviorOptions{}).Stats, nil
+	return core.RunBehavior(pws, c.Cfg, policy.NewLRU(), c.runOpts()).Stats, nil
 }
 
 // Table1 dumps the simulation parameters (paper Table I).
@@ -47,20 +47,24 @@ func Table1(ctx *Context) (*Table, error) {
 func Table2(ctx *Context) (*Table, error) {
 	t := &Table{Name: "tab2", Title: "Data center applications (Table II)",
 		Columns: []string{"application", "description", "paper MPKI", "measured MPKI", "static PWs", "overlapping PWs", "avg uops/PW"}}
-	for _, app := range ctx.AppList() {
+	err := ctx.eachApp(func(app string) error {
 		spec, err := workload.Get(app)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		blocks, pws, err := ctx.Trace(app, 0)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res := core.RunTiming(blocks, ctx.Cfg, policy.NewLRU())
+		res := core.RunTimingObserved(blocks, ctx.Cfg, policy.NewLRU(), ctx.Telemetry)
 		an := trace.Analyze(pws, ctx.Cfg.UopCache.UopsPerEntry)
 		t.AddRow(app, spec.Description, fmt.Sprintf("%.2f", spec.TargetMPKI),
 			fmt.Sprintf("%.2f", res.Frontend.Branch.MPKI()), an.DistinctStarts,
 			pct(an.OverlapFrac()), fmt.Sprintf("%.1f", an.AvgUops))
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.Notes = append(t.Notes, "Measured MPKI comes from the TAGE-lite predictor on the synthetic traces; the paper's column is the calibration target.")
 	return t, nil
@@ -79,10 +83,10 @@ func Sec3BMissClasses(ctx *Context) (*Table, error) {
 		return offline.RunFLACK(pws, cfg, offline.Options{}).Stats.Misses
 	}
 	var lruTotals, flackTotals [3]float64
-	for _, app := range ctx.AppList() {
+	err := ctx.eachApp(func(app string) error {
 		_, pws, err := ctx.Trace(app, 0)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ml := stats.Classify(pws, ctx.Cfg.UopCache, lruCounter)
 		mf := stats.Classify(pws, ctx.Cfg.UopCache, flackCounter)
@@ -96,6 +100,10 @@ func Sec3BMissClasses(ctx *Context) (*Table, error) {
 		flackTotals[2] += f3
 		t.AddRow(app, "lru", pct(c1), pct(c2), pct(c3), ml.Total)
 		t.AddRow(app, "flack", pct(f1), pct(f2), pct(f3), mf.Total)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	n := float64(len(ctx.AppList()))
 	t.AddRow("MEAN", "lru", pct(lruTotals[0]/n), pct(lruTotals[1]/n), pct(lruTotals[2]/n), "")
@@ -111,10 +119,10 @@ func Sec3EReuseDistances(ctx *Context) (*Table, error) {
 	t := &Table{Name: "sec3e", Title: "Reuse distance spectrum (Section III-E)",
 		Columns: []string{"application", "PW frac > 30", "icache-line frac > 30", "branch-PC frac > 30"}}
 	var sums [3]float64
-	for _, app := range ctx.AppList() {
+	err := ctx.eachApp(func(app string) error {
 		blocks, pws, err := ctx.Trace(app, 0)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		const maxB = 256
 		hPW := stats.ReuseDistances(stats.PWKeys(pws), maxB)
@@ -125,6 +133,10 @@ func Sec3EReuseDistances(ctx *Context) (*Table, error) {
 		sums[1] += b
 		sums[2] += c
 		t.AddRow(app, pct(a), pct(b), pct(c))
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	n := float64(len(ctx.AppList()))
 	t.AddRow("MEAN", pct(sums[0]/n), pct(sums[1]/n), pct(sums[2]/n))
@@ -149,9 +161,9 @@ func (c *Context) runPolicyOnApp(name, app string) (core.BehaviorResult, error) 
 		if err != nil {
 			return core.BehaviorResult{}, err
 		}
-		return core.RunBehavior(pws, c.Cfg, pol, core.BehaviorOptions{}), nil
+		return core.RunBehavior(pws, c.Cfg, pol, c.runOpts()), nil
 	}
-	return core.RunBehaviorByName(name, pws, c.Cfg, core.BehaviorOptions{})
+	return core.RunBehaviorByName(name, pws, c.Cfg, c.runOpts())
 }
 
 // behaviorReductions computes per-app miss reductions vs LRU for a policy
@@ -240,27 +252,31 @@ func Fig10FLACKAblation(ctx *Context) (*Table, error) {
 	}
 	t := &Table{Name: "fig10", Title: "FLACK ablation vs Belady over LRU, perfect icache (Fig. 10)", Columns: cols}
 	sums := make([]float64, len(variants)+1)
-	for _, app := range ctx.AppList() {
+	err := ctx.eachApp(func(app string) error {
 		_, pws, err := ctx.Trace(app, 0)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		base, err := ctx.lruBaseline(app)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := []any{app}
-		bel := offline.RunBelady(pws, ctx.Cfg.UopCache, offline.Options{})
+		bel := offline.RunBelady(pws, ctx.Cfg.UopCache, ctx.offlineOpts(offline.Options{}))
 		r := core.MissReduction(base, bel.Stats)
 		sums[0] += r
 		row = append(row, pct(r))
 		for i, v := range variants {
-			res := offline.RunFOO(pws, ctx.Cfg.UopCache, offline.Options{Features: v})
+			res := offline.RunFOO(pws, ctx.Cfg.UopCache, ctx.offlineOpts(offline.Options{Features: v}))
 			r := core.MissReduction(base, res.Stats)
 			sums[i+1] += r
 			row = append(row, pct(r))
 		}
 		t.AddRow(row...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	meanRow := []any{"MEAN"}
 	n := float64(len(ctx.AppList()))
@@ -279,31 +295,35 @@ func Fig15ProfileSources(ctx *Context) (*Table, error) {
 	t := &Table{Name: "fig15", Title: "FURBYS miss reduction by offline profile source (Fig. 15)",
 		Columns: []string{"application", "belady-profile", "foo-profile", "flack-profile"}}
 	sums := make([]float64, len(srcs))
-	for _, app := range ctx.AppList() {
+	err := ctx.eachApp(func(app string) error {
 		_, pws, err := ctx.Trace(app, 0)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		base, err := ctx.lruBaseline(app)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := []any{app}
 		for i, src := range srcs {
 			prof, err := ctx.Profile(app, 0, src)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			pol, err := core.NewPolicy("furbys", prof, ctx.Cfg.UopCache, policy.FURBYSConfig{})
 			if err != nil {
-				return nil, err
+				return err
 			}
-			res := core.RunBehavior(pws, ctx.Cfg, pol, core.BehaviorOptions{})
+			res := core.RunBehavior(pws, ctx.Cfg, pol, ctx.runOpts())
 			r := core.MissReduction(base, res.Stats)
 			sums[i] += r
 			row = append(row, pct(r))
 		}
 		t.AddRow(row...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	n := float64(len(ctx.AppList()))
 	t.AddRow("MEAN", pct(sums[0]/n), pct(sums[1]/n), pct(sums[2]/n))
@@ -330,14 +350,14 @@ func Fig16SizeAssocSweep(ctx *Context) (*Table, error) {
 				if err != nil {
 					return nil, err
 				}
-				base := core.RunBehavior(pws, cfg, policy.NewLRU(), core.BehaviorOptions{})
-				prof := profiles.Collect(pws, cfg.UopCache, profiles.SourceFLACK)
+				base := core.RunBehavior(pws, cfg, policy.NewLRU(), ctx.runOpts())
+				prof := profiles.CollectObserved(pws, cfg.UopCache, profiles.SourceFLACK, ctx.Telemetry.Metrics, ctx.Telemetry.Events)
 				pol, err := core.NewPolicy("furbys", prof, cfg.UopCache, policy.FURBYSConfig{})
 				if err != nil {
 					return nil, err
 				}
-				fu = append(fu, core.MissReduction(base.Stats, core.RunBehavior(pws, cfg, pol, core.BehaviorOptions{}).Stats))
-				gh = append(gh, core.MissReduction(base.Stats, core.RunBehavior(pws, cfg, policy.NewGHRP(), core.BehaviorOptions{}).Stats))
+				fu = append(fu, core.MissReduction(base.Stats, core.RunBehavior(pws, cfg, pol, ctx.runOpts()).Stats))
+				gh = append(gh, core.MissReduction(base.Stats, core.RunBehavior(pws, cfg, policy.NewGHRP(), ctx.runOpts()).Stats))
 			}
 			t.AddRow(entries, ways, pct(mean(fu)), pct(mean(gh)))
 		}
@@ -352,28 +372,28 @@ func Fig18CrossValidation(ctx *Context) (*Table, error) {
 	t := &Table{Name: "fig18", Title: "Cross-validation: train-input profile vs same-input profile (Fig. 18)",
 		Columns: []string{"application", "same-input", "cross-input", "retained"}}
 	var sumSame, sumCross float64
-	for _, app := range ctx.AppList() {
+	err := ctx.eachApp(func(app string) error {
 		_, testPWs, err := ctx.Trace(app, 0)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		base, err := ctx.lruBaseline(app)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		// Same-input: profile from the test trace itself.
 		sameProf, err := ctx.Profile(app, 0, profiles.SourceFLACK)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		// Cross-input: merge profiles of two other inputs.
 		p1, err := ctx.Profile(app, 1, profiles.SourceFLACK)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		p2, err := ctx.Profile(app, 2, profiles.SourceFLACK)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		crossProf := profiles.Merge(p1, p2)
 
@@ -382,16 +402,16 @@ func Fig18CrossValidation(ctx *Context) (*Table, error) {
 			if err != nil {
 				return 0, err
 			}
-			res := core.RunBehavior(testPWs, ctx.Cfg, pol, core.BehaviorOptions{})
+			res := core.RunBehavior(testPWs, ctx.Cfg, pol, ctx.runOpts())
 			return core.MissReduction(base, res.Stats), nil
 		}
 		same, err := runWith(sameProf)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		cross, err := runWith(crossProf)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		sumSame += same
 		sumCross += cross
@@ -400,6 +420,10 @@ func Fig18CrossValidation(ctx *Context) (*Table, error) {
 			ret = pct(cross / same)
 		}
 		t.AddRow(app, pct(same), pct(cross), ret)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	n := float64(len(ctx.AppList()))
 	retained := 0.0
@@ -436,7 +460,7 @@ func Fig19WeightBits(ctx *Context) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			res := core.RunBehavior(pws, ctx.Cfg, pol, core.BehaviorOptions{})
+			res := core.RunBehavior(pws, ctx.Cfg, pol, ctx.runOpts())
 			vals = append(vals, core.MissReduction(base, res.Stats))
 		}
 		t.AddRow(bits, 1<<bits, pct(mean(vals)))
@@ -470,7 +494,7 @@ func Fig20DetectorDepth(ctx *Context) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			res := core.RunBehavior(pws, ctx.Cfg, pol, core.BehaviorOptions{})
+			res := core.RunBehavior(pws, ctx.Cfg, pol, ctx.runOpts())
 			vals = append(vals, core.MissReduction(base, res.Stats))
 		}
 		t.AddRow(depth, pct(mean(vals)))
@@ -484,32 +508,32 @@ func Fig21Bypass(ctx *Context) (*Table, error) {
 	t := &Table{Name: "fig21", Title: "FURBYS bypass mechanism on/off (Fig. 21)",
 		Columns: []string{"application", "bypass off", "bypass on", "bypassed insertions"}}
 	var sumOff, sumOn float64
-	for _, app := range ctx.AppList() {
+	err := ctx.eachApp(func(app string) error {
 		_, pws, err := ctx.Trace(app, 0)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		base, err := ctx.lruBaseline(app)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		prof, err := ctx.Profile(app, 0, profiles.SourceFLACK)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		offCfg := policy.DefaultFURBYSConfig()
 		offCfg.BypassEnabled = false
 		polOff, err := core.NewPolicy("furbys", prof, ctx.Cfg.UopCache, offCfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rOff := core.MissReduction(base, core.RunBehavior(pws, ctx.Cfg, polOff, core.BehaviorOptions{}).Stats)
+		rOff := core.MissReduction(base, core.RunBehavior(pws, ctx.Cfg, polOff, ctx.runOpts()).Stats)
 
 		polOn, err := core.NewPolicy("furbys", prof, ctx.Cfg.UopCache, policy.DefaultFURBYSConfig())
 		if err != nil {
-			return nil, err
+			return err
 		}
-		resOn := core.RunBehavior(pws, ctx.Cfg, polOn, core.BehaviorOptions{})
+		resOn := core.RunBehavior(pws, ctx.Cfg, polOn, ctx.runOpts())
 		rOn := core.MissReduction(base, resOn.Stats)
 		byFrac := 0.0
 		if resOn.FURBYS != nil && resOn.FURBYS.InsertAttempts > 0 {
@@ -518,6 +542,10 @@ func Fig21Bypass(ctx *Context) (*Table, error) {
 		sumOff += rOff
 		sumOn += rOn
 		t.AddRow(app, pct(rOff), pct(rOn), pct(byFrac))
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	n := float64(len(ctx.AppList()))
 	t.AddRow("MEAN", pct(sumOff/n), pct(sumOn/n), "")
@@ -536,7 +564,7 @@ func Fig22Hotness(ctx *Context) (*Table, error) {
 	}
 	deciles := map[string][10]stats.DecileStat{}
 	for _, name := range []string{"lru", "ghrp", "furbys", "flack"} {
-		res, err := core.RunBehaviorByName(name, pws, ctx.Cfg, core.BehaviorOptions{RecordPerLookup: true})
+		res, err := core.RunBehaviorByName(name, pws, ctx.Cfg, ctx.runOptsRecord())
 		if err != nil {
 			return nil, err
 		}
@@ -556,22 +584,22 @@ func CoverageStats(ctx *Context) (*Table, error) {
 	t := &Table{Name: "coverage", Title: "FURBYS victim-selection coverage and bypass rate (Section VI-C)",
 		Columns: []string{"application", "furbys-selected victims", "srrip fallback", "bypassed insertions"}}
 	var sumCov, sumBy float64
-	for _, app := range ctx.AppList() {
+	err := ctx.eachApp(func(app string) error {
 		_, pws, err := ctx.Trace(app, 0)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		prof, err := ctx.Profile(app, 0, profiles.SourceFLACK)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		pol, err := core.NewPolicy("furbys", prof, ctx.Cfg.UopCache, policy.FURBYSConfig{})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res := core.RunBehavior(pws, ctx.Cfg, pol, core.BehaviorOptions{})
+		res := core.RunBehavior(pws, ctx.Cfg, pol, ctx.runOpts())
 		if res.FURBYS == nil {
-			continue
+			return nil
 		}
 		cov := res.FURBYS.VictimCoverage()
 		byFrac := 0.0
@@ -581,6 +609,10 @@ func CoverageStats(ctx *Context) (*Table, error) {
 		sumCov += cov
 		sumBy += byFrac
 		t.AddRow(app, pct(cov), pct(1-cov), pct(byFrac))
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	n := float64(len(ctx.AppList()))
 	t.AddRow("MEAN", pct(sumCov/n), pct(1-sumCov/n), pct(sumBy/n))

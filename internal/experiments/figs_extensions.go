@@ -17,37 +17,41 @@ func SensInclusion(ctx *Context) (*Table, error) {
 	t := &Table{Name: "sens-inclusion", Title: "Inclusive vs non-inclusive micro-op cache (Section VII)",
 		Columns: []string{"application", "inclusive: FURBYS IPC speedup", "non-inclusive: FURBYS IPC speedup", "non-inclusive: invalidations"}}
 	var sumInc, sumNon float64
-	for _, app := range ctx.AppList() {
+	err := ctx.eachApp(func(app string) error {
 		blocks, _, err := ctx.Trace(app, 0)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		prof, err := ctx.Profile(app, 0, profiles.SourceFLACK)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		speedup := func(nonInclusive bool) (float64, uint64, error) {
 			cfg := ctx.Cfg
 			cfg.Frontend.NonInclusive = nonInclusive
-			base := core.RunTiming(blocks, cfg, policy.NewLRU())
+			base := core.RunTimingObserved(blocks, cfg, policy.NewLRU(), ctx.Telemetry)
 			pol, err := core.NewPolicy("furbys", prof, cfg.UopCache, policy.FURBYSConfig{})
 			if err != nil {
 				return 0, 0, err
 			}
-			fu := core.RunTiming(blocks, cfg, pol)
+			fu := core.RunTimingObserved(blocks, cfg, pol, ctx.Telemetry)
 			return fu.Frontend.IPC()/base.Frontend.IPC() - 1, fu.Frontend.UopCache.Invalidations, nil
 		}
 		inc, _, err := speedup(false)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		non, inval, err := speedup(true)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		sumInc += inc
 		sumNon += non
 		t.AddRow(app, pct(inc), pct(non), inval)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	n := float64(len(ctx.AppList()))
 	t.AddRow("MEAN", pct(sumInc/n), pct(sumNon/n), "")
@@ -70,9 +74,9 @@ func SensInsertDelay(ctx *Context) (*Table, error) {
 	for _, delay := range []int{0, 1, 2, 3, 5, 8} {
 		cfg := ctx.Cfg
 		cfg.UopCache.InsertDelay = delay
-		base := core.RunBehavior(pws, cfg, policy.NewLRU(), core.BehaviorOptions{})
-		raw := offline.RunFOO(pws, cfg.UopCache, offline.Options{Features: offline.Features{}})
-		withA := offline.RunFOO(pws, cfg.UopCache, offline.Options{Features: offline.Features{Async: true}})
+		base := core.RunBehavior(pws, cfg, policy.NewLRU(), ctx.runOpts())
+		raw := offline.RunFOO(pws, cfg.UopCache, ctx.offlineOpts(offline.Options{Features: offline.Features{}}))
+		withA := offline.RunFOO(pws, cfg.UopCache, ctx.offlineOpts(offline.Options{Features: offline.Features{Async: true}}))
 		rRaw := core.MissReduction(base.Stats, raw.Stats)
 		rA := core.MissReduction(base.Stats, withA.Stats)
 		t.AddRow(delay, fmt.Sprintf("%.4f", base.Stats.UopMissRate()), pct(rRaw), pct(rA), pct(rA-rRaw))
@@ -97,7 +101,7 @@ func SensSegmentLimit(ctx *Context) (*Table, error) {
 		return nil, err
 	}
 	for _, lim := range []int{128, 512, 2048, offline.DefaultSegmentLimit} {
-		res := offline.RunFLACK(pws, ctx.Cfg.UopCache, offline.Options{SegmentLimit: lim})
+		res := offline.RunFLACK(pws, ctx.Cfg.UopCache, ctx.offlineOpts(offline.Options{SegmentLimit: lim}))
 		t.AddRow(lim, pct(core.MissReduction(base, res.Stats)))
 	}
 	t.Notes = append(t.Notes, "Longer segments let keep decisions look further ahead; quality saturates well before whole-trace solving.")
@@ -112,24 +116,28 @@ func SensObjective(ctx *Context) (*Table, error) {
 	t := &Table{Name: "sens-objective", Title: "Flow objective: OHR vs BHR vs variable cost (Section III-D)",
 		Columns: []string{"application", "ohr", "bhr", "variable cost"}}
 	var sums [3]float64
-	for _, app := range ctx.AppList() {
+	err := ctx.eachApp(func(app string) error {
 		_, pws, err := ctx.Trace(app, 0)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		base, err := ctx.lruBaseline(app)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := []any{app}
 		for i, model := range []offline.CostModel{offline.CostOHR, offline.CostBHR, offline.CostVC} {
 			dec := offline.ComputeDecisions(pws, ctx.Cfg.UopCache, model, true, 0)
-			res := offline.ReplayPlan(pws, ctx.Cfg.UopCache, dec, offline.Options{Features: offline.FLACKFeatures()})
+			res := offline.ReplayPlan(pws, ctx.Cfg.UopCache, dec, ctx.offlineOpts(offline.Options{Features: offline.FLACKFeatures()}))
 			r := core.MissReduction(base, res.Stats)
 			sums[i] += r
 			row = append(row, pct(r))
 		}
 		t.AddRow(row...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	n := float64(len(ctx.AppList()))
 	t.AddRow("MEAN", pct(sums[0]/n), pct(sums[1]/n), pct(sums[2]/n))

@@ -44,7 +44,7 @@ func SensFragmentation(ctx *Context) (*Table, error) {
 			pws := trace.FormPWsWith(blocks, former)
 			cfg := ctx.Cfg
 			cfg.UopCache.Compaction = v.compaction
-			res := core.RunBehavior(pws, cfg, policy.NewLRU(), core.BehaviorOptions{})
+			res := core.RunBehavior(pws, cfg, policy.NewLRU(), ctx.runOpts())
 			rates = append(rates, res.Stats.UopMissRate())
 			// Utilization sampled at end of run via a fresh cache
 			// replay is overkill; re-run and query.

@@ -23,7 +23,7 @@ func (c *Context) timingByName(app, name string) (core.TimingResult, error) {
 			return core.TimingResult{}, err
 		}
 	}
-	return core.RunTimingByName(name, blocks, pws, c.Cfg, prof)
+	return core.RunTimingByNameObserved(name, blocks, pws, c.Cfg, prof, c.Telemetry)
 }
 
 // Fig2PerfectStructures reproduces Fig. 2: per-core performance-per-watt
@@ -42,22 +42,26 @@ func Fig2PerfectStructures(ctx *Context) (*Table, error) {
 		{"btb", func(c *core.Config) { c.Frontend.PerfectBTB = true }},
 	}
 	sums := make([]float64, len(variants))
-	for _, app := range ctx.AppList() {
+	err := ctx.eachApp(func(app string) error {
 		blocks, _, err := ctx.Trace(app, 0)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		base := core.RunTiming(blocks, ctx.Cfg, policy.NewLRU())
+		base := core.RunTimingObserved(blocks, ctx.Cfg, policy.NewLRU(), ctx.Telemetry)
 		row := []any{app}
 		for i, v := range variants {
 			cfg := ctx.Cfg
 			v.apply(&cfg)
-			res := core.RunTiming(blocks, cfg, policy.NewLRU())
+			res := core.RunTimingObserved(blocks, cfg, policy.NewLRU(), ctx.Telemetry)
 			gain := res.PPW/base.PPW - 1
 			sums[i] += gain
 			row = append(row, pct(gain))
 		}
 		t.AddRow(row...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	meanRow := []any{"MEAN"}
 	n := float64(len(ctx.AppList()))
@@ -127,20 +131,20 @@ func Fig11IPC(ctx *Context) (*Table, error) {
 	t := &Table{Name: "fig11", Title: "IPC speedup over LRU (Fig. 11)",
 		Columns: append(append([]string{"application"}, names...), "infinite uop cache")}
 	sums := make([]float64, len(names)+1)
-	for _, app := range ctx.AppList() {
+	err := ctx.eachApp(func(app string) error {
 		blocks, _, err := ctx.Trace(app, 0)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		base, err := ctx.timingByName(app, "lru")
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := []any{app}
 		for i, p := range names {
 			res, err := ctx.timingByName(app, p)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			sp := res.Frontend.IPC()/base.Frontend.IPC() - 1
 			sums[i] += sp
@@ -149,11 +153,15 @@ func Fig11IPC(ctx *Context) (*Table, error) {
 		// Infinite (perfect) micro-op cache bound.
 		cfg := ctx.Cfg
 		cfg.Frontend.PerfectUopCache = true
-		inf := core.RunTiming(blocks, cfg, policy.NewLRU())
+		inf := core.RunTimingObserved(blocks, cfg, policy.NewLRU(), ctx.Telemetry)
 		sp := inf.Frontend.IPC()/base.Frontend.IPC() - 1
 		sums[len(names)] += sp
 		row = append(row, pct(sp))
 		t.AddRow(row...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	meanRow := []any{"MEAN"}
 	n := float64(len(ctx.AppList()))
@@ -199,7 +207,7 @@ func Fig12ISOPerformance(ctx *Context) (*Table, error) {
 				return nil, err
 			}
 			baseCfg := ctx.Cfg
-			base := core.RunBehavior(pws, baseCfg, policy.NewLRU(), core.BehaviorOptions{})
+			base := core.RunBehavior(pws, baseCfg, policy.NewLRU(), ctx.runOpts())
 
 			var polName string
 			var prof *profiles.Profile
@@ -216,7 +224,7 @@ func Fig12ISOPerformance(ctx *Context) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			beh := core.RunBehavior(pws, cfg, pol, core.BehaviorOptions{})
+			beh := core.RunBehavior(pws, cfg, pol, ctx.runOpts())
 			missRates = append(missRates, beh.Stats.UopMissRate())
 			reds = append(reds, core.MissReduction(base.Stats, beh.Stats))
 
@@ -224,7 +232,7 @@ func Fig12ISOPerformance(ctx *Context) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			tim := core.RunTiming(blocks, cfg, pol2)
+			tim := core.RunTimingObserved(blocks, cfg, pol2, ctx.Telemetry)
 			ipcs = append(ipcs, tim.Frontend.IPC())
 		}
 		t.AddRow(rc.label, fmt.Sprintf("%.4f", mean(missRates)), fmt.Sprintf("%.4f", mean(ipcs)), pct(mean(reds)))
@@ -245,9 +253,9 @@ func Fig13EnergyBreakdownClang(ctx *Context) (*Table, error) {
 	}
 	noCfg := ctx.Cfg
 	noCfg.Frontend.DisableUopCache = true
-	noUop := core.RunTiming(blocks, noCfg, policy.NewLRU())
+	noUop := core.RunTimingObserved(blocks, noCfg, policy.NewLRU(), ctx.Telemetry)
 
-	lru := core.RunTiming(blocks, ctx.Cfg, policy.NewLRU())
+	lru := core.RunTimingObserved(blocks, ctx.Cfg, policy.NewLRU(), ctx.Telemetry)
 
 	prof, err := ctx.Profile(app, 0, profiles.SourceFLACK)
 	if err != nil {
@@ -257,7 +265,7 @@ func Fig13EnergyBreakdownClang(ctx *Context) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	furbys := core.RunTiming(blocks, ctx.Cfg, fpol)
+	furbys := core.RunTimingObserved(blocks, ctx.Cfg, fpol, ctx.Telemetry)
 
 	baseTotal := noUop.Power.Total()
 	add := func(label string, r core.TimingResult) {
@@ -282,21 +290,21 @@ func Fig14EnergyReductionBreakdown(ctx *Context) (*Table, error) {
 		Columns: []string{"application", "icache", "uop-cache insertion", "decoder", "other", "total saved"}}
 	var sums [4]float64
 	n := 0
-	for _, app := range ctx.AppList() {
+	err := ctx.eachApp(func(app string) error {
 		blocks, _, err := ctx.Trace(app, 0)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		lru := core.RunTiming(blocks, ctx.Cfg, policy.NewLRU())
+		lru := core.RunTimingObserved(blocks, ctx.Cfg, policy.NewLRU(), ctx.Telemetry)
 		prof, err := ctx.Profile(app, 0, profiles.SourceFLACK)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		fpol, err := core.NewPolicy("furbys", prof, ctx.Cfg.UopCache, policy.FURBYSConfig{})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		fu := core.RunTiming(blocks, ctx.Cfg, fpol)
+		fu := core.RunTimingObserved(blocks, ctx.Cfg, fpol, ctx.Telemetry)
 		dIc := lru.Power.ICache - fu.Power.ICache
 		dUop := lru.Power.UopCache - fu.Power.UopCache
 		dDec := lru.Power.Decoder - fu.Power.Decoder
@@ -304,7 +312,7 @@ func Fig14EnergyReductionBreakdown(ctx *Context) (*Table, error) {
 		dOther := dTot - dIc - dUop - dDec
 		if dTot <= 0 {
 			t.AddRow(app, "-", "-", "-", "-", pct(dTot/lru.Power.Total()))
-			continue
+			return nil
 		}
 		n++
 		sums[0] += dIc / dTot
@@ -312,6 +320,10 @@ func Fig14EnergyReductionBreakdown(ctx *Context) (*Table, error) {
 		sums[2] += dDec / dTot
 		sums[3] += dOther / dTot
 		t.AddRow(app, pct(dIc/dTot), pct(dUop/dTot), pct(dDec/dTot), pct(dOther/dTot), pct(dTot/lru.Power.Total()))
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	if n > 0 {
 		t.AddRow("MEAN", pct(sums[0]/float64(n)), pct(sums[1]/float64(n)), pct(sums[2]/float64(n)), pct(sums[3]/float64(n)), "")
@@ -326,6 +338,9 @@ func Fig17Zen4PPW(ctx *Context) (*Table, error) {
 	zen4.Apps = ctx.Apps
 	zen4.Cfg = core.Zen4Config()
 	zen4.Cfg.Energy = ctx.Cfg.Energy
+	zen4.Telemetry = ctx.Telemetry
+	zen4.Progress = ctx.Progress
+	zen4.Begin("fig17")
 	t, err := zen4.ppwTable("fig17", "PPW gain over LRU, Zen4 configuration (Fig. 17)",
 		[]string{"srrip", "ship++", "ghrp", "mockingjay", "thermometer", "furbys"},
 		"Paper: FURBYS gains 2.41% PPW on Zen4, still ahead of every other policy.")

@@ -14,6 +14,7 @@ import (
 	"uopsim/internal/backend"
 	"uopsim/internal/branch"
 	"uopsim/internal/cache"
+	"uopsim/internal/telemetry"
 	"uopsim/internal/trace"
 	"uopsim/internal/uopcache"
 )
@@ -101,6 +102,32 @@ func (r Result) IPC() float64 {
 		return 0
 	}
 	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+// PublishMetrics copies the run's frontend-level aggregates into reg as
+// frontend_* metrics (the uopcache_* family is maintained live by the cache
+// itself when attached).
+func (r Result) PublishMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("frontend_cycles_total").Store(r.Cycles)
+	reg.Counter("frontend_instructions_total").Store(r.Instructions)
+	reg.Counter("frontend_uops_total").Store(r.Uops)
+	reg.Counter("frontend_decoded_uops_total").Store(r.Events.DecodedUops)
+	reg.Counter("frontend_decoder_active_cycles_total").Store(r.Events.DecoderActiveCycles)
+	reg.Counter("frontend_icache_reads_total").Store(r.Events.ICacheReads)
+	reg.Counter("frontend_icache_misses_total").Store(r.Events.ICacheMisses)
+	reg.Counter("frontend_l2_instr_reads_total").Store(r.Events.L2InstrReads)
+	reg.Counter("frontend_uopcache_lookups_total").Store(r.Events.UopCacheLookups)
+	reg.Counter("frontend_uopcache_hit_uops_total").Store(r.Events.UopCacheHitUops)
+	reg.Counter("frontend_uopcache_writes_total").Store(r.Events.UopCacheWrites)
+	reg.Counter("frontend_bp_lookups_total").Store(r.Events.BPLookups)
+	reg.Counter("frontend_btb_lookups_total").Store(r.Events.BTBLookups)
+	reg.Counter("frontend_path_switches_total").Store(r.Events.Switches)
+	reg.Counter("frontend_mispredict_flushes_total").Store(r.Events.MispredictFlushes)
+	reg.Gauge("frontend_ipc").Set(r.IPC())
+	reg.Gauge("frontend_uop_miss_rate").Set(r.UopCache.UopMissRate())
 }
 
 // Frontend is the timing simulator. Construct with New and drive with
@@ -259,11 +286,9 @@ func (f *Frontend) servePW(p trace.PW) {
 // probeUopCache performs the lookup, honouring the perfect switch.
 func (f *Frontend) probeUopCache(p trace.PW) uopcache.ProbeResult {
 	if f.cfg.PerfectUopCache {
-		// Keep the stats meaningful under the perfect switch.
-		f.uc.Stats.Lookups++
-		f.uc.Stats.FullHits++
-		f.uc.Stats.UopsRequested += uint64(p.NumUops)
-		f.uc.Stats.UopsHit += uint64(p.NumUops)
+		// Keep the stats (and attached telemetry) meaningful under the
+		// perfect switch.
+		f.uc.NotePerfectHit(p)
 		return uopcache.ProbeResult{Kind: uopcache.ProbeFull, HitUops: int(p.NumUops)}
 	}
 	return f.uc.Lookup(p)
@@ -274,6 +299,7 @@ func (f *Frontend) probeUopCache(p trace.PW) uopcache.ProbeResult {
 // larger).
 func (f *Frontend) scheduleInsert(p trace.PW) {
 	if cur, ok := f.pending[p.Start]; ok {
+		f.uc.NoteCoalescedMiss(p)
 		if p.NumUops > cur.NumUops {
 			f.pending[p.Start] = p
 		}

@@ -2,6 +2,7 @@ package offline
 
 import (
 	"uopsim/internal/cache"
+	"uopsim/internal/telemetry"
 	"uopsim/internal/trace"
 	"uopsim/internal/uopcache"
 )
@@ -124,6 +125,21 @@ type Options struct {
 	ICache *cache.Config
 	// RecordPerLookup enables Result.PerLookup.
 	RecordPerLookup bool
+	// Metrics, when non-nil, receives the live uopcache_* counters of
+	// the replay; Events, when non-nil, receives the structured decision
+	// trace. Both are optional observability attachments.
+	Metrics *telemetry.Registry
+	Events  telemetry.EventSink
+}
+
+// attach wires the optional observability attachments into a replay cache.
+func (o Options) attach(c *uopcache.Cache) {
+	if o.Metrics != nil {
+		c.AttachMetrics(o.Metrics)
+	}
+	if o.Events != nil {
+		c.SetEventSink(o.Events)
+	}
 }
 
 // RunFOO replays the lookup sequence under a FOO/FLACK plan with the given
@@ -150,6 +166,7 @@ func replayDecisions(pws []trace.PW, cfg uopcache.Config, dec *Decisions, opts O
 	o := NewOracle(pws)
 	rp := &replayPolicy{o: o, curKeep: make(map[uint64]bool)}
 	c := uopcache.New(cfg, rp)
+	opts.attach(c)
 	var ic *cache.Cache
 	if opts.ICache != nil {
 		ic = cache.New(*opts.ICache)
@@ -195,6 +212,7 @@ func RunBelady(pws []trace.PW, cfg uopcache.Config, opts Options) Result {
 	o := NewOracle(pws)
 	bp := NewBelady(o)
 	c := uopcache.New(cfg, bp)
+	opts.attach(c)
 	var ic *cache.Cache
 	if opts.ICache != nil {
 		ic = cache.New(*opts.ICache)

@@ -1,0 +1,77 @@
+package policy
+
+import (
+	"uopsim/internal/telemetry"
+	"uopsim/internal/trace"
+	"uopsim/internal/uopcache"
+)
+
+// Instrumented decorates a replacement policy with per-policy decision
+// counters (policy_<name>_*_total) in a telemetry registry. It preserves the
+// wrapped policy's Name so reports and event traces are unchanged; callers
+// needing the concrete policy (e.g. FURBYS stats) use Unwrap.
+type Instrumented struct {
+	base uopcache.Policy
+
+	hits, inserts, evictions *telemetry.Counter
+	victimCalls, bypasses    *telemetry.Counter
+}
+
+// Instrument wraps p with decision counters registered in reg.
+func Instrument(p uopcache.Policy, reg *telemetry.Registry) *Instrumented {
+	prefix := "policy_" + p.Name() + "_"
+	return &Instrumented{
+		base:        p,
+		hits:        reg.Counter(prefix + "hits_total"),
+		inserts:     reg.Counter(prefix + "inserts_total"),
+		evictions:   reg.Counter(prefix + "evictions_total"),
+		victimCalls: reg.Counter(prefix + "victim_calls_total"),
+		bypasses:    reg.Counter(prefix + "bypasses_total"),
+	}
+}
+
+// Unwrap returns the decorated policy.
+func (p *Instrumented) Unwrap() uopcache.Policy { return p.base }
+
+// Name implements uopcache.Policy.
+func (p *Instrumented) Name() string { return p.base.Name() }
+
+// OnHit implements uopcache.Policy.
+func (p *Instrumented) OnHit(set int, pc uint64) {
+	p.hits.Inc()
+	p.base.OnHit(set, pc)
+}
+
+// OnInsert implements uopcache.Policy.
+func (p *Instrumented) OnInsert(set int, pw trace.PW) {
+	p.inserts.Inc()
+	p.base.OnInsert(set, pw)
+}
+
+// OnEvict implements uopcache.Policy.
+func (p *Instrumented) OnEvict(set int, pc uint64) {
+	p.evictions.Inc()
+	p.base.OnEvict(set, pc)
+}
+
+// Victim implements uopcache.Policy, counting calls and bypass decisions.
+func (p *Instrumented) Victim(set int, residents []uopcache.Resident, incoming trace.PW) uopcache.Decision {
+	p.victimCalls.Inc()
+	d := p.base.Victim(set, residents, incoming)
+	if d.Bypass {
+		p.bypasses.Inc()
+	}
+	return d
+}
+
+// Unwrap peels Instrumented decorations off a policy, returning the
+// underlying implementation for concrete-type inspection.
+func Unwrap(p uopcache.Policy) uopcache.Policy {
+	for {
+		w, ok := p.(*Instrumented)
+		if !ok {
+			return p
+		}
+		p = w.base
+	}
+}

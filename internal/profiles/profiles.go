@@ -18,6 +18,7 @@ import (
 	"uopsim/internal/jenks"
 	"uopsim/internal/offline"
 	"uopsim/internal/policy"
+	"uopsim/internal/telemetry"
 	"uopsim/internal/trace"
 	"uopsim/internal/uopcache"
 )
@@ -74,7 +75,14 @@ type Profile struct {
 // Collect runs the offline policy over the lookup sequence and accumulates
 // per-window hit rates (the paper's STEPS 3–6 input).
 func Collect(pws []trace.PW, cfg uopcache.Config, src Source) *Profile {
-	opts := offline.Options{RecordPerLookup: true}
+	return CollectObserved(pws, cfg, src, nil, nil)
+}
+
+// CollectObserved is Collect with observability attached: the profiling
+// replay's uopcache_* counters stream into metrics and its decision trace
+// into events (either may be nil).
+func CollectObserved(pws []trace.PW, cfg uopcache.Config, src Source, metrics *telemetry.Registry, events telemetry.EventSink) *Profile {
+	opts := offline.Options{RecordPerLookup: true, Metrics: metrics, Events: events}
 	var res offline.Result
 	switch src {
 	case SourceBelady:

@@ -85,6 +85,53 @@ func TestClassifyConflictAppears(t *testing.T) {
 	}
 }
 
+// counterBy returns a MissCounter reporting fa misses for the
+// fully-associative shadow (Ways == Entries) and total for the real
+// geometry, letting the clamp arithmetic be pinned exactly.
+func counterBy(total, fa uint64) stats.MissCounter {
+	return func(_ []trace.PW, cfg uopcache.Config) uint64 {
+		if cfg.Ways == cfg.Entries {
+			return fa
+		}
+		return total
+	}
+}
+
+// TestClassifyClampCapacity exercises the anomaly clamp where the FA shadow
+// misses MORE than the set-associative cache (a Belady/LRU anomaly): the
+// class sum would exceed the total, and the excess comes out of capacity.
+func TestClassifyClampCapacity(t *testing.T) {
+	cfg := uopcache.Config{Entries: 64, Ways: 4, UopsPerEntry: 8}
+	// cold=2, fa=6, total=5: capacity = 6-2 = 4, conflict = 0 (total < fa),
+	// sum 6 > total 5, over = 1 <= capacity, so capacity drops to 3.
+	s := []trace.PW{pw(0x10, 4), pw(0x20, 4)}
+	m := stats.Classify(s, cfg, counterBy(5, 6))
+	want := stats.MissClassification{Cold: 2, Capacity: 3, Conflict: 0, Total: 5}
+	if m != want {
+		t.Fatalf("Classify = %+v, want %+v", m, want)
+	}
+	cold, capacity, conflict := m.Fractions()
+	if sum := cold + capacity + conflict; sum < 0.999 || sum > 1.001 {
+		t.Errorf("clamped fractions sum to %v, want 1", sum)
+	}
+}
+
+// TestClassifyClampConflict exercises the deeper clamp: the FA shadow misses
+// fewer times than there are cold misses, so even zeroing conflict cannot
+// balance the books and capacity becomes total - cold.
+func TestClassifyClampConflict(t *testing.T) {
+	cfg := uopcache.Config{Entries: 64, Ways: 4, UopsPerEntry: 8}
+	// cold=3, fa=1, total=4: capacity = 0 (fa < cold), conflict = 3,
+	// sum 6 > total 4, over = 2 > capacity 0, so conflict = 0 and
+	// capacity = total - cold = 1.
+	s := []trace.PW{pw(0x10, 4), pw(0x20, 4), pw(0x30, 4)}
+	m := stats.Classify(s, cfg, counterBy(4, 1))
+	want := stats.MissClassification{Cold: 3, Capacity: 1, Conflict: 0, Total: 4}
+	if m != want {
+		t.Fatalf("Classify = %+v, want %+v", m, want)
+	}
+}
+
 func TestReuseDistancesSimple(t *testing.T) {
 	// Sequence: A B A -> A's reuse distance is 1 (B in between).
 	h := stats.ReuseDistances([]uint64{1, 2, 1}, 8)

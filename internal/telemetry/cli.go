@@ -1,0 +1,93 @@
+package telemetry
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+)
+
+// CLI bundles the standard observability flags every binary exposes
+// (-telemetry, -events, -sample, -pprof) and owns the resources they
+// resolve to: a metrics registry, a JSONL event sink, and the pprof/metrics
+// HTTP server. Mains call RegisterFlags before flag.Parse, Start after, and
+// Close on the way out.
+type CLI struct {
+	MetricsPath string
+	EventsPath  string
+	Sample      int
+	PprofAddr   string
+
+	// Registry is non-nil after Start when -telemetry or -pprof was given.
+	Registry *Registry
+	// Sink is non-nil after Start when -events was given.
+	Sink *JSONLSink
+
+	eventsFile *os.File
+	server     *http.Server
+}
+
+// RegisterFlags declares the observability flags on fs.
+func (c *CLI) RegisterFlags(fs *flag.FlagSet) {
+	fs.StringVar(&c.MetricsPath, "telemetry", "", "write metrics to `FILE` at exit (Prometheus text; .json switches to JSON)")
+	fs.StringVar(&c.EventsPath, "events", "", "write a JSONL trace of cache decisions to `FILE`")
+	fs.IntVar(&c.Sample, "sample", 1, "emit every `N`th event to -events")
+	fs.StringVar(&c.PprofAddr, "pprof", "", "serve net/http/pprof, /metrics and /healthz on `ADDR` (e.g. localhost:6060)")
+}
+
+// Start opens the sinks and the HTTP server the parsed flags ask for.
+func (c *CLI) Start() error {
+	if c.MetricsPath != "" || c.PprofAddr != "" {
+		c.Registry = NewRegistry()
+	}
+	if c.MetricsPath != "" {
+		// Fail before the run, not after it: the metrics file is only
+		// written at Close, which would waste the whole simulation on a
+		// bad path.
+		f, err := os.Create(c.MetricsPath)
+		if err != nil {
+			return fmt.Errorf("telemetry: %w", err)
+		}
+		f.Close()
+	}
+	if c.EventsPath != "" {
+		f, err := os.Create(c.EventsPath)
+		if err != nil {
+			return fmt.Errorf("events: %w", err)
+		}
+		c.eventsFile = f
+		c.Sink = NewJSONLSink(f, c.Sample)
+	}
+	if c.PprofAddr != "" {
+		srv, err := Serve(c.PprofAddr, c.Registry)
+		if err != nil {
+			return fmt.Errorf("pprof: %w", err)
+		}
+		c.server = srv
+		fmt.Fprintf(os.Stderr, "pprof/metrics listening on http://%s\n", c.PprofAddr)
+	}
+	return nil
+}
+
+// Close flushes the event sink and writes the metrics file. The pprof
+// server is left running until process exit (it serves no state of its own
+// beyond the registry, which stays valid).
+func (c *CLI) Close() error {
+	var first error
+	if c.Sink != nil {
+		if err := c.Sink.Flush(); err != nil && first == nil {
+			first = fmt.Errorf("events: %w", err)
+		}
+	}
+	if c.eventsFile != nil {
+		if err := c.eventsFile.Close(); err != nil && first == nil {
+			first = fmt.Errorf("events: %w", err)
+		}
+	}
+	if c.MetricsPath != "" && c.Registry != nil {
+		if err := c.Registry.WriteFile(c.MetricsPath); err != nil && first == nil {
+			first = fmt.Errorf("telemetry: %w", err)
+		}
+	}
+	return first
+}

@@ -1,0 +1,149 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Event kinds emitted by the micro-op cache and its drivers. The names are
+// the wire format (the "kind" field of each JSONL record).
+const (
+	// EventHit: a lookup fully served from the cache.
+	EventHit = "hit"
+	// EventPartial: a lookup partially served (stored window shorter than
+	// the request); the remainder goes to the legacy decode path.
+	EventPartial = "partial"
+	// EventMiss: no window with the lookup's start address was resident.
+	EventMiss = "miss"
+	// EventInsert: a window became resident.
+	EventInsert = "insert"
+	// EventCoalesce: a miss merged into an already in-flight insertion
+	// for the same start address.
+	EventCoalesce = "coalesce"
+	// EventEvict: a resident window was evicted to make room (or force-
+	// evicted by an offline policy); carries victim cost and age.
+	EventEvict = "evict"
+	// EventBypass: an insertion was declined — by the policy, because the
+	// window exceeds a whole set, or because an offline plan cancelled an
+	// in-flight insertion.
+	EventBypass = "bypass"
+	// EventInvalidate: a window was removed by L1i-inclusion invalidation.
+	EventInvalidate = "invalidate"
+)
+
+// Event is one structured cache-decision record. Zero-valued optional fields
+// are omitted from the JSON encoding.
+type Event struct {
+	// Seq is the cache's lookup sequence number when the event fired.
+	Seq uint64 `json:"seq"`
+	// Kind is one of the Event* constants.
+	Kind string `json:"kind"`
+	// Set is the cache set index.
+	Set int `json:"set"`
+	// Key is the window start address the event concerns.
+	Key uint64 `json:"key"`
+	// Uops is the request/window size in micro-ops.
+	Uops int `json:"uops,omitempty"`
+	// HitUops and MissUops split a lookup's outcome in micro-ops.
+	HitUops  int `json:"hit_uops,omitempty"`
+	MissUops int `json:"miss_uops,omitempty"`
+	// VictimKey, VictimUops and VictimAge describe an eviction victim:
+	// its start address, its cost in micro-ops, and the number of lookups
+	// since it was last touched (a reuse-distance proxy).
+	VictimKey  uint64 `json:"victim_key,omitempty"`
+	VictimUops int    `json:"victim_uops,omitempty"`
+	VictimAge  uint64 `json:"victim_age,omitempty"`
+	// Policy names the replacement policy that made the decision.
+	Policy string `json:"policy,omitempty"`
+}
+
+// EventSink receives structured cache-decision events. Implementations must
+// be safe for concurrent use when attached to parallel runs. A nil sink on
+// the emitting side disables tracing entirely; emitters guard with a nil
+// check so the hot path pays nothing when tracing is off.
+type EventSink interface {
+	Emit(Event)
+}
+
+// JSONLSink writes events as JSON Lines, keeping every sample-th event
+// (sample <= 1 keeps all). It is safe for concurrent use.
+type JSONLSink struct {
+	mu      sync.Mutex
+	bw      *bufio.Writer
+	enc     *json.Encoder
+	sample  uint64
+	seen    uint64
+	emitted uint64
+}
+
+// NewJSONLSink wraps w in a buffered JSONL event sink. Call Flush (or Close
+// the underlying writer after Flush) when done.
+func NewJSONLSink(w io.Writer, sample int) *JSONLSink {
+	if sample < 1 {
+		sample = 1
+	}
+	bw := bufio.NewWriter(w)
+	return &JSONLSink{bw: bw, enc: json.NewEncoder(bw), sample: uint64(sample)}
+}
+
+// Emit implements EventSink.
+func (s *JSONLSink) Emit(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seen++
+	if (s.seen-1)%s.sample != 0 {
+		return
+	}
+	s.emitted++
+	_ = s.enc.Encode(ev) // deferred to Flush's error
+}
+
+// Seen returns how many events reached the sink; Emitted how many were kept
+// after sampling.
+func (s *JSONLSink) Seen() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seen
+}
+
+// Emitted returns the number of events written after sampling.
+func (s *JSONLSink) Emitted() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.emitted
+}
+
+// Flush writes buffered events through to the underlying writer.
+func (s *JSONLSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bw.Flush()
+}
+
+// ReadEvents decodes a JSONL event stream (the inverse of JSONLSink).
+func ReadEvents(r io.Reader) ([]Event, error) {
+	var out []Event
+	dec := json.NewDecoder(r)
+	for {
+		var ev Event
+		if err := dec.Decode(&ev); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return out, err
+		}
+		out = append(out, ev)
+	}
+}
+
+// CountKinds tallies an event stream by kind; reconciliation checks compare
+// this against uopcache.Stats and the uopcache_* counters.
+func CountKinds(events []Event) map[string]uint64 {
+	out := make(map[string]uint64)
+	for _, ev := range events {
+		out[ev.Kind]++
+	}
+	return out
+}

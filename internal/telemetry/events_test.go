@@ -1,0 +1,86 @@
+package telemetry
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func TestJSONLRoundTrip(t *testing.T) {
+	events := []Event{
+		{Seq: 1, Kind: EventMiss, Set: 3, Key: 0x4000, Uops: 12, MissUops: 12, Policy: "lru"},
+		{Seq: 2, Kind: EventInsert, Set: 3, Key: 0x4000, Uops: 12, Policy: "lru"},
+		{Seq: 3, Kind: EventHit, Set: 3, Key: 0x4000, Uops: 12, HitUops: 12, Policy: "lru"},
+		{Seq: 4, Kind: EventPartial, Set: 1, Key: 0x8000, Uops: 16, HitUops: 10, MissUops: 6, Policy: "lru"},
+		{Seq: 5, Kind: EventEvict, Set: 3, Key: 0x4000, VictimKey: 0x4000, VictimUops: 12, VictimAge: 2, Policy: "lru"},
+		{Seq: 6, Kind: EventBypass, Set: 0, Key: 0xc000, Uops: 99, Policy: "lru"},
+		{Seq: 7, Kind: EventCoalesce, Set: 2, Key: 0xd000, Uops: 4, Policy: "lru"},
+		{Seq: 8, Kind: EventInvalidate, Set: 2, Key: 0xd000, VictimKey: 0xd000, VictimUops: 4, Policy: "lru"},
+	}
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf, 1)
+	for _, ev := range events {
+		sink.Emit(ev)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Seen() != uint64(len(events)) || sink.Emitted() != uint64(len(events)) {
+		t.Fatalf("seen=%d emitted=%d, want %d/%d", sink.Seen(), sink.Emitted(), len(events), len(events))
+	}
+	got, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, events) {
+		t.Fatalf("round trip mismatch:\ngot  %+v\nwant %+v", got, events)
+	}
+	kinds := CountKinds(got)
+	for _, k := range []string{EventHit, EventPartial, EventMiss, EventInsert, EventCoalesce, EventEvict, EventBypass, EventInvalidate} {
+		if kinds[k] != 1 {
+			t.Errorf("kind %q count = %d, want 1", k, kinds[k])
+		}
+	}
+}
+
+func TestJSONLSampling(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf, 3)
+	const n = 10
+	for i := 0; i < n; i++ {
+		sink.Emit(Event{Seq: uint64(i), Kind: EventHit})
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Seen() != n {
+		t.Fatalf("seen = %d, want %d", sink.Seen(), n)
+	}
+	// Every 3rd event starting with the first: seqs 0, 3, 6, 9.
+	got, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sink.Emitted() != uint64(len(got)) {
+		t.Fatalf("emitted = %d but %d records written", sink.Emitted(), len(got))
+	}
+	wantSeqs := []uint64{0, 3, 6, 9}
+	if len(got) != len(wantSeqs) {
+		t.Fatalf("kept %d events, want %d", len(got), len(wantSeqs))
+	}
+	for i, ev := range got {
+		if ev.Seq != wantSeqs[i] {
+			t.Errorf("event %d has seq %d, want %d", i, ev.Seq, wantSeqs[i])
+		}
+	}
+}
+
+func TestJSONLSampleClamp(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf, 0) // clamps to 1
+	sink.Emit(Event{Kind: EventMiss})
+	sink.Emit(Event{Kind: EventMiss})
+	if sink.Emitted() != 2 {
+		t.Fatalf("emitted = %d, want 2", sink.Emitted())
+	}
+}

@@ -1,0 +1,115 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// BuildInfo is the git-describe-style identification of the binary that
+// produced a run, extracted from the Go build metadata.
+type BuildInfo struct {
+	GoVersion string `json:"go_version"`
+	Module    string `json:"module,omitempty"`
+	Revision  string `json:"vcs_revision,omitempty"`
+	Time      string `json:"vcs_time,omitempty"`
+	Modified  bool   `json:"vcs_modified,omitempty"`
+}
+
+// CollectBuildInfo reads the binary's embedded build metadata. Fields that
+// the build did not stamp (e.g. VCS data in test binaries) stay empty.
+func CollectBuildInfo() BuildInfo {
+	out := BuildInfo{GoVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return out
+	}
+	out.Module = bi.Main.Path
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			out.Revision = s.Value
+		case "vcs.time":
+			out.Time = s.Value
+		case "vcs.modified":
+			out.Modified = s.Value == "true"
+		}
+	}
+	return out
+}
+
+// AppRun records one application's share of an experiment.
+type AppRun struct {
+	App         string  `json:"app"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Error       string  `json:"error,omitempty"`
+}
+
+// FigureRun records one experiment (figure/table) of a sweep.
+type FigureRun struct {
+	ID          string   `json:"id"`
+	Title       string   `json:"title,omitempty"`
+	WallSeconds float64  `json:"wall_seconds"`
+	Rows        int      `json:"rows,omitempty"`
+	Apps        []AppRun `json:"apps,omitempty"`
+	Error       string   `json:"error,omitempty"`
+}
+
+// RunManifest is the audit record written next to a run's outputs
+// (run.json): what ran, with which configuration and build, how long each
+// part took, and what failed.
+type RunManifest struct {
+	Tool        string         `json:"tool"`
+	Args        []string       `json:"args,omitempty"`
+	Start       time.Time      `json:"start"`
+	End         time.Time      `json:"end"`
+	WallSeconds float64        `json:"wall_seconds"`
+	Build       BuildInfo      `json:"build"`
+	Config      map[string]any `json:"config,omitempty"`
+	Seed        int64          `json:"seed,omitempty"`
+	Blocks      int            `json:"blocks,omitempty"`
+	Apps        []string       `json:"apps,omitempty"`
+	Figures     []FigureRun    `json:"figures,omitempty"`
+	Failures    []string       `json:"failures,omitempty"`
+}
+
+// NewRunManifest starts a manifest for the named tool, stamping start time
+// and build info.
+func NewRunManifest(tool string, args []string) *RunManifest {
+	return &RunManifest{
+		Tool:  tool,
+		Args:  args,
+		Start: time.Now().UTC(),
+		Build: CollectBuildInfo(),
+	}
+}
+
+// Finish stamps the end time and wall clock.
+func (m *RunManifest) Finish() {
+	m.End = time.Now().UTC()
+	m.WallSeconds = m.End.Sub(m.Start).Seconds()
+}
+
+// WriteJSON writes the manifest as indented JSON.
+func (m *RunManifest) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// WriteFile writes the manifest to path (conventionally run.json next to
+// the run's CSV/SVG output).
+func (m *RunManifest) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = m.WriteJSON(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

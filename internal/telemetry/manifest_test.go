@@ -1,0 +1,108 @@
+package telemetry
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestRunManifestGolden pins the run.json schema: field names and layout are
+// an external contract (tooling parses them), so the encoding is compared
+// byte-for-byte with every time- and build-dependent field held fixed.
+func TestRunManifestGolden(t *testing.T) {
+	m := &RunManifest{
+		Tool:  "experiments",
+		Args:  []string{"-blocks", "1000", "fig8"},
+		Start: time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC),
+		End:   time.Date(2026, 8, 5, 12, 0, 30, 0, time.UTC),
+		Build: BuildInfo{GoVersion: "go1.22.0", Module: "uopsim", Revision: "abc123", Time: "2026-08-05T11:00:00Z"},
+		Config: map[string]any{
+			"blocks": 1000,
+		},
+		Seed:   7,
+		Blocks: 1000,
+		Apps:   []string{"kafka"},
+		Figures: []FigureRun{
+			{
+				ID: "fig8", Title: "FURBYS miss reduction", WallSeconds: 29.5, Rows: 12,
+				Apps: []AppRun{{App: "kafka", WallSeconds: 29.5}},
+			},
+		},
+		Failures: []string{"fig9: boom"},
+	}
+	m.WallSeconds = m.End.Sub(m.Start).Seconds()
+
+	const golden = `{
+  "tool": "experiments",
+  "args": [
+    "-blocks",
+    "1000",
+    "fig8"
+  ],
+  "start": "2026-08-05T12:00:00Z",
+  "end": "2026-08-05T12:00:30Z",
+  "wall_seconds": 30,
+  "build": {
+    "go_version": "go1.22.0",
+    "module": "uopsim",
+    "vcs_revision": "abc123",
+    "vcs_time": "2026-08-05T11:00:00Z"
+  },
+  "config": {
+    "blocks": 1000
+  },
+  "seed": 7,
+  "blocks": 1000,
+  "apps": [
+    "kafka"
+  ],
+  "figures": [
+    {
+      "id": "fig8",
+      "title": "FURBYS miss reduction",
+      "wall_seconds": 29.5,
+      "rows": 12,
+      "apps": [
+        {
+          "app": "kafka",
+          "wall_seconds": 29.5
+        }
+      ]
+    }
+  ],
+  "failures": [
+    "fig9: boom"
+  ]
+}
+`
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != golden {
+		t.Errorf("manifest JSON drifted from golden:\ngot:\n%s\nwant:\n%s", buf.String(), golden)
+	}
+}
+
+func TestRunManifestLifecycle(t *testing.T) {
+	m := NewRunManifest("uopsim", []string{"-app", "kafka"})
+	if m.Start.IsZero() {
+		t.Error("Start not stamped")
+	}
+	if m.Build.GoVersion == "" {
+		t.Error("build info missing Go version")
+	}
+	m.Finish()
+	if m.End.Before(m.Start) || m.WallSeconds < 0 {
+		t.Errorf("bad end stamp: start=%v end=%v wall=%v", m.Start, m.End, m.WallSeconds)
+	}
+	path := filepath.Join(t.TempDir(), "run.json")
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+}

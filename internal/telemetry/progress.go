@@ -1,0 +1,50 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Progress prints one-line status updates for long runs. All methods are
+// nil-receiver safe, so callers thread a possibly-nil *Progress without
+// guarding every call site; output conventionally goes to stderr to keep
+// stdout stable for tests and pipelines.
+type Progress struct {
+	mu    sync.Mutex
+	w     io.Writer
+	start time.Time
+}
+
+// NewProgress returns a reporter writing to w (nil w disables output).
+func NewProgress(w io.Writer) *Progress {
+	return &Progress{w: w, start: time.Now()}
+}
+
+// Step reports one completed item of a scoped sequence, e.g.
+// "[fig8] kafka 3/11 1.2s (total 14.3s)".
+func (p *Progress) Step(scope, item string, done, total int, itemElapsed time.Duration) {
+	if p == nil || p.w == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fmt.Fprintf(p.w, "[%s] %s %d/%d %s (total %s)\n",
+		scope, item, done, total,
+		itemElapsed.Round(time.Millisecond),
+		time.Since(p.start).Round(time.Millisecond))
+}
+
+// Printf reports a freeform status line prefixed with the total elapsed
+// time.
+func (p *Progress) Printf(format string, args ...any) {
+	if p == nil || p.w == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fmt.Fprintf(p.w, "[%s] ", time.Since(p.start).Round(time.Millisecond))
+	fmt.Fprintf(p.w, format, args...)
+	fmt.Fprintln(p.w)
+}

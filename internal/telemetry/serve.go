@@ -1,0 +1,45 @@
+package telemetry
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Serve starts the operational HTTP endpoint on addr in a background
+// goroutine and returns the listening server. It exposes:
+//
+//	/debug/pprof/*  net/http/pprof profiles (cpu, heap, goroutine, ...)
+//	/metrics        the registry in Prometheus text format (collect hooks
+//	                run on every scrape, so values are scrape-fresh)
+//	/healthz        liveness ("ok")
+//
+// reg may be nil, in which case /metrics serves an empty exposition.
+func Serve(addr string, reg *Registry) (*http.Server, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if reg == nil {
+			return
+		}
+		reg.Collect()
+		_ = reg.WritePrometheus(w)
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, nil
+}

@@ -98,6 +98,7 @@ func (b *Behavior) schedule(pw trace.PW) {
 	if p, ok := b.inflight[pw.Start]; ok {
 		// Coalesce: keep the larger window (new-window formation after
 		// a partial hit merges into the in-flight accumulation).
+		b.C.NoteCoalescedMiss(pw)
 		if pw.NumUops > p.pw.NumUops {
 			p.pw = pw
 		}
@@ -119,7 +120,7 @@ func (b *Behavior) drain() {
 func (b *Behavior) complete(p *pending) {
 	delete(b.inflight, p.pw.Start)
 	if p.cancelled {
-		b.C.Stats.Bypasses++
+		b.C.noteBypass(b.C.SetIndex(p.pw.Start), p.pw)
 		return
 	}
 	b.C.Insert(p.pw)

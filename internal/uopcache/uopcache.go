@@ -21,6 +21,7 @@ package uopcache
 import (
 	"fmt"
 
+	"uopsim/internal/telemetry"
 	"uopsim/internal/trace"
 )
 
@@ -149,7 +150,48 @@ type Cache struct {
 	lineIndex map[uint64]map[int]int // line -> set -> refcount
 	clock     uint64
 
+	// sink receives the structured decision trace; m holds the live
+	// uopcache_* metrics. Both are nil unless attached, and every
+	// emission site guards with a nil check so the hot path pays nothing
+	// when observability is off.
+	sink    telemetry.EventSink
+	m       *cacheMetrics
+	polName string
+
 	Stats Stats
+}
+
+// cacheMetrics pre-resolves the registry counters the cache increments at
+// exactly the sites the Stats fields are incremented, so the exposed
+// uopcache_* counters reconcile with Stats at any instant.
+type cacheMetrics struct {
+	lookups, fullHits, partialHits, misses    *telemetry.Counter
+	uopsRequested, uopsHit, uopsMissed        *telemetry.Counter
+	insertions, entriesWritten                *telemetry.Counter
+	bypasses, evictions, invalidations        *telemetry.Counter
+	coalesced                                 *telemetry.Counter
+	lookupUops, victimCostUops, victimReuseAge *telemetry.Histogram
+}
+
+func newCacheMetrics(reg *telemetry.Registry) *cacheMetrics {
+	return &cacheMetrics{
+		lookups:        reg.Counter("uopcache_lookups_total"),
+		fullHits:       reg.Counter("uopcache_full_hits_total"),
+		partialHits:    reg.Counter("uopcache_partial_hits_total"),
+		misses:         reg.Counter("uopcache_misses_total"),
+		uopsRequested:  reg.Counter("uopcache_uops_requested_total"),
+		uopsHit:        reg.Counter("uopcache_uops_hit_total"),
+		uopsMissed:     reg.Counter("uopcache_uops_missed_total"),
+		insertions:     reg.Counter("uopcache_insertions_total"),
+		entriesWritten: reg.Counter("uopcache_entries_written_total"),
+		bypasses:       reg.Counter("uopcache_bypasses_total"),
+		evictions:      reg.Counter("uopcache_evictions_total"),
+		invalidations:  reg.Counter("uopcache_invalidations_total"),
+		coalesced:      reg.Counter("uopcache_coalesced_misses_total"),
+		lookupUops:     reg.Histogram("uopcache_lookup_uops"),
+		victimCostUops: reg.Histogram("uopcache_victim_cost_uops"),
+		victimReuseAge: reg.Histogram("uopcache_victim_reuse_age_lookups"),
+	}
 }
 
 type cset struct {
@@ -195,12 +237,28 @@ func New(cfg Config, policy Policy) *Cache {
 		sets[i].residents = make(map[uint64]*Resident, cfg.Ways)
 	}
 	return &Cache{
-		cfg:    cfg,
-		policy: policy,
-		sets:   sets,
+		cfg:     cfg,
+		policy:  policy,
+		sets:    sets,
+		polName: policy.Name(),
 
 		lineIndex: make(map[uint64]map[int]int),
 	}
+}
+
+// SetEventSink attaches (or, with nil, detaches) the structured decision
+// trace. With no sink attached the instrumented paths reduce to a nil check.
+func (c *Cache) SetEventSink(s telemetry.EventSink) { c.sink = s }
+
+// AttachMetrics registers the cache's live uopcache_* counters and
+// histograms in reg. Counters are incremented at exactly the sites the
+// Stats fields are, so both views reconcile at any instant.
+func (c *Cache) AttachMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		c.m = nil
+		return
+	}
+	c.m = newCacheMetrics(reg)
 }
 
 // Config returns the cache configuration.
@@ -228,12 +286,94 @@ func (c Config) SetIndex(start uint64) int {
 // returns true when a window was removed.
 func (c *Cache) EvictKey(start uint64) bool {
 	set := c.SetIndex(start)
-	if _, ok := c.sets[set].residents[start]; !ok {
+	r, ok := c.sets[set].residents[start]
+	if !ok {
 		return false
 	}
 	c.Stats.Evictions++
+	c.observeEviction(set, r)
 	c.removeResident(set, start, true)
 	return true
+}
+
+// lastTouch is the lookup sequence number a resident was last useful at.
+func lastTouch(r *Resident) uint64 {
+	if r.LastHitAt > 0 {
+		return r.LastHitAt
+	}
+	return r.InsertedAt
+}
+
+// observeEviction mirrors a Stats.Evictions increment into the metrics and
+// event trace; call it BEFORE removeResident so victim details are intact.
+func (c *Cache) observeEviction(set int, r *Resident) {
+	if c.m != nil {
+		c.m.evictions.Inc()
+		c.m.victimCostUops.Observe(uint64(r.Uops))
+		c.m.victimReuseAge.Observe(c.clock - lastTouch(r))
+	}
+	if c.sink != nil {
+		c.sink.Emit(telemetry.Event{
+			Seq: c.clock, Kind: telemetry.EventEvict, Set: set, Key: r.Key,
+			VictimKey: r.Key, VictimUops: r.Uops, VictimAge: c.clock - lastTouch(r),
+			Policy: c.polName,
+		})
+	}
+}
+
+// noteBypass mirrors a Stats.Bypasses increment (policy bypass, over-large
+// window, or cancelled in-flight insertion).
+func (c *Cache) noteBypass(set int, pw trace.PW) {
+	c.Stats.Bypasses++
+	if c.m != nil {
+		c.m.bypasses.Inc()
+	}
+	if c.sink != nil {
+		c.sink.Emit(telemetry.Event{
+			Seq: c.clock, Kind: telemetry.EventBypass, Set: set, Key: pw.Start,
+			Uops: int(pw.NumUops), Policy: c.polName,
+		})
+	}
+}
+
+// NoteCoalescedMiss records a miss merging into an in-flight insertion (no
+// Stats field aggregates these; the behaviour driver and the timing
+// frontend own insertion scheduling, so they report coalescing here).
+func (c *Cache) NoteCoalescedMiss(pw trace.PW) {
+	if c.m != nil {
+		c.m.coalesced.Inc()
+	}
+	if c.sink != nil {
+		c.sink.Emit(telemetry.Event{
+			Seq: c.clock, Kind: telemetry.EventCoalesce, Set: c.SetIndex(pw.Start),
+			Key: pw.Start, Uops: int(pw.NumUops), Policy: c.polName,
+		})
+	}
+}
+
+// NotePerfectHit accounts a lookup served by an idealized always-hit cache
+// (the timing model's PerfectUopCache switch) so Stats, metrics and the
+// event trace stay mutually consistent under the perfect-structure studies.
+func (c *Cache) NotePerfectHit(pw trace.PW) {
+	c.clock++
+	want := int(pw.NumUops)
+	c.Stats.Lookups++
+	c.Stats.FullHits++
+	c.Stats.UopsRequested += uint64(want)
+	c.Stats.UopsHit += uint64(want)
+	if c.m != nil {
+		c.m.lookups.Inc()
+		c.m.fullHits.Inc()
+		c.m.uopsRequested.Add(uint64(want))
+		c.m.uopsHit.Add(uint64(want))
+		c.m.lookupUops.Observe(uint64(want))
+	}
+	if c.sink != nil {
+		c.sink.Emit(telemetry.Event{
+			Seq: c.clock, Kind: telemetry.EventHit, Set: c.SetIndex(pw.Start),
+			Key: pw.Start, Uops: want, HitUops: want, Policy: c.polName,
+		})
+	}
 }
 
 // Lookup probes the cache for pw, updating hit statistics and policy
@@ -245,11 +385,26 @@ func (c *Cache) Lookup(pw trace.PW) ProbeResult {
 	c.Stats.Lookups++
 	want := int(pw.NumUops)
 	c.Stats.UopsRequested += uint64(want)
+	if c.m != nil {
+		c.m.lookups.Inc()
+		c.m.uopsRequested.Add(uint64(want))
+		c.m.lookupUops.Observe(uint64(want))
+	}
 	set := c.SetIndex(pw.Start)
 	r, ok := c.sets[set].residents[pw.Start]
 	if !ok {
 		c.Stats.Misses++
 		c.Stats.UopsMissed += uint64(want)
+		if c.m != nil {
+			c.m.misses.Inc()
+			c.m.uopsMissed.Add(uint64(want))
+		}
+		if c.sink != nil {
+			c.sink.Emit(telemetry.Event{
+				Seq: c.clock, Kind: telemetry.EventMiss, Set: set, Key: pw.Start,
+				Uops: want, MissUops: want, Policy: c.polName,
+			})
+		}
 		return ProbeResult{Kind: ProbeMiss, MissUops: want}
 	}
 	r.LastHitAt = c.clock
@@ -257,11 +412,32 @@ func (c *Cache) Lookup(pw trace.PW) ProbeResult {
 	if r.Uops >= want {
 		c.Stats.FullHits++
 		c.Stats.UopsHit += uint64(want)
+		if c.m != nil {
+			c.m.fullHits.Inc()
+			c.m.uopsHit.Add(uint64(want))
+		}
+		if c.sink != nil {
+			c.sink.Emit(telemetry.Event{
+				Seq: c.clock, Kind: telemetry.EventHit, Set: set, Key: pw.Start,
+				Uops: want, HitUops: want, Policy: c.polName,
+			})
+		}
 		return ProbeResult{Kind: ProbeFull, HitUops: want}
 	}
 	c.Stats.PartialHits++
 	c.Stats.UopsHit += uint64(r.Uops)
 	c.Stats.UopsMissed += uint64(want - r.Uops)
+	if c.m != nil {
+		c.m.partialHits.Inc()
+		c.m.uopsHit.Add(uint64(r.Uops))
+		c.m.uopsMissed.Add(uint64(want - r.Uops))
+	}
+	if c.sink != nil {
+		c.sink.Emit(telemetry.Event{
+			Seq: c.clock, Kind: telemetry.EventPartial, Set: set, Key: pw.Start,
+			Uops: want, HitUops: r.Uops, MissUops: want - r.Uops, Policy: c.polName,
+		})
+	}
 	return ProbeResult{Kind: ProbePartial, HitUops: r.Uops, MissUops: want - r.Uops}
 }
 
@@ -328,7 +504,7 @@ func (c *Cache) Insert(pw trace.PW) InsertOutcome {
 	s := &c.sets[set]
 	need := c.footprint(int(pw.NumUops))
 	if need > c.setCapacity() {
-		c.Stats.Bypasses++
+		c.noteBypass(set, pw)
 		return TooLarge
 	}
 	if existing, ok := s.residents[pw.Start]; ok {
@@ -342,14 +518,16 @@ func (c *Cache) Insert(pw trace.PW) InsertOutcome {
 		residents := c.residentsView(set)
 		d := c.policy.Victim(set, residents, pw)
 		if d.Bypass {
-			c.Stats.Bypasses++
+			c.noteBypass(set, pw)
 			return Bypassed
 		}
-		if _, ok := s.residents[d.VictimKey]; !ok {
+		victim, ok := s.residents[d.VictimKey]
+		if !ok {
 			panic(fmt.Sprintf("uopcache: policy %s chose non-resident victim %#x in set %d",
 				c.policy.Name(), d.VictimKey, set))
 		}
 		c.Stats.Evictions++
+		c.observeEviction(set, victim)
 		c.removeResident(set, d.VictimKey, true)
 	}
 	lines := pw.Lines
@@ -375,6 +553,16 @@ func (c *Cache) Insert(pw trace.PW) InsertOutcome {
 	}
 	c.Stats.Insertions++
 	c.Stats.EntriesWritten += uint64(pw.Entries(c.cfg.UopsPerEntry))
+	if c.m != nil {
+		c.m.insertions.Inc()
+		c.m.entriesWritten.Add(uint64(pw.Entries(c.cfg.UopsPerEntry)))
+	}
+	if c.sink != nil {
+		c.sink.Emit(telemetry.Event{
+			Seq: c.clock, Kind: telemetry.EventInsert, Set: set, Key: pw.Start,
+			Uops: int(pw.NumUops), Policy: c.polName,
+		})
+	}
 	c.policy.OnInsert(set, pw)
 	return Inserted
 }
@@ -427,6 +615,19 @@ func (c *Cache) InvalidateLine(lineAddr uint64) int {
 			}
 		}
 		for _, key := range victims {
+			if c.m != nil || c.sink != nil {
+				r := c.sets[set].residents[key]
+				if c.m != nil {
+					c.m.invalidations.Inc()
+				}
+				if c.sink != nil {
+					c.sink.Emit(telemetry.Event{
+						Seq: c.clock, Kind: telemetry.EventInvalidate, Set: set, Key: key,
+						VictimKey: key, VictimUops: r.Uops, VictimAge: c.clock - lastTouch(r),
+						Policy: c.polName,
+					})
+				}
+			}
 			c.removeResident(set, key, true)
 			c.Stats.Invalidations++
 			n++
