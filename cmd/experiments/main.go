@@ -172,6 +172,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, "experiments: manifest:", err)
 			os.Exit(1)
 		}
+		if *manifest != "" {
+			fmt.Fprintln(os.Stderr, "experiments: build", buildLine(man.Build))
+		}
 		if !*quiet {
 			fmt.Fprintln(os.Stderr, "experiments: manifest written to", path)
 		}
@@ -183,6 +186,23 @@ func main() {
 	if len(man.Failures) > 0 {
 		os.Exit(1)
 	}
+}
+
+// buildLine renders the manifest's build identification (go version, VCS
+// revision, dirty marker) for the -manifest status line, so a result file
+// can be tied back to the exact tree that produced it.
+func buildLine(b telemetry.BuildInfo) string {
+	rev := b.Revision
+	switch {
+	case rev == "":
+		rev = "revision unknown"
+	case len(rev) > 12:
+		rev = rev[:12]
+	}
+	if b.Modified {
+		rev += "+dirty"
+	}
+	return fmt.Sprintf("%s %s (%s)", b.GoVersion, rev, b.Module)
 }
 
 // manifestPath picks where the run manifest goes: the explicit flag first,

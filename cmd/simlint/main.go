@@ -1,0 +1,73 @@
+// Command simlint runs the simulator's static-analysis suite (package
+// internal/analysis) over the module: determinism, hot-path allocation,
+// registry coverage, telemetry naming, and switch exhaustiveness.
+//
+// Usage:
+//
+//	simlint [-list] [-analyzers name,name] [packages]
+//
+// With no packages, ./... is analyzed. Diagnostics print as
+// file:line:col: [analyzer] message, and any finding makes the exit status
+// non-zero, so CI can run `go run ./cmd/simlint ./...` as a blocking job
+// beside vet and race. Suppress a finding inline with
+// `//simlint:ignore <analyzer> <reason>` — see ANALYSIS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"uopsim/internal/analysis"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list analyzers and exit")
+		names = flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := analysis.All()
+	if *names != "" {
+		analyzers = analyzers[:0:0]
+		for _, n := range strings.Split(*names, ",") {
+			a, ok := analysis.ByName(strings.TrimSpace(n))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "simlint: unknown analyzer %q (try -list)\n", n)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	prog, err := analysis.Load(".", flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	diags := analysis.Run(prog, analyzers)
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = rel
+			}
+		}
+		fmt.Printf("%s:%d:%d: [%s] %s\n", file, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "simlint: %d finding(s) in %d package(s)\n", len(diags), len(prog.Packages))
+		os.Exit(1)
+	}
+}

@@ -64,9 +64,9 @@ func main() {
 	pws := trace.FormPWs(blks, 0)
 	prog.Step("write", *out, 2, 2, time.Since(phase))
 	if reg := obs.Registry; reg != nil {
-		reg.Counter("tracegen_blocks_total").Add(uint64(len(blks)))
-		reg.Counter("tracegen_pws_total").Add(uint64(len(pws)))
-		h := reg.Histogram("tracegen_pw_uops")
+		reg.Counter("offline_tracegen_blocks_total").Add(uint64(len(blks)))
+		reg.Counter("offline_tracegen_pws_total").Add(uint64(len(pws)))
+		h := reg.Histogram("offline_tracegen_pw_uops")
 		for _, pw := range pws {
 			h.Observe(uint64(pw.NumUops))
 		}

@@ -1,0 +1,246 @@
+// Package analysis is a from-scratch static-analysis framework for the
+// simulator, built only on the standard library's go/ast, go/parser and
+// go/types (the repository's stdlib-only rule rules out golang.org/x/tools).
+// It loads the module, type-checks every package, and runs a set of pluggable
+// analyzers that enforce the invariants the paper's evaluation depends on:
+// bit-for-bit reproducible runs, allocation-free hot paths, and registries
+// that actually cover the implementations they claim to.
+//
+// Diagnostics can be suppressed inline with
+//
+//	//simlint:ignore <analyzer> <reason>
+//
+// placed on the offending line or on the line directly above it. The reason
+// is mandatory: a suppression without one is itself a diagnostic. See
+// ANALYSIS.md at the repository root for the analyzer catalogue and the
+// contract in full.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, positioned at a concrete file:line.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Package is one type-checked package of the loaded program.
+type Package struct {
+	// Path is the import path; Name the package name.
+	Path, Name string
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Files are the parsed sources (non-test files only).
+	Files []*ast.File
+}
+
+// Program is a fully loaded, fully type-checked set of packages sharing one
+// FileSet and one types.Info, so cross-package analyzers resolve ASTs and
+// objects uniformly.
+type Program struct {
+	Fset     *token.FileSet
+	Info     *types.Info
+	Packages []*Package
+
+	byPath    map[string]*Package
+	funcDecls map[*types.Func]*ast.FuncDecl
+}
+
+// Lookup returns the loaded package with the given import path, if any.
+func (p *Program) Lookup(path string) *Package { return p.byPath[path] }
+
+// IsModulePackage reports whether pkg was loaded from source (a package of
+// this module) rather than imported from export data.
+func (p *Program) IsModulePackage(pkg *types.Package) bool {
+	if pkg == nil {
+		return false
+	}
+	return p.byPath[pkg.Path()] != nil
+}
+
+// Pass carries one analyzer's run over a program.
+type Pass struct {
+	Prog     *Program
+	analyzer *Analyzer
+	report   func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Prog.Fset.Position(pos),
+		Analyzer: p.analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one pluggable check.
+type Analyzer struct {
+	// Name is the identifier used in diagnostics and ignore directives.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Run executes the check over the whole program.
+	Run func(*Pass)
+}
+
+// Run executes the analyzers over the program and returns their diagnostics
+// with inline suppressions applied, sorted by position. Malformed or unknown
+// suppression directives are reported as diagnostics of the pseudo-analyzer
+// "simlint".
+func Run(prog *Program, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{Prog: prog, analyzer: a}
+		pass.report = func(d Diagnostic) { diags = append(diags, d) }
+		a.Run(pass)
+	}
+	dirs, problems := collectDirectives(prog, analyzers)
+	kept := problems
+	for _, d := range diags {
+		if !dirs.suppresses(d) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+	return kept
+}
+
+// ignoreDirective is one parsed //simlint:ignore comment.
+type ignoreDirective struct {
+	analyzer string
+	line     int // the comment's own line
+}
+
+// directiveIndex maps filename -> analyzer -> set of lines carrying an
+// ignore. A directive suppresses its own line and the line below it, so a
+// trailing comment and a comment-above both work.
+type directiveIndex map[string]map[string]map[int]bool
+
+func (idx directiveIndex) suppresses(d Diagnostic) bool {
+	lines := idx[d.Pos.Filename][d.Analyzer]
+	return lines[d.Pos.Line] || lines[d.Pos.Line-1]
+}
+
+const (
+	ignorePrefix  = "simlint:ignore"
+	hotpathMarker = "simlint:hotpath"
+)
+
+// collectDirectives parses every //simlint:ignore comment in the program,
+// returning the suppression index and diagnostics for malformed directives
+// (missing analyzer, missing reason, or an analyzer name no one registered).
+func collectDirectives(prog *Program, analyzers []*Analyzer) (directiveIndex, []Diagnostic) {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	idx := directiveIndex{}
+	var problems []Diagnostic
+	problem := func(pos token.Position, format string, args ...any) {
+		problems = append(problems, Diagnostic{Pos: pos, Analyzer: "simlint", Message: fmt.Sprintf(format, args...)})
+	}
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text, ok := strings.CutPrefix(c.Text, "//"+ignorePrefix)
+					if !ok {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					fields := strings.Fields(text)
+					if len(fields) == 0 {
+						problem(pos, "ignore directive names no analyzer (want //%s <analyzer> <reason>)", ignorePrefix)
+						continue
+					}
+					name := fields[0]
+					if !known[name] && name != "simlint" {
+						problem(pos, "ignore directive names unknown analyzer %q", name)
+						continue
+					}
+					if len(fields) < 2 {
+						problem(pos, "ignore directive for %q gives no reason; the reason is mandatory", name)
+						continue
+					}
+					if idx[pos.Filename] == nil {
+						idx[pos.Filename] = map[string]map[int]bool{}
+					}
+					if idx[pos.Filename][name] == nil {
+						idx[pos.Filename][name] = map[int]bool{}
+					}
+					idx[pos.Filename][name][pos.Line] = true
+				}
+			}
+		}
+	}
+	return idx, problems
+}
+
+// isHotpathMarked reports whether the function declaration carries the
+// //simlint:hotpath marker in its doc comment.
+func isHotpathMarked(decl *ast.FuncDecl) bool {
+	if decl.Doc == nil {
+		return false
+	}
+	for _, c := range decl.Doc.List {
+		if strings.HasPrefix(c.Text, "//"+hotpathMarker) {
+			return true
+		}
+	}
+	return false
+}
+
+// funcFor resolves a FuncDecl to its types.Func object.
+func (p *Program) funcFor(decl *ast.FuncDecl) *types.Func {
+	if obj, ok := p.Info.Defs[decl.Name].(*types.Func); ok {
+		return obj
+	}
+	return nil
+}
+
+// declOf finds the FuncDecl for a function object, if it was loaded from
+// source. The index over every declaration is built once, on first use.
+func (p *Program) declOf(fn *types.Func) *ast.FuncDecl {
+	if p.funcDecls == nil {
+		p.funcDecls = map[*types.Func]*ast.FuncDecl{}
+		for _, pkg := range p.Packages {
+			for _, f := range pkg.Files {
+				for _, decl := range f.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok {
+						continue
+					}
+					if obj, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+						p.funcDecls[obj] = fd
+					}
+				}
+			}
+		}
+	}
+	return p.funcDecls[fn]
+}

@@ -1,0 +1,22 @@
+package analysis
+
+// All returns every registered analyzer, in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Determinism,
+		Hotpath,
+		Registry,
+		Telemetry,
+		Exhaustive,
+	}
+}
+
+// ByName resolves an analyzer by its diagnostic name.
+func ByName(name string) (*Analyzer, bool) {
+	for _, a := range All() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return nil, false
+}

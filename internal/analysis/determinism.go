@@ -1,0 +1,234 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Determinism enforces bit-for-bit reproducibility in the simulation
+// packages: the paper's evaluation (seeded synthetic workloads standing in
+// for Intel PT traces) is only trustworthy if a rerun reproduces every
+// number, so simulation state may not depend on the wall clock, on the
+// process-global random source, or on Go's randomized map iteration order.
+//
+// Three rules, scoped to the packages whose names are in determinismScope:
+//
+//  1. no references to time.Now;
+//  2. no references to math/rand (or math/rand/v2) package-level functions
+//     that use the global source — construct rand.New(rand.NewSource(seed))
+//     explicitly instead;
+//  3. a `range` over a map may not append to a slice, write table/CSV rows,
+//     or emit telemetry events in its body, unless the appended slice is
+//     passed to a sort call after the loop (the collect-keys-then-sort
+//     idiom, which is the approved fix).
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "forbid wall-clock, global randomness, and ordered emission from map iteration in simulation packages",
+	Run:  runDeterminism,
+}
+
+// determinismScope names the packages whose state feeds simulation results.
+var determinismScope = map[string]bool{
+	"uopcache":    true,
+	"policy":      true,
+	"workload":    true,
+	"offline":     true,
+	"experiments": true,
+	"profiles":    true,
+}
+
+// randAllowed are math/rand package-level functions that only construct
+// explicitly seeded generators.
+var randAllowed = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runDeterminism(pass *Pass) {
+	for _, pkg := range pass.Prog.Packages {
+		if !determinismScope[pkg.Name] {
+			continue
+		}
+		for _, file := range pkg.Files {
+			checkBannedRefs(pass, file)
+			checkMapRanges(pass, file)
+		}
+	}
+}
+
+// checkBannedRefs flags references to time.Now and to math/rand global-source
+// functions.
+func checkBannedRefs(pass *Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := pass.Prog.Info.Uses[id].(*types.Func)
+		if !ok || obj.Pkg() == nil {
+			return true
+		}
+		// Only package-scope functions: methods like rand.Rand.Intn on an
+		// explicitly seeded generator are the approved pattern.
+		if obj.Pkg().Scope().Lookup(obj.Name()) != obj {
+			return true
+		}
+		switch obj.Pkg().Path() {
+		case "time":
+			if obj.Name() == "Now" {
+				pass.Reportf(id.Pos(), "time.Now in a simulation package: results must not depend on the wall clock")
+			}
+		case "math/rand", "math/rand/v2":
+			if !randAllowed[obj.Name()] {
+				pass.Reportf(id.Pos(), "math/rand.%s uses the process-global source: construct rand.New(rand.NewSource(seed)) instead", obj.Name())
+			}
+		}
+		return true
+	})
+}
+
+// checkMapRanges flags map-iteration bodies that produce ordered output.
+func checkMapRanges(pass *Pass, file *ast.File) {
+	info := pass.Prog.Info
+	// Walk function by function so the sort-guard search has a scope.
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := info.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRangeBody(pass, fd, rng)
+			return true
+		})
+	}
+}
+
+func checkMapRangeBody(pass *Pass, fn *ast.FuncDecl, rng *ast.RangeStmt) {
+	info := pass.Prog.Info
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			// v = append(v, ...) — fine only when v is sorted after the
+			// loop; anything else bakes map order into a sequence.
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltin(info, call.Fun, "append") {
+					continue
+				}
+				if i < len(n.Lhs) {
+					if id, ok := n.Lhs[i].(*ast.Ident); ok {
+						if sortGuarded(pass, fn, call, id) {
+							continue
+						}
+						pass.Reportf(call.Pos(), "append to %s inside map iteration without a later sort: slice order inherits Go's randomized map order", id.Name)
+						continue
+					}
+				}
+				pass.Reportf(call.Pos(), "append inside map iteration: the result's order inherits Go's randomized map order")
+			}
+		case *ast.CallExpr:
+			if name, ok := emissionCall(info, n); ok {
+				pass.Reportf(n.Pos(), "%s inside map iteration emits rows/events in Go's randomized map order; iterate sorted keys instead", name)
+			}
+		}
+		return true
+	})
+}
+
+// emissionCall reports whether the call writes ordered output: fmt printing,
+// table rows, CSV records, or telemetry events.
+func emissionCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if obj, ok := info.Uses[fun.Sel].(*types.Func); ok && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+			switch obj.Name() {
+			case "Print", "Println", "Printf", "Fprint", "Fprintln", "Fprintf":
+				return "fmt." + obj.Name(), true
+			}
+		}
+		switch fun.Sel.Name {
+		case "AddRow", "Emit", "Write", "WriteString", "WriteRow":
+			// Method calls that append to ordered sinks.
+			if sel, ok := info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+				return fun.Sel.Name, true
+			}
+		}
+	}
+	return "", false
+}
+
+// sortGuarded reports whether id (a slice collected inside a map range) is
+// passed to a sort call textually after the append, anywhere later in the
+// enclosing function — the collect-then-sort idiom. The guard may sit inside
+// the same enclosing loop: sorting per iteration is just as deterministic.
+func sortGuarded(pass *Pass, fn *ast.FuncDecl, appendCall *ast.CallExpr, id *ast.Ident) bool {
+	info := pass.Prog.Info
+	target := info.ObjectOf(id)
+	if target == nil {
+		return false
+	}
+	guarded := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if guarded {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= appendCall.End() || len(call.Args) == 0 {
+			return true
+		}
+		if !isSortCall(info, call.Fun) {
+			return true
+		}
+		if arg, ok := call.Args[0].(*ast.Ident); ok && info.ObjectOf(arg) == target {
+			guarded = true
+		}
+		return true
+	})
+	return guarded
+}
+
+// isSortCall recognizes the sort/slices ordering entry points.
+func isSortCall(info *types.Info, fun ast.Expr) bool {
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() {
+	case "sort":
+		switch obj.Name() {
+		case "Slice", "SliceStable", "Sort", "Stable", "Strings", "Ints", "Float64s":
+			return true
+		}
+	case "slices":
+		switch obj.Name() {
+		case "Sort", "SortFunc", "SortStableFunc":
+			return true
+		}
+	}
+	return false
+}
+
+// isBuiltin reports whether fun resolves to the named builtin.
+func isBuiltin(info *types.Info, fun ast.Expr, name string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}

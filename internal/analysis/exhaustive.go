@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Exhaustive enforces that a switch over one of the repository's enum-like
+// constant sets (event kinds, probe kinds, profile sources, insert outcomes,
+// ...) either covers every declared constant or carries a default clause.
+// Adding an enum member without updating every switch is how an event kind
+// silently renders as an empty string in the JSONL trace.
+//
+// An enum-like set is a defined non-boolean basic type declared in a module
+// package that has at least two package-level constants of that exact type.
+var Exhaustive = &Analyzer{
+	Name: "exhaustive",
+	Doc:  "switches over module enum types must cover all constants or have a default",
+	Run:  runExhaustive,
+}
+
+func runExhaustive(pass *Pass) {
+	prog := pass.Prog
+	enums := map[*types.TypeName][]*types.Const{}
+
+	enumConsts := func(tn *types.TypeName) []*types.Const {
+		if cs, ok := enums[tn]; ok {
+			return cs
+		}
+		var cs []*types.Const
+		scope := tn.Pkg().Scope()
+		for _, name := range scope.Names() {
+			c, ok := scope.Lookup(name).(*types.Const)
+			if !ok {
+				continue
+			}
+			if types.Identical(c.Type(), tn.Type()) {
+				cs = append(cs, c)
+			}
+		}
+		enums[tn] = cs
+		return cs
+	}
+
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				sw, ok := n.(*ast.SwitchStmt)
+				if !ok || sw.Tag == nil {
+					return true
+				}
+				tv, ok := prog.Info.Types[sw.Tag]
+				if !ok || tv.Type == nil {
+					return true
+				}
+				named, ok := tv.Type.(*types.Named)
+				if !ok {
+					return true
+				}
+				tn := named.Obj()
+				if tn.Pkg() == nil || !prog.IsModulePackage(tn.Pkg()) {
+					return true
+				}
+				basic, ok := named.Underlying().(*types.Basic)
+				if !ok || basic.Info()&types.IsBoolean != 0 {
+					return true
+				}
+				consts := enumConsts(tn)
+				if len(consts) < 2 {
+					return true
+				}
+
+				covered := map[string]bool{}
+				hasDefault := false
+				for _, stmt := range sw.Body.List {
+					cc, ok := stmt.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					if cc.List == nil {
+						hasDefault = true
+						continue
+					}
+					for _, e := range cc.List {
+						if etv, ok := prog.Info.Types[e]; ok && etv.Value != nil {
+							covered[valueKey(etv.Value)] = true
+						}
+					}
+				}
+				if hasDefault {
+					return true
+				}
+				var missing []string
+				for _, c := range consts {
+					if !covered[valueKey(c.Val())] {
+						missing = append(missing, c.Name())
+					}
+				}
+				if len(missing) > 0 {
+					sort.Strings(missing)
+					pass.Reportf(sw.Pos(), "switch over %s.%s is missing cases for %s and has no default",
+						tn.Pkg().Name(), tn.Name(), strings.Join(missing, ", "))
+				}
+				return true
+			})
+		}
+	}
+}
+
+// valueKey canonicalizes a constant value so aliases of the same value count
+// as covering each other.
+func valueKey(v constant.Value) string { return v.ExactString() }

@@ -1,0 +1,376 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Hotpath enforces allocation discipline in functions marked with a
+// //simlint:hotpath doc comment (the micro-op cache Lookup/Insert, policy
+// decision methods, and the frontend dispatch). The simulator's throughput
+// budget — sweeping 11 applications across dozens of configurations — dies by
+// a thousand per-lookup allocations, and the existing AllocsPerRun tests only
+// cover the paths a test happens to drive; this check covers them all.
+//
+// Inside a marked function, and inside every unmarked function it reaches
+// through static calls, the following are violations:
+//
+//   - slice or map composite literals, and address-taken composite literals
+//     (&T{...}) — both heap-allocate;
+//   - append to a slice that has no visible make(...) preallocation in the
+//     same function;
+//   - any fmt.* call;
+//   - non-constant string concatenation;
+//   - implicit conversion of a non-interface value to an interface parameter
+//     (boxing), except in panic arguments (a dying run may allocate);
+//   - function literals (closure creation allocates).
+//
+// Calls through interfaces cannot be resolved statically and are not
+// followed; every Policy implementation is expected to carry its own marker,
+// which is what the satellite annotations do. Marked callees are skipped —
+// they are checked in their own right. `make` itself is deliberately allowed:
+// capacity-managed allocation is the approved pattern, unbounded growth is
+// the anti-pattern.
+var Hotpath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "forbid allocating constructs in //simlint:hotpath functions and everything they statically call",
+	Run:  runHotpath,
+}
+
+func runHotpath(pass *Pass) {
+	prog := pass.Prog
+
+	// Roots: every function carrying the marker.
+	type rootedFn struct {
+		fn   *types.Func
+		decl *ast.FuncDecl
+		via  string // "" for roots; otherwise the marked entry point
+	}
+	var queue []rootedFn
+	marked := map[*types.Func]bool{}
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !isHotpathMarked(fd) {
+					continue
+				}
+				fn := prog.funcFor(fd)
+				if fn == nil {
+					continue
+				}
+				marked[fn] = true
+				queue = append(queue, rootedFn{fn: fn, decl: fd})
+			}
+		}
+	}
+
+	// BFS over static call edges; each reachable function is checked once,
+	// attributed to the first marked entry point that reached it.
+	seen := map[*types.Func]bool{}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if seen[cur.fn] {
+			continue
+		}
+		seen[cur.fn] = true
+
+		entry := cur.via
+		if entry == "" {
+			entry = funcDisplayName(cur.fn)
+		}
+		checkHotBody(pass, cur.decl, cur.fn, cur.via)
+
+		for _, callee := range staticCallees(prog, cur.decl.Body) {
+			if marked[callee] || seen[callee] {
+				continue
+			}
+			decl := prog.declOf(callee)
+			if decl == nil || decl.Body == nil {
+				continue // no source: stdlib or export-data-only
+			}
+			queue = append(queue, rootedFn{fn: callee, decl: decl, via: entry})
+		}
+	}
+}
+
+// funcDisplayName renders pkg.Func or pkg.(*T).Method for diagnostics.
+func funcDisplayName(fn *types.Func) string {
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return fmt.Sprintf("%s.%s", types.TypeString(sig.Recv().Type(), types.RelativeTo(fn.Pkg())), fn.Name())
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// staticCallees resolves every call in body that names a concrete function:
+// package-level functions and methods on concrete receivers. Interface
+// methods and function values are unresolvable and skipped.
+func staticCallees(prog *Program, body *ast.BlockStmt) []*types.Func {
+	var out []*types.Func
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := resolveCallee(prog.Info, call); fn != nil {
+			out = append(out, fn)
+		}
+		return true
+	})
+	return out
+}
+
+// resolveCallee returns the concrete function a call statically targets, or
+// nil for builtins, conversions, function values, and interface methods.
+func resolveCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if sel.Kind() != types.MethodVal {
+				return nil
+			}
+			if _, ok := sel.Recv().Underlying().(*types.Interface); ok {
+				return nil // dynamic dispatch
+			}
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+			return nil
+		}
+		// Package-qualified call: pkg.Func.
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// checkHotBody applies the allocation rules to one function on the hot path.
+// via is empty for functions carrying the marker themselves and names the
+// marked entry point for functions reached transitively.
+func checkHotBody(pass *Pass, decl *ast.FuncDecl, fn *types.Func, via string) {
+	info := pass.Prog.Info
+	where := ""
+	if via != "" {
+		where = fmt.Sprintf(" (%s is reached from hot path %s)", funcDisplayName(fn), via)
+	}
+	report := func(pos token.Pos, format string, args ...any) {
+		pass.Reportf(pos, "%s%s", fmt.Sprintf(format, args...), where)
+	}
+
+	prealloc := preallocatedVars(info, decl.Body)
+
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			report(n.Pos(), "function literal on the hot path: closure creation allocates")
+			return false // the literal's body runs via a func value; unresolvable anyway
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if cl, ok := n.X.(*ast.CompositeLit); ok {
+					if !isSliceOrMapLit(info, cl) { // those are flagged at the literal itself
+						report(n.Pos(), "address-taken composite literal escapes to the heap")
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			if isSliceOrMapLit(info, n) {
+				report(n.Pos(), "%s composite literal allocates", typeKindName(info, n))
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringExpr(info, n) && info.Types[n].Value == nil {
+				report(n.Pos(), "string concatenation allocates")
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringExpr(info, n.Lhs[0]) {
+				report(n.Pos(), "string concatenation allocates")
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, report, info, n, prealloc)
+		}
+		return true
+	})
+}
+
+// checkHotCall applies the call-site rules: append preallocation, fmt bans,
+// and interface boxing of arguments.
+func checkHotCall(pass *Pass, report func(token.Pos, string, ...any), info *types.Info, call *ast.CallExpr, prealloc map[types.Object]bool) {
+	// Conversions: T(x) with T an interface type boxes x.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if isInterface(tv.Type) && len(call.Args) == 1 && !isInterfaceExpr(info, call.Args[0]) {
+			report(call.Pos(), "conversion to interface type boxes the operand")
+		}
+		return
+	}
+
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isB := info.Uses[id].(*types.Builtin); isB {
+			switch id.Name {
+			case "append":
+				if len(call.Args) > 0 {
+					if arg, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+						if prealloc[info.ObjectOf(arg)] {
+							return
+						}
+						report(call.Pos(), "append to %s, which has no visible make(...) preallocation in this function", arg.Name)
+						return
+					}
+					report(call.Pos(), "append to a non-preallocated slice expression")
+				}
+			case "panic":
+				// A dying run may allocate; skip boxing of the argument.
+			}
+			return
+		}
+	}
+
+	if fn := resolveCallee(info, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		report(call.Pos(), "fmt.%s on the hot path allocates", fn.Name())
+		return
+	}
+
+	// Interface boxing of arguments to any call (static or dynamic).
+	sig, ok := typeAsSignature(info, call.Fun)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case i < params.Len()-1 || (!sig.Variadic() && i < params.Len()):
+			pt = params.At(i).Type()
+		case sig.Variadic() && call.Ellipsis == token.NoPos:
+			if sl, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case params.Len() > 0:
+			pt = params.At(params.Len() - 1).Type()
+		}
+		if pt == nil || !isInterface(pt) {
+			continue
+		}
+		if isInterfaceExpr(info, arg) || isNilExpr(info, arg) || isPointerExpr(info, arg) {
+			continue
+		}
+		report(arg.Pos(), "non-interface value passed to interface parameter boxes (allocates)")
+	}
+}
+
+// preallocatedVars collects variables that are assigned a make(...) result
+// anywhere in the body; append to those is treated as capacity-managed.
+func preallocatedVars(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	mark := func(lhs ast.Expr, rhs ast.Expr) {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || !isBuiltin(info, call.Fun, "make") {
+			return
+		}
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+			if obj := info.ObjectOf(id); obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i := range n.Lhs {
+				if i < len(n.Rhs) {
+					mark(n.Lhs[i], n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			for i := range n.Names {
+				if i < len(n.Values) {
+					mark(n.Names[i], n.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func isSliceOrMapLit(info *types.Info, cl *ast.CompositeLit) bool {
+	tv, ok := info.Types[cl]
+	if !ok {
+		return false
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Slice, *types.Map:
+		return true
+	}
+	return false
+}
+
+func typeKindName(info *types.Info, cl *ast.CompositeLit) string {
+	if tv, ok := info.Types[cl]; ok {
+		switch tv.Type.Underlying().(type) {
+		case *types.Slice:
+			return "slice"
+		case *types.Map:
+			return "map"
+		}
+	}
+	return "composite"
+}
+
+func isStringExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isInterface(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+func isInterfaceExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Type != nil && isInterface(tv.Type)
+}
+
+// isPointerExpr exempts pointer arguments from the boxing rule: storing a
+// pointer in an interface word does not allocate the pointee.
+func isPointerExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, ok = tv.Type.Underlying().(*types.Pointer)
+	return ok
+}
+
+func isNilExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+// typeAsSignature extracts the signature of a callable expression.
+func typeAsSignature(info *types.Info, fun ast.Expr) (*types.Signature, bool) {
+	tv, ok := info.Types[fun]
+	if !ok || tv.Type == nil {
+		return nil, false
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	return sig, ok
+}

@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// listPackage is the subset of `go list -json` output the loader consumes.
+type listPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Export     string
+	Standard   bool
+	GoFiles    []string
+	Imports    []string
+	Error      *struct{ Err string }
+}
+
+// Load type-checks the packages matched by patterns (plus everything they
+// import) using only the standard library: `go list -export` enumerates the
+// package graph and provides export data for out-of-module dependencies, and
+// module packages are parsed and type-checked from source in dependency
+// order. dir is the working directory the patterns are resolved in (any
+// directory inside the module).
+//
+// Only non-test Go files are loaded: the invariants simlint enforces concern
+// the simulator itself, and test files are free to allocate, time, and
+// iterate maps as they please.
+func Load(dir string, patterns ...string) (*Program, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	exports := map[string]string{}
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	// The gc importer reads export data for packages outside the module
+	// (in a stdlib-only repo, that is the standard library itself).
+	gc := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("simlint: no export data for %q (is the build cache cold?)", path)
+		}
+		return os.Open(f)
+	})
+
+	prog := &Program{
+		Fset: fset,
+		Info: &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+			Scopes:     map[ast.Node]*types.Scope{},
+		},
+		byPath: map[string]*Package{},
+	}
+	checked := map[string]*types.Package{}
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if tp, ok := checked[path]; ok {
+			return tp, nil
+		}
+		return gc.Import(path)
+	})
+
+	// `go list -deps` emits dependencies before dependents, so a single
+	// forward pass type-checks every module package after its imports.
+	for _, p := range pkgs {
+		if p.Standard {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("simlint: load %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("simlint: parse: %w", err)
+			}
+			files = append(files, f)
+		}
+		conf := types.Config{Importer: imp}
+		tp, err := conf.Check(p.ImportPath, fset, files, prog.Info)
+		if err != nil {
+			return nil, fmt.Errorf("simlint: typecheck %s: %w", p.ImportPath, err)
+		}
+		checked[p.ImportPath] = tp
+		pkg := &Package{Path: p.ImportPath, Name: tp.Name(), Types: tp, Files: files}
+		prog.Packages = append(prog.Packages, pkg)
+		prog.byPath[p.ImportPath] = pkg
+	}
+	if len(prog.Packages) == 0 {
+		return nil, fmt.Errorf("simlint: no packages matched %v", patterns)
+	}
+	return prog, nil
+}
+
+// goList runs `go list -e -export -json -deps patterns...` in dir and decodes
+// the package stream.
+func goList(dir string, patterns []string) ([]*listPackage, error) {
+	args := []string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,Name,GoFiles,Imports,Standard,Export,Error",
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("simlint: go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	dec := json.NewDecoder(&stdout)
+	var pkgs []*listPackage
+	seen := map[string]bool{}
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("simlint: decode go list output: %w", err)
+		}
+		if seen[p.ImportPath] {
+			continue
+		}
+		seen[p.ImportPath] = true
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

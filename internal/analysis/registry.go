@@ -1,0 +1,176 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Registry enforces that the simulator's registries actually cover their
+// implementations — a policy or experiment that compiles but is unreachable
+// from the factory silently drops out of every sweep, which is exactly the
+// kind of reviewer-vigilance failure the suite exists to remove.
+//
+// Two checks:
+//
+//  1. every concrete type in a package named "policy" that implements the
+//     Policy interface (resolved from a package named "uopcache", falling
+//     back to the policy package itself) must be constructed somewhere inside
+//     a factory function named NewPolicy;
+//  2. in a package named "experiments" that declares a Runner func type and a
+//     Registry function, every exported package-level function assignable to
+//     Runner must be referenced inside Registry's body.
+var Registry = &Analyzer{
+	Name: "registry",
+	Doc:  "every Policy implementation must be reachable from NewPolicy; every experiment Runner must be in Registry()",
+	Run:  runRegistry,
+}
+
+func runRegistry(pass *Pass) {
+	checkPolicyRegistry(pass)
+	checkExperimentRegistry(pass)
+}
+
+// policyInterface finds the Policy interface definition, preferring the
+// uopcache package (the real repo layout) and falling back to a package
+// named "policy" (self-contained fixtures).
+func policyInterface(prog *Program) *types.Interface {
+	for _, name := range []string{"uopcache", "policy"} {
+		for _, pkg := range prog.Packages {
+			if pkg.Name != name {
+				continue
+			}
+			obj := pkg.Types.Scope().Lookup("Policy")
+			if obj == nil {
+				continue
+			}
+			if iface, ok := obj.Type().Underlying().(*types.Interface); ok {
+				return iface
+			}
+		}
+	}
+	return nil
+}
+
+func checkPolicyRegistry(pass *Pass) {
+	prog := pass.Prog
+	iface := policyInterface(prog)
+	if iface == nil || iface.NumMethods() == 0 {
+		return
+	}
+
+	// Reachable: the named types of every expression inside a NewPolicy
+	// body whose (pointer-stripped) type implements the interface. A
+	// factory line like `return policy.NewLRU(), nil` marks LRU.
+	reachable := map[*types.TypeName]bool{}
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || fd.Name.Name != "NewPolicy" || fd.Recv != nil {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					e, ok := n.(ast.Expr)
+					if !ok {
+						return true
+					}
+					tv, ok := prog.Info.Types[e]
+					if !ok || tv.Type == nil {
+						return true
+					}
+					if named := namedImplementation(tv.Type, iface); named != nil {
+						reachable[named.Obj()] = true
+					}
+					return true
+				})
+			}
+		}
+	}
+
+	for _, pkg := range prog.Packages {
+		if pkg.Name != "policy" {
+			continue
+		}
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			if _, isIface := tn.Type().Underlying().(*types.Interface); isIface {
+				continue
+			}
+			named := namedImplementation(types.NewPointer(tn.Type()), iface)
+			if named == nil || named.Obj() != tn {
+				continue
+			}
+			if !reachable[tn] {
+				pass.Reportf(tn.Pos(), "%s implements Policy but is not constructed in any NewPolicy factory: it is unreachable from the policy registry", tn.Name())
+			}
+		}
+	}
+}
+
+// namedImplementation strips pointers from t and returns the named type if
+// it (or its pointer) implements iface.
+func namedImplementation(t types.Type, iface *types.Interface) *types.Named {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	if _, isIface := named.Underlying().(*types.Interface); isIface {
+		return nil
+	}
+	if types.Implements(named, iface) || types.Implements(types.NewPointer(named), iface) {
+		return named
+	}
+	return nil
+}
+
+func checkExperimentRegistry(pass *Pass) {
+	prog := pass.Prog
+	for _, pkg := range prog.Packages {
+		if pkg.Name != "experiments" {
+			continue
+		}
+		scope := pkg.Types.Scope()
+		runnerObj, ok := scope.Lookup("Runner").(*types.TypeName)
+		if !ok {
+			continue
+		}
+		regObj, ok := scope.Lookup("Registry").(*types.Func)
+		if !ok {
+			continue
+		}
+		regDecl := prog.declOf(regObj)
+		if regDecl == nil || regDecl.Body == nil {
+			continue
+		}
+		registered := map[types.Object]bool{}
+		ast.Inspect(regDecl.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if fn, ok := prog.Info.Uses[id].(*types.Func); ok {
+				registered[fn] = true
+			}
+			return true
+		})
+		for _, name := range scope.Names() {
+			fn, ok := scope.Lookup(name).(*types.Func)
+			if !ok || !fn.Exported() || fn == regObj {
+				continue
+			}
+			if !types.AssignableTo(fn.Type(), runnerObj.Type()) {
+				continue
+			}
+			if !registered[fn] {
+				pass.Reportf(fn.Pos(), "%s has the experiment Runner signature but is missing from Registry(): it will never run in a sweep", fn.Name())
+			}
+		}
+	}
+}

@@ -1,0 +1,57 @@
+// Package workload is a determinism-analyzer fixture: its name is inside the
+// analyzer's scope, so wall-clock reads, global randomness, and ordered
+// emission from map iteration must all be flagged.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func Seed() int64 {
+	return time.Now().UnixNano() // want "time.Now in a simulation package"
+}
+
+func Pick(n int) int {
+	return rand.Intn(n) // want "math/rand.Intn uses the process-global source"
+}
+
+func PickSeeded(n int) int {
+	r := rand.New(rand.NewSource(42)) // constructing a seeded source is the approved pattern
+	return r.Intn(n)
+}
+
+func Keys(m map[uint64]int) []uint64 {
+	var out []uint64
+	for k := range m {
+		out = append(out, k) // want "append to out inside map iteration"
+	}
+	return out
+}
+
+func SortedKeys(m map[uint64]int) []uint64 {
+	out := make([]uint64, 0, len(m))
+	for k := range m {
+		out = append(out, k) // collect-then-sort: guarded by the sort below
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func Dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want "fmt.Printf inside map iteration"
+	}
+}
+
+type table struct{ rows [][]string }
+
+func (t *table) AddRow(cells ...string) { t.rows = append(t.rows, cells) }
+
+func DumpTable(m map[string]int, tb *table) {
+	for k := range m {
+		tb.AddRow(k) // want "AddRow inside map iteration"
+	}
+}

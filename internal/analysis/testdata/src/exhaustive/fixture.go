@@ -1,0 +1,54 @@
+// Package exhaustive is an exhaustive-analyzer fixture: Kind is an enum-like
+// type (three same-typed package constants), so a switch over it must cover
+// every constant or carry a default.
+package exhaustive
+
+type Kind uint8
+
+const (
+	KindA Kind = iota
+	KindB
+	KindC
+)
+
+// KindLast aliases KindC's value, so covering either counts for both.
+const KindLast = KindC
+
+func incomplete(k Kind) string {
+	switch k { // want "switch over exhaustive.Kind is missing cases for KindC, KindLast and has no default"
+	case KindA:
+		return "a"
+	case KindB:
+		return "b"
+	}
+	return ""
+}
+
+func complete(k Kind) string {
+	switch k {
+	case KindA:
+		return "a"
+	case KindB:
+		return "b"
+	case KindC:
+		return "c"
+	}
+	return ""
+}
+
+func defaulted(k Kind) string {
+	switch k {
+	case KindA:
+		return "a"
+	default:
+		return "other"
+	}
+}
+
+func notEnum(s string) string {
+	switch s {
+	case "x":
+		return "x"
+	}
+	return ""
+}

@@ -1,0 +1,46 @@
+// Package hotpath is a hotpath-analyzer fixture: Lookup carries the marker,
+// helper is reached transitively, and cold is unmarked and unreferenced, so
+// its allocations must not be flagged.
+package hotpath
+
+import "fmt"
+
+func sink(v any) { _ = v }
+
+//simlint:hotpath
+func Lookup(keys []uint64, k uint64, prefix string) int {
+	s := fmt.Sprintf("%d", k) // want "fmt.Sprintf on the hot path allocates"
+	_ = s
+	xs := []int{1, 2, 3} // want "slice composite literal allocates"
+	_ = xs
+	counts := map[uint64]int{} // want "map composite literal allocates"
+	_ = counts
+	p := &point{1, 2} // want "address-taken composite literal escapes to the heap"
+	_ = p
+	var out []uint64
+	out = append(out, k) // want "append to out, which has no visible make"
+	_ = out
+	pre := make([]uint64, 0, 8)
+	pre = append(pre, k) // capacity-managed: allowed
+	_ = pre
+	name := prefix + "x" // want "string concatenation allocates"
+	_ = name
+	f := func() {} // want "function literal on the hot path"
+	f()
+	sink(k)    // want "non-interface value passed to interface parameter boxes"
+	sink(&k)   // pointer in interface word: no allocation, allowed
+	_ = any(k) // want "conversion to interface type boxes the operand"
+	helper()
+	return 0
+}
+
+type point struct{ x, y int }
+
+func helper() {
+	_ = fmt.Sprintln("x") // want "fmt.Sprintln on the hot path allocates .hotpath.helper is reached from hot path hotpath.Lookup"
+}
+
+func cold() {
+	_ = []int{1}
+	_ = fmt.Sprintln("cold")
+}

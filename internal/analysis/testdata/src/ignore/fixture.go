@@ -1,0 +1,29 @@
+// Package workload is the ignore-directive fixture: a and b are suppressed
+// (directive above the line and trailing on the line), c and d carry
+// malformed directives that must not suppress and must themselves be
+// reported, and the bare directive at the bottom names no analyzer.
+package workload
+
+import "time"
+
+func a() int64 {
+	//simlint:ignore determinism wall-clock used only for log timestamps
+	return time.Now().UnixNano()
+}
+
+func b() int64 {
+	return time.Now().UnixNano() //simlint:ignore determinism wall-clock used only for log timestamps
+}
+
+func c() int64 {
+	//simlint:ignore determinism
+	return time.Now().UnixNano()
+}
+
+func d() int64 {
+	//simlint:ignore nosuchcheck because reasons
+	return time.Now().UnixNano()
+}
+
+//simlint:ignore
+func e() {}

@@ -1,0 +1,21 @@
+// Package plotutil is a determinism-analyzer scoping fixture: the package
+// name is outside determinismScope, so nothing here may be flagged even
+// though every banned construct appears.
+package plotutil
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Stamp() int64 { return time.Now().UnixNano() }
+
+func Jitter(n int) int { return rand.Intn(n) }
+
+func Keys(m map[uint64]int) []uint64 {
+	var out []uint64
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

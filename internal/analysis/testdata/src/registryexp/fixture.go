@@ -1,0 +1,23 @@
+// Package experiments is a registry-analyzer fixture: Fig1 is registered,
+// Orphaned has the Runner signature but is missing from Registry(), and the
+// unexported helper is exempt.
+package experiments
+
+type Context struct{}
+
+type Runner func(ctx *Context) error
+
+type Entry struct {
+	ID  string
+	Run Runner
+}
+
+func Registry() []Entry {
+	return []Entry{{ID: "fig1", Run: Fig1}}
+}
+
+func Fig1(ctx *Context) error { return nil }
+
+func Orphaned(ctx *Context) error { return nil } // want "Orphaned has the experiment Runner signature but is missing from Registry"
+
+func helper(ctx *Context) error { return nil }

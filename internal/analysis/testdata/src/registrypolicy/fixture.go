@@ -1,0 +1,35 @@
+// Package policy is a registry-analyzer fixture: it declares its own Policy
+// interface (no uopcache package is loaded, so the analyzer falls back to
+// it), one registered implementation, and one orphan.
+package policy
+
+import "errors"
+
+type Resident struct{ Key uint64 }
+
+type Decision struct {
+	Bypass    bool
+	VictimKey uint64
+}
+
+type Policy interface {
+	Name() string
+	Victim(set int, residents []Resident) Decision
+}
+
+type LRU struct{}
+
+func (p *LRU) Name() string                                  { return "lru" }
+func (p *LRU) Victim(set int, residents []Resident) Decision { return Decision{} }
+
+type Orphan struct{} // want "Orphan implements Policy but is not constructed in any NewPolicy factory"
+
+func (p *Orphan) Name() string                                  { return "orphan" }
+func (p *Orphan) Victim(set int, residents []Resident) Decision { return Decision{} }
+
+func NewPolicy(name string) (Policy, error) {
+	if name == "lru" {
+		return &LRU{}, nil
+	}
+	return nil, errors.New("unknown policy")
+}

@@ -1,0 +1,25 @@
+// Package telemetry is a telemetry-analyzer fixture: it declares its own
+// Registry type (the analyzer matches by package and type name), so calls to
+// Counter/Gauge/Histogram here are subject to the metric-name contract.
+package telemetry
+
+type Counter struct{}
+
+func (c *Counter) Inc() {}
+
+type Registry struct{}
+
+func (r *Registry) Counter(name string) *Counter   { return nil }
+func (r *Registry) Gauge(name string) *Counter     { return nil }
+func (r *Registry) Histogram(name string) *Counter { return nil }
+
+const histName = "frontend_dispatch_cycles"
+
+func use(r *Registry, dynamic string) {
+	r.Counter("uopcache_hits_total")
+	r.Counter("policy_lru_evictions_total")
+	r.Histogram(histName)       // constants propagate: allowed
+	r.Counter(dynamic)          // want "metric name passed to Registry.Counter is not a compile-time constant"
+	r.Gauge("UopCache_Bad")     // want "does not match"
+	r.Histogram("misc_latency") // want "does not match"
+}

@@ -233,6 +233,9 @@ func (p *Predictor) Process(b trace.Block) Outcome {
 	}
 
 	switch b.Kind {
+	case trace.BranchNone:
+		// Unreachable: filtered by the IsBranch guard above. Listed so the
+		// switch stays exhaustive if a new BranchKind is added.
 	case trace.BranchCond:
 		p.Stats.CondBranches++
 		pred, provider := p.predictDir(pc)

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestExperimentOutputsDeterministic runs the same experiment twice from
+// fresh contexts and requires byte-identical rendered output. This is the
+// dynamic counterpart of the simlint determinism analyzer: tab2 covers the
+// serial trace/timing path, fig8 covers FLACK profiling, profiles.Weights
+// and the FURBYS detectors — the sites where map-iteration order could leak
+// into results.
+func TestExperimentOutputsDeterministic(t *testing.T) {
+	render := func(id string) string {
+		t.Helper()
+		run, ok := Lookup(id)
+		if !ok {
+			t.Fatalf("Lookup(%s) failed", id)
+		}
+		tbl, err := run(smallCtx())
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		var buf bytes.Buffer
+		if err := tbl.CSV(&buf); err != nil {
+			t.Fatalf("%s: CSV: %v", id, err)
+		}
+		if err := tbl.Markdown(&buf); err != nil {
+			t.Fatalf("%s: Markdown: %v", id, err)
+		}
+		return buf.String()
+	}
+	for _, id := range []string{"tab2", "fig8"} {
+		first, second := render(id), render(id)
+		if first != second {
+			t.Errorf("experiment %s output differs between identical runs:\n--- first ---\n%s\n--- second ---\n%s", id, first, second)
+		}
+	}
+}

@@ -329,6 +329,7 @@ func (c *Context) forEachApp(fn func(app string) error) error {
 		go func() {
 			defer wg.Done()
 			for app := range ch {
+				//simlint:ignore determinism wall-clock progress reporting only; never feeds simulation state
 				start := time.Now()
 				err := fn(app)
 				doneMu.Lock()
@@ -356,6 +357,7 @@ func (c *Context) forEachApp(fn func(app string) error) error {
 func (c *Context) eachApp(fn func(app string) error) error {
 	apps := c.AppList()
 	for i, app := range apps {
+		//simlint:ignore determinism wall-clock progress reporting only; never feeds simulation state
 		start := time.Now()
 		err := fn(app)
 		c.recordApp(app, time.Since(start), i+1, len(apps), err)

@@ -165,6 +165,9 @@ func New(cfg Config, bp *branch.Predictor, uc *uopcache.Cache, l1i *cache.Cache,
 		cfg: cfg, bp: bp, uc: uc, l1i: l1i, be: be,
 		former:  trace.NewFormer(0),
 		pending: make(map[uint64]trace.PW),
+		// Bounded by windows in decode flight; preallocated so the serve
+		// path's append never grows it in steady state.
+		pendingDue: make([]pendingInsert, 0, 64),
 	}
 	if l1i != nil && !cfg.NonInclusive {
 		l1i.OnEvict = func(lineAddr uint64) { uc.InvalidateLine(lineAddr) }
@@ -214,6 +217,8 @@ func (f *Frontend) step(b trace.Block) {
 
 // servePW delivers one prediction window to the micro-op queue, charging
 // cycles for the path it took.
+//
+//simlint:hotpath
 func (f *Frontend) servePW(p trace.PW) {
 	f.drainInserts(f.cycle)
 	cycles := f.pendingPenalty
@@ -306,14 +311,16 @@ func (f *Frontend) scheduleInsert(p trace.PW) {
 		return
 	}
 	f.pending[p.Start] = p
+	//simlint:ignore hotpath pendingDue is preallocated in New and drained with copy-down, so steady-state appends reuse capacity
 	f.pendingDue = append(f.pendingDue, pendingInsert{start: p.Start, due: f.cycle + uint64(f.cfg.DecodeLatency)})
 }
 
 // drainInserts completes insertions due by the given cycle.
 func (f *Frontend) drainInserts(now uint64) {
-	for len(f.pendingDue) > 0 && f.pendingDue[0].due <= now {
-		pi := f.pendingDue[0]
-		f.pendingDue = f.pendingDue[1:]
+	n := 0
+	for n < len(f.pendingDue) && f.pendingDue[n].due <= now {
+		pi := f.pendingDue[n]
+		n++
 		p, ok := f.pending[pi.start]
 		if !ok {
 			continue
@@ -322,5 +329,11 @@ func (f *Frontend) drainInserts(now uint64) {
 		before := f.uc.Stats.EntriesWritten
 		f.uc.Insert(p)
 		f.events.UopCacheWrites += f.uc.Stats.EntriesWritten - before
+	}
+	if n > 0 {
+		// Copy down instead of re-slicing so the backing array's front
+		// capacity is reused and scheduleInsert's append stops allocating.
+		m := copy(f.pendingDue, f.pendingDue[n:])
+		f.pendingDue = f.pendingDue[:m]
 	}
 }

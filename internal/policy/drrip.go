@@ -33,6 +33,8 @@ func NewDRRIP() *DRRIP {
 func (p *DRRIP) Name() string { return "drrip" }
 
 // OnHit implements uopcache.Policy.
+//
+//simlint:hotpath
 func (p *DRRIP) OnHit(set int, pc uint64) {
 	p.rrpv[key{set, pc}] = 0
 	p.rec.touch(set, pc)
@@ -83,6 +85,8 @@ func (p *DRRIP) OnEvict(set int, pc uint64) {
 // Victim implements uopcache.Policy: the SRRIP scan, with leader-set misses
 // training the policy selector (a miss in a leader set votes against its
 // policy).
+//
+//simlint:hotpath
 func (p *DRRIP) Victim(set int, residents []uopcache.Resident, _ trace.PW) uopcache.Decision {
 	switch set % drripLeaderMod {
 	case 0: // SRRIP leader missed

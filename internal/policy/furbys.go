@@ -118,6 +118,8 @@ func (p *FURBYS) weightOf(pc uint64) int {
 }
 
 // OnHit implements uopcache.Policy.
+//
+//simlint:hotpath
 func (p *FURBYS) OnHit(set int, pc uint64) {
 	p.rrpv[key{set, pc}] = 0
 	p.rec.touch(set, pc)
@@ -143,6 +145,9 @@ func (p *FURBYS) recordEviction(set int, victim uint64) bool {
 		return false
 	}
 	d := p.detector[set]
+	if d == nil {
+		d = make([]uint64, 0, p.cfg.DetectorDepth+1)
+	}
 	repeated := false
 	for _, k := range d {
 		if k == victim {
@@ -152,7 +157,10 @@ func (p *FURBYS) recordEviction(set int, victim uint64) bool {
 	}
 	d = append(d, victim)
 	if len(d) > p.cfg.DetectorDepth {
-		d = d[len(d)-p.cfg.DetectorDepth:]
+		// Copy down instead of re-slicing so the backing array's spare
+		// capacity stays at the tail and appends stop reallocating.
+		n := copy(d, d[len(d)-p.cfg.DetectorDepth:])
+		d = d[:n]
 	}
 	p.detector[set] = d
 	return repeated
@@ -165,6 +173,9 @@ func (p *FURBYS) recordBypass(set int, key uint64) bool {
 		return false
 	}
 	d := p.bypassDetector[set]
+	if d == nil {
+		d = make([]uint64, 0, p.cfg.DetectorDepth+1)
+	}
 	repeated := false
 	for _, k := range d {
 		if k == key {
@@ -174,7 +185,8 @@ func (p *FURBYS) recordBypass(set int, key uint64) bool {
 	}
 	d = append(d, key)
 	if len(d) > p.cfg.DetectorDepth {
-		d = d[len(d)-p.cfg.DetectorDepth:]
+		n := copy(d, d[len(d)-p.cfg.DetectorDepth:])
+		d = d[:n]
 	}
 	p.bypassDetector[set] = d
 	return repeated
@@ -202,6 +214,8 @@ func (p *FURBYS) srripVictim(set int, residents []uopcache.Resident) uint64 {
 }
 
 // Victim implements uopcache.Policy.
+//
+//simlint:hotpath
 func (p *FURBYS) Victim(set int, residents []uopcache.Resident, incoming trace.PW) uopcache.Decision {
 	p.Stats.InsertAttempts++
 	// Find the minimum-weight resident (min module in Fig. 7) with

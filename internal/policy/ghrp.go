@@ -96,6 +96,8 @@ func (p *GHRP) updateHistory(pc uint64) {
 
 // OnHit implements uopcache.Policy: a hit proves the previous prediction
 // point was live; re-signature the block at its new access.
+//
+//simlint:hotpath
 func (p *GHRP) OnHit(set int, pc uint64) {
 	k := key{set, pc}
 	if m := p.meta[k]; m != nil {
@@ -127,6 +129,8 @@ func (p *GHRP) OnEvict(set int, pc uint64) {
 
 // Victim implements uopcache.Policy: bypass dead arrivals; otherwise evict a
 // predicted-dead resident (LRU tiebreak), falling back to plain LRU.
+//
+//simlint:hotpath
 func (p *GHRP) Victim(set int, residents []uopcache.Resident, incoming trace.PW) uopcache.Decision {
 	if p.Bypass && p.predictDead(p.signature(incoming.Start)) {
 		return uopcache.Decision{Bypass: true}

@@ -1,15 +1,31 @@
 package policy
 
 import (
+	"strings"
+
 	"uopsim/internal/telemetry"
 	"uopsim/internal/trace"
 	"uopsim/internal/uopcache"
 )
 
+// metricSafe maps a policy name into the [a-z0-9_] metric-name alphabet the
+// exposition contract requires (e.g. "ship++" -> "ship__").
+func metricSafe(name string) string {
+	b := []byte(strings.ToLower(name))
+	for i, c := range b {
+		if (c < 'a' || c > 'z') && (c < '0' || c > '9') && c != '_' {
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
+
 // Instrumented decorates a replacement policy with per-policy decision
 // counters (policy_<name>_*_total) in a telemetry registry. It preserves the
 // wrapped policy's Name so reports and event traces are unchanged; callers
 // needing the concrete policy (e.g. FURBYS stats) use Unwrap.
+//
+//simlint:ignore registry decorator applied by core.attach around factory-built policies, not a standalone registry entry
 type Instrumented struct {
 	base uopcache.Policy
 
@@ -19,14 +35,17 @@ type Instrumented struct {
 
 // Instrument wraps p with decision counters registered in reg.
 func Instrument(p uopcache.Policy, reg *telemetry.Registry) *Instrumented {
-	prefix := "policy_" + p.Name() + "_"
+	// The per-policy family is policy_<name>_*; every registered policy name
+	// is lowercase [a-z0-9_]-safe after mangling below, so the runtime names
+	// stay inside the telemetry analyzer's policy_ family.
+	prefix := "policy_" + metricSafe(p.Name()) + "_"
 	return &Instrumented{
 		base:        p,
-		hits:        reg.Counter(prefix + "hits_total"),
-		inserts:     reg.Counter(prefix + "inserts_total"),
-		evictions:   reg.Counter(prefix + "evictions_total"),
-		victimCalls: reg.Counter(prefix + "victim_calls_total"),
-		bypasses:    reg.Counter(prefix + "bypasses_total"),
+		hits:        reg.Counter(prefix + "hits_total"),         //simlint:ignore telemetry per-policy family policy_<name>_*, name mangled to [a-z0-9_] by metricSafe
+		inserts:     reg.Counter(prefix + "inserts_total"),      //simlint:ignore telemetry per-policy family policy_<name>_*, name mangled to [a-z0-9_] by metricSafe
+		evictions:   reg.Counter(prefix + "evictions_total"),    //simlint:ignore telemetry per-policy family policy_<name>_*, name mangled to [a-z0-9_] by metricSafe
+		victimCalls: reg.Counter(prefix + "victim_calls_total"), //simlint:ignore telemetry per-policy family policy_<name>_*, name mangled to [a-z0-9_] by metricSafe
+		bypasses:    reg.Counter(prefix + "bypasses_total"),     //simlint:ignore telemetry per-policy family policy_<name>_*, name mangled to [a-z0-9_] by metricSafe
 	}
 }
 
@@ -37,6 +56,8 @@ func (p *Instrumented) Unwrap() uopcache.Policy { return p.base }
 func (p *Instrumented) Name() string { return p.base.Name() }
 
 // OnHit implements uopcache.Policy.
+//
+//simlint:hotpath
 func (p *Instrumented) OnHit(set int, pc uint64) {
 	p.hits.Inc()
 	p.base.OnHit(set, pc)
@@ -55,6 +76,8 @@ func (p *Instrumented) OnEvict(set int, pc uint64) {
 }
 
 // Victim implements uopcache.Policy, counting calls and bypass decisions.
+//
+//simlint:hotpath
 func (p *Instrumented) Victim(set int, residents []uopcache.Resident, incoming trace.PW) uopcache.Decision {
 	p.victimCalls.Inc()
 	d := p.base.Victim(set, residents, incoming)

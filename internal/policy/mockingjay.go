@@ -81,6 +81,8 @@ func (p *Mockingjay) predictRD(pc uint64) float64 {
 }
 
 // OnHit implements uopcache.Policy.
+//
+//simlint:hotpath
 func (p *Mockingjay) OnHit(set int, pc uint64) {
 	p.clock[set]++
 	p.observe(set, pc)
@@ -120,6 +122,8 @@ func (p *Mockingjay) etr(set int, r uopcache.Resident) float64 {
 // use is furthest away, or it is long overdue (predicted reuse never came,
 // so it is probably dead). Arrivals whose own predicted reuse distance
 // exceeds every resident's by a wide margin are bypassed.
+//
+//simlint:hotpath
 func (p *Mockingjay) Victim(set int, residents []uopcache.Resident, incoming trace.PW) uopcache.Decision {
 	var worst uopcache.Resident
 	worstScore, worstETR := -1.0, 0.0

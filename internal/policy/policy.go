@@ -60,6 +60,8 @@ func NewLRU() *LRU { return &LRU{rec: newRecency()} }
 func (p *LRU) Name() string { return "lru" }
 
 // OnHit implements uopcache.Policy.
+//
+//simlint:hotpath
 func (p *LRU) OnHit(set int, pc uint64) { p.rec.touch(set, pc) }
 
 // OnInsert implements uopcache.Policy.
@@ -69,6 +71,8 @@ func (p *LRU) OnInsert(set int, pw trace.PW) { p.rec.touch(set, pw.Start) }
 func (p *LRU) OnEvict(set int, pc uint64) { p.rec.drop(set, pc) }
 
 // Victim implements uopcache.Policy: evict the least recently used window.
+//
+//simlint:hotpath
 func (p *LRU) Victim(set int, residents []uopcache.Resident, _ trace.PW) uopcache.Decision {
 	best := residents[0].Key
 	for _, r := range residents[1:] {
@@ -99,6 +103,8 @@ func NewRandom(seed uint64) *Random {
 func (p *Random) Name() string { return "random" }
 
 // OnHit implements uopcache.Policy.
+//
+//simlint:hotpath
 func (p *Random) OnHit(int, uint64) {}
 
 // OnInsert implements uopcache.Policy.
@@ -117,6 +123,8 @@ func (p *Random) next() uint64 {
 
 // Victim implements uopcache.Policy. To stay independent of the snapshot's
 // map order, the victim is the resident with the smallest hashed key.
+//
+//simlint:hotpath
 func (p *Random) Victim(set int, residents []uopcache.Resident, _ trace.PW) uopcache.Decision {
 	salt := p.next()
 	best := residents[0].Key

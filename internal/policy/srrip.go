@@ -27,6 +27,8 @@ func NewSRRIP() *SRRIP {
 func (p *SRRIP) Name() string { return "srrip" }
 
 // OnHit implements uopcache.Policy.
+//
+//simlint:hotpath
 func (p *SRRIP) OnHit(set int, pc uint64) {
 	p.rrpv[key{set, pc}] = 0
 	p.rec.touch(set, pc)
@@ -45,6 +47,8 @@ func (p *SRRIP) OnEvict(set int, pc uint64) {
 }
 
 // Victim implements uopcache.Policy.
+//
+//simlint:hotpath
 func (p *SRRIP) Victim(set int, residents []uopcache.Resident, _ trace.PW) uopcache.Decision {
 	for {
 		found := false
@@ -107,6 +111,8 @@ func signature(pc uint64) uint32 {
 }
 
 // OnHit implements uopcache.Policy.
+//
+//simlint:hotpath
 func (p *SHiPPP) OnHit(set int, pc uint64) {
 	k := key{set, pc}
 	p.rrpv[k] = 0
@@ -150,6 +156,8 @@ func (p *SHiPPP) OnEvict(set int, pc uint64) {
 }
 
 // Victim implements uopcache.Policy (SRRIP victim scan).
+//
+//simlint:hotpath
 func (p *SHiPPP) Victim(set int, residents []uopcache.Resident, _ trace.PW) uopcache.Decision {
 	for {
 		found := false

@@ -47,6 +47,8 @@ func (p *Thermometer) classOf(pc uint64) ThermoClass {
 }
 
 // OnHit implements uopcache.Policy.
+//
+//simlint:hotpath
 func (p *Thermometer) OnHit(set int, pc uint64) { p.rec.touch(set, pc) }
 
 // OnInsert implements uopcache.Policy.
@@ -57,6 +59,8 @@ func (p *Thermometer) OnEvict(set int, pc uint64) { p.rec.drop(set, pc) }
 
 // Victim implements uopcache.Policy: evict the LRU window of the coldest
 // class present.
+//
+//simlint:hotpath
 func (p *Thermometer) Victim(set int, residents []uopcache.Resident, _ trace.PW) uopcache.Decision {
 	var best uint64
 	bestClass := ThermoHot + 1

@@ -146,15 +146,26 @@ func (p *Profile) Weights(cfg uopcache.Config, bits int) map[uint64]uint8 {
 		bits = 3
 	}
 	k := 1 << bits
-	perSet := make(map[int][]uint64)
+	// Deterministic order (map iteration is random): collect and sort the
+	// start addresses once, then group per set in sorted order.
+	allStarts := make([]uint64, 0, len(p.Rates))
 	for start := range p.Rates {
+		allStarts = append(allStarts, start)
+	}
+	sort.Slice(allStarts, func(i, j int) bool { return allStarts[i] < allStarts[j] })
+	perSet := make(map[int][]uint64)
+	sets := make([]int, 0, 64)
+	for _, start := range allStarts {
 		set := cfg.SetIndex(start)
+		if _, seen := perSet[set]; !seen {
+			sets = append(sets, set)
+		}
 		perSet[set] = append(perSet[set], start)
 	}
+	sort.Ints(sets)
 	weights := make(map[uint64]uint8, len(p.Rates))
-	for _, starts := range perSet {
-		// Deterministic order (map iteration is random).
-		sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	for _, set := range sets {
+		starts := perSet[set]
 		distinct := make(map[float64]struct{})
 		vals := make([]float64, 0, len(starts))
 		for _, s := range starts {

@@ -2,6 +2,12 @@
 // cache with no sink (and optionally live metrics) pays zero allocations per
 // lookup. This lives in telemetry's external test package so it can import
 // uopcache without a cycle.
+//
+// These AllocsPerRun measurements are the dynamic half of the hot-path
+// contract; the static half is simlint's hotpath analyzer, which checks
+// every //simlint:hotpath-marked function (uopcache Lookup/Insert, policy
+// OnHit/Victim, frontend servePW) and everything it statically calls — paths
+// no test happens to drive included. See ANALYSIS.md.
 package telemetry_test
 
 import (
@@ -15,10 +21,10 @@ import (
 // nopPolicy isolates the instrumentation cost from any policy bookkeeping.
 type nopPolicy struct{}
 
-func (nopPolicy) Name() string            { return "nop" }
-func (nopPolicy) OnHit(int, uint64)       {}
-func (nopPolicy) OnInsert(int, trace.PW)  {}
-func (nopPolicy) OnEvict(int, uint64)     {}
+func (nopPolicy) Name() string           { return "nop" }
+func (nopPolicy) OnHit(int, uint64)      {}
+func (nopPolicy) OnInsert(int, trace.PW) {}
+func (nopPolicy) OnEvict(int, uint64)    {}
 func (nopPolicy) Victim(_ int, residents []uopcache.Resident, _ trace.PW) uopcache.Decision {
 	return uopcache.Decision{VictimKey: residents[0].Key}
 }

@@ -20,6 +20,7 @@ package uopcache
 
 import (
 	"fmt"
+	"slices"
 
 	"uopsim/internal/telemetry"
 	"uopsim/internal/trace"
@@ -165,11 +166,11 @@ type Cache struct {
 // exactly the sites the Stats fields are incremented, so the exposed
 // uopcache_* counters reconcile with Stats at any instant.
 type cacheMetrics struct {
-	lookups, fullHits, partialHits, misses    *telemetry.Counter
-	uopsRequested, uopsHit, uopsMissed        *telemetry.Counter
-	insertions, entriesWritten                *telemetry.Counter
-	bypasses, evictions, invalidations        *telemetry.Counter
-	coalesced                                 *telemetry.Counter
+	lookups, fullHits, partialHits, misses     *telemetry.Counter
+	uopsRequested, uopsHit, uopsMissed         *telemetry.Counter
+	insertions, entriesWritten                 *telemetry.Counter
+	bypasses, evictions, invalidations         *telemetry.Counter
+	coalesced                                  *telemetry.Counter
 	lookupUops, victimCostUops, victimReuseAge *telemetry.Histogram
 }
 
@@ -380,6 +381,8 @@ func (c *Cache) NotePerfectHit(pw trace.PW) {
 // recency. It does NOT trigger an insertion; callers (the behaviour wrapper
 // or the timing frontend) own insertion scheduling, because that is where
 // the asynchrony lives.
+//
+//simlint:hotpath
 func (c *Cache) Lookup(pw trace.PW) ProbeResult {
 	c.clock++
 	c.Stats.Lookups++
@@ -499,6 +502,8 @@ func (c *Cache) footprint(uops int) int {
 // needed. If a smaller window with the same start address is resident it is
 // replaced (the paper and the AMD patent keep the larger window); an
 // equal-or-larger resident makes the insertion redundant.
+//
+//simlint:hotpath
 func (c *Cache) Insert(pw trace.PW) InsertOutcome {
 	set := c.SetIndex(pw.Start)
 	s := &c.sets[set]
@@ -523,6 +528,7 @@ func (c *Cache) Insert(pw trace.PW) InsertOutcome {
 		}
 		victim, ok := s.residents[d.VictimKey]
 		if !ok {
+			//simlint:ignore hotpath cold invariant-violation path; never taken unless a policy is buggy
 			panic(fmt.Sprintf("uopcache: policy %s chose non-resident victim %#x in set %d",
 				c.policy.Name(), d.VictimKey, set))
 		}
@@ -532,13 +538,17 @@ func (c *Cache) Insert(pw trace.PW) InsertOutcome {
 	}
 	lines := pw.Lines
 	if len(lines) == 0 {
-		lines = []uint64{trace.LineAddr(pw.Start)}
+		lines = make([]uint64, 1)
+		lines[0] = trace.LineAddr(pw.Start)
 	}
+	stored := make([]uint64, len(lines))
+	copy(stored, lines)
+	//simlint:ignore hotpath per-insertion resident storage; one amortized allocation per cache fill is the structure itself
 	r := &Resident{
 		Key:         pw.Start,
 		Uops:        int(pw.NumUops),
 		EntriesUsed: need,
-		Lines:       append([]uint64(nil), lines...),
+		Lines:       stored,
 		InsertedAt:  c.clock,
 	}
 	s.residents[pw.Start] = r
@@ -604,8 +614,9 @@ func (c *Cache) InvalidateLine(lineAddr uint64) int {
 	for set := range refs {
 		setsToScan = append(setsToScan, set)
 	}
+	slices.Sort(setsToScan)
 	for _, set := range setsToScan {
-		var victims []uint64
+		victims := make([]uint64, 0, len(c.sets[set].residents))
 		for key, r := range c.sets[set].residents {
 			for _, line := range r.Lines {
 				if line == lineAddr {
@@ -614,6 +625,8 @@ func (c *Cache) InvalidateLine(lineAddr uint64) int {
 				}
 			}
 		}
+		// Sorted so eviction events replay in the same order every run.
+		slices.Sort(victims)
 		for _, key := range victims {
 			if c.m != nil || c.sink != nil {
 				r := c.sets[set].residents[key]
@@ -636,12 +649,21 @@ func (c *Cache) InvalidateLine(lineAddr uint64) int {
 	return n
 }
 
-// residentsView snapshots the residents of a set for the policy.
+// residentsView snapshots the residents of a set for the policy, ordered by
+// window key so victim tie-breaking cannot inherit map iteration order. The
+// in-place insertion sort (sets hold at most a few dozen windows) keeps this
+// closure-free for the hot path.
 func (c *Cache) residentsView(set int) []Resident {
 	s := &c.sets[set]
 	out := make([]Resident, 0, len(s.residents))
 	for _, r := range s.residents {
+		//simlint:ignore determinism out is key-sorted by the insertion sort below, which the analyzer cannot prove
 		out = append(out, *r)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Key < out[j-1].Key; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
 	}
 	return out
 }
