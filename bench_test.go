@@ -73,6 +73,32 @@ func BenchmarkFig21Bypass(b *testing.B)           { benchExperiment(b, "fig21", 
 func BenchmarkFig22Hotness(b *testing.B)          { benchExperiment(b, "fig22") }
 func BenchmarkCoverage(b *testing.B)              { benchExperiment(b, "coverage", "kafka") }
 
+// --- Serial vs parallel harness sweep ---
+
+// benchAllFigures drives a representative multi-experiment sweep through
+// RunMany at the given worker budget. The serial/parallel pair measures the
+// harness-level speedup (EXPERIMENTS.md records the numbers); output
+// equality across worker counts is asserted by the package's determinism
+// tests, not here.
+func benchAllFigures(b *testing.B, workers int) {
+	b.Helper()
+	ids := []string{"tab2", "sec3e", "fig5", "fig8", "fig10", "fig15", "fig21", "coverage"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ctx := experiments.NewContext(3000)
+		ctx.Apps = []string{"kafka", "postgres"}
+		ctx.Workers = workers
+		for _, r := range experiments.RunMany(ctx, ids, nil) {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+}
+
+func BenchmarkAllFiguresSerial(b *testing.B)   { benchAllFigures(b, 1) }
+func BenchmarkAllFiguresParallel(b *testing.B) { benchAllFigures(b, 0) }
+
 // --- Micro-benchmarks of the core building blocks ---
 
 func benchTracePWs(b *testing.B, app string, blocks int) []trace.PW {
@@ -133,7 +159,21 @@ func BenchmarkFLACKSolve(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		offline.ComputeDecisions(pws, cfg, offline.CostVC, true, 0)
+		offline.ComputeDecisions(pws, cfg, offline.CostVC, true, 0, 1)
+	}
+}
+
+// BenchmarkFLACKSolveParallel is the same solve with the (set, segment)
+// fan-out enabled at GOMAXPROCS workers. Compare against BenchmarkFLACKSolve
+// for the solver speedup; on a single-core host the two should be within
+// noise of each other.
+func BenchmarkFLACKSolveParallel(b *testing.B) {
+	pws := benchTracePWs(b, "kafka", 20000)
+	cfg := uopcache.DefaultConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		offline.ComputeDecisions(pws, cfg, offline.CostVC, true, 0, 0)
 	}
 }
 

@@ -4,11 +4,14 @@
 //
 //	experiments -list
 //	experiments [-blocks N] [-apps a,b,c] [-csv dir] [-md file] fig8 fig10 ...
-//	experiments [-quiet] [-manifest run.json] [-telemetry FILE] [-events FILE]
-//	            [-pprof ADDR] all
+//	experiments [-parallel N] [-quiet] [-manifest run.json] [-telemetry FILE]
+//	            [-events FILE] [-pprof ADDR] all
 //
-// Progress lines ([fig8] kafka 3/11 1.2s) stream to stderr unless -quiet.
-// A run manifest (configuration, build info, per-figure and per-app
+// -parallel N runs up to N heavy (experiment, app) cells concurrently
+// (0 = GOMAXPROCS); output is byte-identical at any worker count, and
+// -parallel 1 reproduces the serial schedule exactly. Progress lines
+// ([fig8] kafka 3/11 1.2s) stream to stderr unless -quiet. A run manifest
+// (configuration, build info, worker count, per-figure and per-app
 // wall-clock, failures) is written next to the CSV/SVG output, or to
 // -manifest. Any failed experiment or write makes the exit status non-zero,
 // but later experiments still run.
@@ -23,6 +26,7 @@ import (
 	"time"
 
 	"uopsim/internal/experiments"
+	"uopsim/internal/parallel"
 	"uopsim/internal/plot"
 	"uopsim/internal/telemetry"
 )
@@ -37,6 +41,7 @@ func main() {
 		check    = flag.Bool("check", false, "verify the paper's qualitative claims against each table")
 		mdFile   = flag.String("md", "", "file to append markdown tables to (default stdout only)")
 		report   = flag.String("report", "", "file to write the paper-vs-measured report (summary + checks + tables)")
+		par      = flag.Int("parallel", 0, "max concurrent (experiment, app) cells; 0 = GOMAXPROCS, 1 = serial schedule")
 		quiet    = flag.Bool("quiet", false, "suppress per-app progress lines on stderr")
 		manifest = flag.String("manifest", "", "write the run manifest to `FILE` (default: run.json in -csv or -svg dir)")
 	)
@@ -73,6 +78,7 @@ func main() {
 	if *apps != "" {
 		ctx.Apps = strings.Split(*apps, ",")
 	}
+	ctx.Workers = *par
 	ctx.Telemetry.Metrics = obs.Registry
 	if obs.Sink != nil {
 		ctx.Telemetry.Events = obs.Sink
@@ -81,12 +87,14 @@ func main() {
 		ctx.Progress = telemetry.NewProgress(os.Stderr)
 	}
 
+	workers := parallel.Workers(*par)
 	man := telemetry.NewRunManifest("experiments", os.Args[1:])
 	man.Blocks = *blocks
+	man.Workers = workers
 	man.Apps = ctx.AppList()
 	man.Config = map[string]any{
 		"blocks": *blocks, "apps": strings.Join(ctx.AppList(), ","),
-		"csv": *csvDir, "svg": *svgDir, "check": *check,
+		"csv": *csvDir, "svg": *svgDir, "check": *check, "parallel": workers,
 	}
 	fail := func(format string, args ...any) {
 		msg := fmt.Sprintf(format, args...)
@@ -105,25 +113,27 @@ func main() {
 		md = f
 	}
 
+	// RunMany fans the experiments out under the shared worker budget and
+	// calls emit in input order as results become ready, so stdout, the
+	// markdown file and the manifest read exactly as the serial run's.
 	checkFailures := 0
 	var allTables []*experiments.Table
 	var allChecks []experiments.CheckResult
-	for _, id := range ids {
-		run, _ := experiments.Lookup(id)
-		ctx.Begin(id)
-		start := time.Now()
-		tbl, err := run(ctx)
-		fig := telemetry.FigureRun{ID: id, WallSeconds: time.Since(start).Seconds(), Apps: ctx.Timings(id)}
-		if err != nil {
-			fig.Error = err.Error()
+	experiments.RunMany(ctx, ids, func(r experiments.RunResult) {
+		id := r.ID
+		fig := telemetry.FigureRun{ID: id, WallSeconds: r.WallSeconds, Apps: r.Apps}
+		if r.Err != nil {
+			fig.Error = r.Err.Error()
 			man.Figures = append(man.Figures, fig)
-			fail("%s: %v", id, err)
-			continue
+			fail("%s: %v", id, r.Err)
+			return
 		}
+		tbl := r.Table
 		fig.Title = tbl.Title
 		fig.Rows = len(tbl.Rows)
 		man.Figures = append(man.Figures, fig)
-		fmt.Printf("== %s (%s) ==\n", id, time.Since(start).Round(time.Millisecond))
+		wall := time.Duration(r.WallSeconds * float64(time.Second))
+		fmt.Printf("== %s (%s) ==\n", id, wall.Round(time.Millisecond))
 		if err := tbl.Markdown(os.Stdout); err != nil {
 			fail("%s: stdout: %v", id, err)
 		}
@@ -156,7 +166,7 @@ func main() {
 				fail("%s: %v", id, err)
 			}
 		}
-	}
+	})
 	if *report != "" {
 		if err := writeReport(*report, allTables, allChecks); err != nil {
 			fail("report: %v", err)

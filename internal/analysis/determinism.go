@@ -11,7 +11,7 @@ import (
 // number, so simulation state may not depend on the wall clock, on the
 // process-global random source, or on Go's randomized map iteration order.
 //
-// Three rules, scoped to the packages whose names are in determinismScope:
+// Four rules, scoped to the packages whose names are in determinismScope:
 //
 //  1. no references to time.Now;
 //  2. no references to math/rand (or math/rand/v2) package-level functions
@@ -20,10 +20,14 @@ import (
 //  3. a `range` over a map may not append to a slice, write table/CSV rows,
 //     or emit telemetry events in its body, unless the appended slice is
 //     passed to a sort call after the loop (the collect-keys-then-sort
-//     idiom, which is the approved fix).
+//     idiom, which is the approved fix);
+//  4. no raw `go` statements — fan work out through internal/parallel,
+//     whose pools collect results in index order and are the only place
+//     goroutine scheduling (which is nondeterministic) is allowed to touch
+//     simulation work.
 var Determinism = &Analyzer{
 	Name: "determinism",
-	Doc:  "forbid wall-clock, global randomness, and ordered emission from map iteration in simulation packages",
+	Doc:  "forbid wall-clock, global randomness, ordered emission from map iteration, and raw goroutines in simulation packages",
 	Run:  runDeterminism,
 }
 
@@ -52,6 +56,7 @@ func runDeterminism(pass *Pass) {
 		for _, file := range pkg.Files {
 			checkBannedRefs(pass, file)
 			checkMapRanges(pass, file)
+			checkGoStmts(pass, file)
 		}
 	}
 }
@@ -82,6 +87,19 @@ func checkBannedRefs(pass *Pass, file *ast.File) {
 			if !randAllowed[obj.Name()] {
 				pass.Reportf(id.Pos(), "math/rand.%s uses the process-global source: construct rand.New(rand.NewSource(seed)) instead", obj.Name())
 			}
+		}
+		return true
+	})
+}
+
+// checkGoStmts flags raw goroutine launches. Goroutine scheduling order is
+// nondeterministic; the only sanctioned way to fan simulation work out is
+// internal/parallel, whose pools write results by index and merge them in
+// input order so rendered output is byte-identical at any worker count.
+func checkGoStmts(pass *Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			pass.Reportf(g.Pos(), "raw go statement in a simulation package: fan work out through internal/parallel so results merge deterministically")
 		}
 		return true
 	})

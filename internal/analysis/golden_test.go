@@ -95,6 +95,11 @@ func runGolden(t *testing.T, a *Analyzer, dirs ...string) {
 
 func TestDeterminismGolden(t *testing.T) { runGolden(t, Determinism, "determinism") }
 
+// TestGoroutineGolden covers the raw-goroutine rule: `go` statements in
+// scoped packages are flagged wherever they appear; fan-out must go through
+// internal/parallel.
+func TestGoroutineGolden(t *testing.T) { runGolden(t, Determinism, "goroutine") }
+
 // TestDeterminismScoping proves packages outside determinismScope are exempt:
 // the fixture repeats every banned construct and carries zero wants.
 func TestDeterminismScoping(t *testing.T) { runGolden(t, Determinism, "outofscope") }

@@ -1,0 +1,34 @@
+// Package offline is a determinism-analyzer fixture for the raw-goroutine
+// rule: the package name is inside the analyzer's scope, so every `go`
+// statement — bare, in a loop, or wrapped in a sync.WaitGroup — must be
+// flagged. Fan-out belongs in internal/parallel, whose pools merge results
+// in index order.
+package offline
+
+import "sync"
+
+func Solve(units []int) []int {
+	out := make([]int, len(units))
+	var wg sync.WaitGroup
+	for i := range units {
+		wg.Add(1)
+		go func(i int) { // want "raw go statement in a simulation package"
+			defer wg.Done()
+			out[i] = units[i] * 2
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+func FireAndForget(f func()) {
+	go f() // want "raw go statement in a simulation package"
+}
+
+func Serial(units []int) []int {
+	out := make([]int, len(units))
+	for i := range units {
+		out[i] = units[i] * 2 // no goroutine: nothing to flag
+	}
+	return out
+}

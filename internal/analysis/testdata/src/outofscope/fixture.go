@@ -19,3 +19,7 @@ func Keys(m map[uint64]int) []uint64 {
 	}
 	return out
 }
+
+func Async(f func()) {
+	go f()
+}

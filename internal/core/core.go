@@ -156,6 +156,10 @@ type BehaviorOptions struct {
 	RecordPerLookup bool
 	// Telemetry attaches observability to the run (zero value = off).
 	Telemetry Telemetry
+	// Workers bounds the offline plan solver's fan-out when the run goes
+	// through the offline machinery (0 = GOMAXPROCS, 1 = serial). Replays
+	// and online policies are inherently serial and unaffected.
+	Workers int
 }
 
 // BehaviorResult is a behaviour-mode run's output.
@@ -228,6 +232,7 @@ func offlineOptions(cfg Config, opts BehaviorOptions) offline.Options {
 		RecordPerLookup: opts.RecordPerLookup,
 		Metrics:         opts.Telemetry.Metrics,
 		Events:          opts.Telemetry.Events,
+		Workers:         opts.Workers,
 	}
 	if opts.WithICache {
 		ic := cfg.L1I
@@ -295,9 +300,9 @@ func RunTimingByNameObserved(name string, blocks []trace.Block, pws []trace.PW, 
 	case "belady":
 		pol = offline.NewBeladySchedule(pws)
 	case "foo":
-		pol = offline.NewFLACKSchedule(pws, cfg.UopCache, offline.Features{})
+		pol = offline.NewFLACKSchedule(pws, cfg.UopCache, offline.Features{}, 0)
 	case "flack":
-		pol = offline.NewFLACKSchedule(pws, cfg.UopCache, offline.FLACKFeatures())
+		pol = offline.NewFLACKSchedule(pws, cfg.UopCache, offline.FLACKFeatures(), 0)
 	default:
 		if name == "thermometer" || name == "furbys" {
 			if prof == nil {

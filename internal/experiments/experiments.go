@@ -1,23 +1,33 @@
 // Package experiments regenerates every table and figure of the paper's
 // evaluation. Each experiment is a named function producing a Table; the
 // registry drives cmd/experiments and the root benchmark harness. A Context
-// caches generated traces and collected profiles so multi-figure runs do not
+// caches generated traces, collected profiles and baseline runs behind
+// per-key singleflight so multi-figure runs — serial or parallel — do not
 // repeat the expensive FLACK profiling step.
+//
+// Concurrency model: RunMany fans experiments out, and each experiment
+// splits into heavy cells (one per app, config point, or policy variant)
+// that run under a shared worker budget (Context.Workers). Cell results are
+// typed row groups merged in registry/app order, so rendered output is
+// byte-identical at any worker count; -parallel 1 reproduces the serial
+// schedule. All goroutines live in internal/parallel — simlint forbids raw
+// `go` statements in this package.
 package experiments
 
 import (
 	"fmt"
 	"io"
-	"runtime"
 	"strings"
 	"sync"
 	"time"
 
 	"uopsim/internal/core"
 	"uopsim/internal/offline"
+	"uopsim/internal/parallel"
 	"uopsim/internal/profiles"
 	"uopsim/internal/telemetry"
 	"uopsim/internal/trace"
+	"uopsim/internal/uopcache"
 	"uopsim/internal/workload"
 )
 
@@ -99,7 +109,9 @@ func (e *errWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// Context carries shared configuration and caches.
+// Context carries shared configuration, result caches and the worker
+// budget. Derived views (scoped, withConfig) share the caches and scheduler
+// so the budget and manifest records stay global.
 type Context struct {
 	// Cfg is the system configuration (DefaultConfig unless overridden).
 	Cfg core.Config
@@ -111,15 +123,72 @@ type Context struct {
 	// (zero value = off).
 	Telemetry core.Telemetry
 	// Progress, when non-nil, receives one status line per completed
-	// (experiment, app) pair.
+	// (experiment, app) cell.
 	Progress *telemetry.Progress
+	// Workers bounds how many heavy cells run concurrently across ALL
+	// experiments sharing this context (0 = GOMAXPROCS, 1 = serial). The
+	// same budget is handed to the offline solver.
+	Workers int
 
+	// id scopes progress lines and timing records to one experiment.
+	id     string
+	caches *ctxCaches
+	sched  *ctxSched
+}
+
+// ctxCaches holds the per-geometry singleflight result caches. The mutex
+// only guards map access; computations run with it released, and concurrent
+// callers of the same key block on the flight's done channel.
+type ctxCaches struct {
 	mu     sync.Mutex
-	traces map[string]tracePair
-	profs  map[string]*profiles.Profile
+	traces map[string]*flight[tracePair]
+	profs  map[string]*flight[*profiles.Profile]
+	bases  map[string]*flight[uopcache.Stats]
+	times  map[string]*flight[core.TimingResult]
+}
 
-	curID   string
+// ctxSched is the cross-experiment scheduler state: the shared cell limiter
+// and the per-experiment timing records feeding the run manifest.
+type ctxSched struct {
+	mu      sync.Mutex
+	cells   *parallel.Limiter
 	timings map[string][]telemetry.AppRun
+}
+
+// flight is one singleflight computation: the first caller computes and
+// closes done; everyone else blocks on done and reads val/err.
+type flight[T any] struct {
+	done chan struct{}
+	val  T
+	err  error
+}
+
+// once returns the cached value for key, computing it exactly once even
+// under concurrent callers — the fix for the duplicate-compute window where
+// N parallel cells would each redo trace generation or FLACK profiling.
+// Errors are cached too (they are deterministic: unknown app, bad config).
+func once[T any](c *ctxCaches, m map[string]*flight[T], key string, compute func() (T, error)) (T, error) {
+	c.mu.Lock()
+	if f, ok := m[key]; ok {
+		c.mu.Unlock()
+		<-f.done
+		return f.val, f.err
+	}
+	f := &flight[T]{done: make(chan struct{})}
+	m[key] = f
+	c.mu.Unlock()
+	defer close(f.done)
+	f.val, f.err = compute()
+	return f.val, f.err
+}
+
+func newCaches() *ctxCaches {
+	return &ctxCaches{
+		traces: make(map[string]*flight[tracePair]),
+		profs:  make(map[string]*flight[*profiles.Profile]),
+		bases:  make(map[string]*flight[uopcache.Stats]),
+		times:  make(map[string]*flight[core.TimingResult]),
+	}
 }
 
 type tracePair struct {
@@ -133,53 +202,108 @@ func NewContext(blocks int) *Context {
 		blocks = 60000
 	}
 	return &Context{
-		Cfg:     core.DefaultConfig(),
-		Blocks:  blocks,
-		traces:  make(map[string]tracePair),
-		profs:   make(map[string]*profiles.Profile),
-		timings: make(map[string][]telemetry.AppRun),
+		Cfg:    core.DefaultConfig(),
+		Blocks: blocks,
+		caches: newCaches(),
+		sched:  &ctxSched{timings: make(map[string][]telemetry.AppRun)},
 	}
 }
 
-// Begin marks the start of the named experiment: subsequent per-app progress
-// lines and wall-clock records are scoped under id. The driver calls it
-// before invoking each runner.
-func (c *Context) Begin(id string) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.curID = id
+// scoped returns a view of the context whose progress lines and timing
+// records are attributed to the experiment id; caches, scheduler and the
+// worker budget stay shared.
+func (c *Context) scoped(id string) *Context {
+	cc := *c
+	cc.id = id
+	return &cc
 }
 
-// Timings returns the per-app wall-clock records collected while running
+// withConfig derives a context with a different system configuration: the
+// result caches are fresh (they key on this context's geometry) while the
+// scheduler — worker budget, limiter, timing records — stays shared, so the
+// derived run obeys the same -parallel budget and reports into the same
+// manifest.
+func (c *Context) withConfig(cfg core.Config) *Context {
+	cc := *c
+	cc.Cfg = cfg
+	cc.caches = newCaches()
+	return &cc
+}
+
+// limiter lazily builds the shared cell limiter sized to the context's
+// worker budget, wiring the scheduler's parallel_* metrics.
+func (c *Context) limiter() *parallel.Limiter {
+	c.sched.mu.Lock()
+	defer c.sched.mu.Unlock()
+	if c.sched.cells == nil {
+		c.sched.cells = parallel.NewLimiter(c.Workers, c.Telemetry.Metrics)
+	}
+	return c.sched.cells
+}
+
+// Timings returns the per-cell wall-clock records collected while running
 // the named experiment (for the run manifest).
 func (c *Context) Timings(id string) []telemetry.AppRun {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.timings[id]
+	c.sched.mu.Lock()
+	defer c.sched.mu.Unlock()
+	return c.sched.timings[id]
 }
 
-// recordApp notes one completed (experiment, app) unit and emits a progress
-// line; done is the caller's completion count within its own sweep.
-func (c *Context) recordApp(app string, elapsed time.Duration, done, total int, err error) {
-	c.mu.Lock()
-	id := c.curID
-	run := telemetry.AppRun{App: app, WallSeconds: elapsed.Seconds()}
+// recordCell notes one completed (experiment, cell) unit and emits a
+// progress line; done is the completion count within the cell sweep.
+func (c *Context) recordCell(label string, elapsed time.Duration, done, total int, err error) {
+	id := c.id
+	run := telemetry.AppRun{App: label, WallSeconds: elapsed.Seconds()}
 	if err != nil {
 		run.Error = err.Error()
 	}
+	c.sched.mu.Lock()
 	if id != "" {
-		c.timings[id] = append(c.timings[id], run)
+		c.sched.timings[id] = append(c.sched.timings[id], run)
 	}
-	c.mu.Unlock()
+	c.sched.mu.Unlock()
 	if id == "" {
 		id = "experiments"
 	}
-	c.Progress.Step(id, app, done, total, elapsed)
+	c.Progress.Step(id, label, done, total, elapsed)
 }
 
-// runOpts returns BehaviorOptions carrying the context's telemetry.
+// cells runs n labelled heavy units as scheduler cells under the shared
+// worker budget, returning results in index order so callers can merge rows
+// deterministically. Each cell's wall time lands in the manifest under its
+// label; progress lines stay coherent under concurrent completion because
+// recordCell serializes them. Cell bodies must not call cells again — the
+// budget is held for the body's whole duration, and nesting could deadlock
+// at -parallel 1.
+func cells[T any](c *Context, labels []string, fn func(i int) (T, error)) ([]T, error) {
+	var mu sync.Mutex
+	done := 0
+	return parallel.MapLimited(c.limiter(), len(labels), func(i int) (T, error) {
+		//simlint:ignore determinism wall-clock progress reporting only; never feeds simulation state
+		start := time.Now()
+		v, err := fn(i)
+		mu.Lock()
+		done++
+		n := done
+		mu.Unlock()
+		c.recordCell(labels[i], time.Since(start), n, len(labels), err)
+		return v, err
+	})
+}
+
+// appRows runs fn once per application as independent scheduler cells,
+// collecting each app's typed row group; callers merge the groups in
+// AppList order so tables are byte-identical at any worker count. The first
+// error (lowest app index among cells that ran) cancels unstarted cells.
+func appRows[T any](c *Context, fn func(app string) (T, error)) ([]T, error) {
+	apps := c.AppList()
+	return cells(c, apps, func(i int) (T, error) { return fn(apps[i]) })
+}
+
+// runOpts returns BehaviorOptions carrying the context's telemetry and
+// solver worker budget.
 func (c *Context) runOpts() core.BehaviorOptions {
-	return core.BehaviorOptions{Telemetry: c.Telemetry}
+	return core.BehaviorOptions{Telemetry: c.Telemetry, Workers: c.Workers}
 }
 
 // runOptsRecord is runOpts with per-lookup outcome recording enabled.
@@ -189,10 +313,12 @@ func (c *Context) runOptsRecord() core.BehaviorOptions {
 	return opts
 }
 
-// offlineOpts attaches the context's telemetry to offline replay options.
+// offlineOpts attaches the context's telemetry and worker budget to offline
+// replay options.
 func (c *Context) offlineOpts(o offline.Options) offline.Options {
 	o.Metrics = c.Telemetry.Metrics
 	o.Events = c.Telemetry.Events
+	o.Workers = c.Workers
 	return o
 }
 
@@ -204,48 +330,97 @@ func (c *Context) AppList() []string {
 	return workload.Names()
 }
 
+// traceFor and collectProfile are indirection seams so the singleflight
+// tests can count how often the underlying computation actually runs.
+var (
+	traceFor       = core.TraceFor
+	collectProfile = profiles.CollectObserved
+)
+
 // Trace returns (cached) the block trace and PW sequence for an app/input.
+// Concurrent callers of the same key share one generation.
 func (c *Context) Trace(app string, input int) ([]trace.Block, []trace.PW, error) {
 	key := fmt.Sprintf("%s/%d/%d", app, input, c.Blocks)
-	c.mu.Lock()
-	tp, ok := c.traces[key]
-	c.mu.Unlock()
-	if ok {
-		return tp.blocks, tp.pws, nil
-	}
-	blocks, pws, err := core.TraceFor(app, c.Blocks, input)
-	if err != nil {
-		return nil, nil, err
-	}
-	c.mu.Lock()
-	c.traces[key] = tracePair{blocks: blocks, pws: pws}
-	c.mu.Unlock()
-	return blocks, pws, nil
+	tp, err := once(c.caches, c.caches.traces, key, func() (tracePair, error) {
+		blocks, pws, err := traceFor(app, c.Blocks, input)
+		return tracePair{blocks: blocks, pws: pws}, err
+	})
+	return tp.blocks, tp.pws, err
 }
 
 // Profile returns (cached) the offline profile for an app/input/source
-// under the context's micro-op cache geometry.
+// under the context's micro-op cache geometry. Concurrent callers of the
+// same key invoke CollectObserved exactly once.
 func (c *Context) Profile(app string, input int, src profiles.Source) (*profiles.Profile, error) {
 	key := fmt.Sprintf("%s/%d/%v/%d/%d/%d", app, input, src, c.Blocks, c.Cfg.UopCache.Entries, c.Cfg.UopCache.Ways)
-	c.mu.Lock()
-	p, ok := c.profs[key]
-	c.mu.Unlock()
-	if ok {
-		return p, nil
-	}
-	_, pws, err := c.Trace(app, input)
-	if err != nil {
-		return nil, err
-	}
-	p = profiles.CollectObserved(pws, c.Cfg.UopCache, src, c.Telemetry.Metrics, c.Telemetry.Events)
-	c.mu.Lock()
-	c.profs[key] = p
-	c.mu.Unlock()
-	return p, nil
+	return once(c.caches, c.caches.profs, key, func() (*profiles.Profile, error) {
+		_, pws, err := c.Trace(app, input)
+		if err != nil {
+			return nil, err
+		}
+		return collectProfile(pws, c.Cfg.UopCache, src, c.Telemetry.Metrics, c.Telemetry.Events), nil
+	})
 }
 
 // Runner is an experiment entry point.
 type Runner func(ctx *Context) (*Table, error)
+
+// RunResult is one experiment's outcome from RunMany.
+type RunResult struct {
+	ID          string
+	Table       *Table
+	Err         error
+	WallSeconds float64
+	// Apps holds the per-cell wall-clock records (manifest material).
+	Apps []telemetry.AppRun
+}
+
+// RunMany executes the named experiments under the context's worker budget.
+// With Workers == 1 it reproduces the exact serial schedule; otherwise every
+// experiment orchestrates concurrently while heavy cells share the budget.
+// Results come back in input order, and emit (optional) is called for each
+// result in input order as soon as it and all its predecessors completed —
+// so a driver can stream tables without reordering output.
+func RunMany(c *Context, ids []string, emit func(RunResult)) []RunResult {
+	out := make([]RunResult, len(ids))
+	workers := 1
+	if parallel.Workers(c.Workers) > 1 {
+		workers = len(ids)
+	}
+	var mu sync.Mutex
+	finished := make([]bool, len(ids))
+	next := 0
+	parallel.Map(workers, len(ids), func(i int) (struct{}, error) {
+		r := c.runOne(ids[i])
+		mu.Lock()
+		out[i], finished[i] = r, true
+		for next < len(ids) && finished[next] {
+			if emit != nil {
+				emit(out[next])
+			}
+			next++
+		}
+		mu.Unlock()
+		return struct{}{}, nil
+	})
+	return out
+}
+
+// runOne executes a single experiment under a scoped view of the context.
+func (c *Context) runOne(id string) RunResult {
+	r := RunResult{ID: id}
+	run, ok := Lookup(id)
+	if !ok {
+		r.Err = fmt.Errorf("unknown experiment %q", id)
+		return r
+	}
+	//simlint:ignore determinism wall-clock bookkeeping for the manifest only
+	start := time.Now()
+	r.Table, r.Err = run(c.scoped(id))
+	r.WallSeconds = time.Since(start).Seconds()
+	r.Apps = c.Timings(id)
+	return r
+}
 
 // Registry maps experiment ids (tab1, fig8, ...) to runners, in paper
 // order.
@@ -304,68 +479,6 @@ func IDs() []string {
 		out = append(out, e.ID)
 	}
 	return out
-}
-
-// forEachApp runs fn over the context's applications with bounded
-// parallelism, preserving nothing about order — callers collect into
-// app-keyed maps and emit rows in AppList order. The first error wins.
-func (c *Context) forEachApp(fn func(app string) error) error {
-	apps := c.AppList()
-	workers := runtime.NumCPU()
-	if workers > len(apps) {
-		workers = len(apps)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	var errOnce sync.Once
-	var firstErr error
-	var done int32
-	var doneMu sync.Mutex
-	ch := make(chan string)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for app := range ch {
-				//simlint:ignore determinism wall-clock progress reporting only; never feeds simulation state
-				start := time.Now()
-				err := fn(app)
-				doneMu.Lock()
-				done++
-				n := int(done)
-				doneMu.Unlock()
-				c.recordApp(app, time.Since(start), n, len(apps), err)
-				if err != nil {
-					errOnce.Do(func() { firstErr = err })
-				}
-			}
-		}()
-	}
-	for _, app := range apps {
-		ch <- app
-	}
-	close(ch)
-	wg.Wait()
-	return firstErr
-}
-
-// eachApp is forEachApp's serial sibling for figures whose per-app bodies
-// must run in AppList order (shared accumulators, ordered table rows). It
-// records the same per-app wall time and progress; the first error aborts.
-func (c *Context) eachApp(fn func(app string) error) error {
-	apps := c.AppList()
-	for i, app := range apps {
-		//simlint:ignore determinism wall-clock progress reporting only; never feeds simulation state
-		start := time.Now()
-		err := fn(app)
-		c.recordApp(app, time.Since(start), i+1, len(apps), err)
-		if err != nil {
-			return err
-		}
-	}
-	return nil
 }
 
 // pct formats a fraction as a percentage string.

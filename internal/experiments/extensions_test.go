@@ -78,22 +78,34 @@ func TestPctHelper(t *testing.T) {
 	}
 }
 
-func TestForEachAppPropagatesError(t *testing.T) {
+func TestAppRowsPropagatesError(t *testing.T) {
 	ctx := NewContext(1000)
 	ctx.Apps = []string{"kafka", "mysql", "python"}
-	calls := 0
-	err := ctx.forEachApp(func(app string) error {
-		calls++
+	_, err := appRows(ctx, func(app string) (int, error) {
 		if app == "mysql" {
-			return errTest
+			return 0, errTest
 		}
-		return nil
+		return 1, nil
 	})
 	if err != errTest {
 		t.Errorf("err = %v", err)
 	}
-	if calls != 3 {
-		t.Errorf("calls = %d (all apps should still be visited)", calls)
+}
+
+func TestAppRowsOrderedResults(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx := NewContext(1000)
+		ctx.Apps = []string{"kafka", "mysql", "python"}
+		ctx.Workers = workers
+		rows, err := appRows(ctx, func(app string) (string, error) { return app, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, app := range ctx.Apps {
+			if rows[i] != app {
+				t.Errorf("workers=%d: rows[%d] = %q, want %q", workers, i, rows[i], app)
+			}
+		}
 	}
 }
 

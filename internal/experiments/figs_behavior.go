@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"sync"
 
 	"uopsim/internal/core"
 	"uopsim/internal/offline"
@@ -14,13 +13,16 @@ import (
 	"uopsim/internal/workload"
 )
 
-// lruBaseline runs the LRU baseline on an app's PW trace.
+// lruBaseline runs (cached) the LRU baseline on an app's PW trace;
+// concurrent cells needing the same baseline share one run.
 func (c *Context) lruBaseline(app string) (uopcache.Stats, error) {
-	_, pws, err := c.Trace(app, 0)
-	if err != nil {
-		return uopcache.Stats{}, err
-	}
-	return core.RunBehavior(pws, c.Cfg, policy.NewLRU(), c.runOpts()).Stats, nil
+	return once(c.caches, c.caches.bases, app, func() (uopcache.Stats, error) {
+		_, pws, err := c.Trace(app, 0)
+		if err != nil {
+			return uopcache.Stats{}, err
+		}
+		return core.RunBehavior(pws, c.Cfg, policy.NewLRU(), c.runOpts()).Stats, nil
+	})
 }
 
 // Table1 dumps the simulation parameters (paper Table I).
@@ -47,24 +49,32 @@ func Table1(ctx *Context) (*Table, error) {
 func Table2(ctx *Context) (*Table, error) {
 	t := &Table{Name: "tab2", Title: "Data center applications (Table II)",
 		Columns: []string{"application", "description", "paper MPKI", "measured MPKI", "static PWs", "overlapping PWs", "avg uops/PW"}}
-	err := ctx.eachApp(func(app string) error {
+	type row struct {
+		desc, target, mpki string
+		distinct           any
+		overlap, avg       string
+	}
+	rows, err := appRows(ctx, func(app string) (row, error) {
 		spec, err := workload.Get(app)
 		if err != nil {
-			return err
+			return row{}, err
 		}
 		blocks, pws, err := ctx.Trace(app, 0)
 		if err != nil {
-			return err
+			return row{}, err
 		}
 		res := core.RunTimingObserved(blocks, ctx.Cfg, policy.NewLRU(), ctx.Telemetry)
 		an := trace.Analyze(pws, ctx.Cfg.UopCache.UopsPerEntry)
-		t.AddRow(app, spec.Description, fmt.Sprintf("%.2f", spec.TargetMPKI),
-			fmt.Sprintf("%.2f", res.Frontend.Branch.MPKI()), an.DistinctStarts,
-			pct(an.OverlapFrac()), fmt.Sprintf("%.1f", an.AvgUops))
-		return nil
+		return row{desc: spec.Description, target: fmt.Sprintf("%.2f", spec.TargetMPKI),
+			mpki: fmt.Sprintf("%.2f", res.Frontend.Branch.MPKI()), distinct: an.DistinctStarts,
+			overlap: pct(an.OverlapFrac()), avg: fmt.Sprintf("%.1f", an.AvgUops)}, nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	for i, app := range ctx.AppList() {
+		r := rows[i]
+		t.AddRow(app, r.desc, r.target, r.mpki, r.distinct, r.overlap, r.avg)
 	}
 	t.Notes = append(t.Notes, "Measured MPKI comes from the TAGE-lite predictor on the synthetic traces; the paper's column is the calibration target.")
 	return t, nil
@@ -82,28 +92,34 @@ func Sec3BMissClasses(ctx *Context) (*Table, error) {
 	flackCounter := func(pws []trace.PW, cfg uopcache.Config) uint64 {
 		return offline.RunFLACK(pws, cfg, offline.Options{}).Stats.Misses
 	}
-	var lruTotals, flackTotals [3]float64
-	err := ctx.eachApp(func(app string) error {
+	type row struct {
+		lru, flack         [3]float64
+		lruTotal, flackTot any
+	}
+	rows, err := appRows(ctx, func(app string) (row, error) {
 		_, pws, err := ctx.Trace(app, 0)
 		if err != nil {
-			return err
+			return row{}, err
 		}
 		ml := stats.Classify(pws, ctx.Cfg.UopCache, lruCounter)
 		mf := stats.Classify(pws, ctx.Cfg.UopCache, flackCounter)
 		c1, c2, c3 := ml.Fractions()
 		f1, f2, f3 := mf.Fractions()
-		lruTotals[0] += c1
-		lruTotals[1] += c2
-		lruTotals[2] += c3
-		flackTotals[0] += f1
-		flackTotals[1] += f2
-		flackTotals[2] += f3
-		t.AddRow(app, "lru", pct(c1), pct(c2), pct(c3), ml.Total)
-		t.AddRow(app, "flack", pct(f1), pct(f2), pct(f3), mf.Total)
-		return nil
+		return row{lru: [3]float64{c1, c2, c3}, flack: [3]float64{f1, f2, f3},
+			lruTotal: ml.Total, flackTot: mf.Total}, nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	var lruTotals, flackTotals [3]float64
+	for i, app := range ctx.AppList() {
+		r := rows[i]
+		for k := 0; k < 3; k++ {
+			lruTotals[k] += r.lru[k]
+			flackTotals[k] += r.flack[k]
+		}
+		t.AddRow(app, "lru", pct(r.lru[0]), pct(r.lru[1]), pct(r.lru[2]), r.lruTotal)
+		t.AddRow(app, "flack", pct(r.flack[0]), pct(r.flack[1]), pct(r.flack[2]), r.flackTot)
 	}
 	n := float64(len(ctx.AppList()))
 	t.AddRow("MEAN", "lru", pct(lruTotals[0]/n), pct(lruTotals[1]/n), pct(lruTotals[2]/n), "")
@@ -118,25 +134,27 @@ func Sec3BMissClasses(ctx *Context) (*Table, error) {
 func Sec3EReuseDistances(ctx *Context) (*Table, error) {
 	t := &Table{Name: "sec3e", Title: "Reuse distance spectrum (Section III-E)",
 		Columns: []string{"application", "PW frac > 30", "icache-line frac > 30", "branch-PC frac > 30"}}
-	var sums [3]float64
-	err := ctx.eachApp(func(app string) error {
+	rows, err := appRows(ctx, func(app string) ([3]float64, error) {
 		blocks, pws, err := ctx.Trace(app, 0)
 		if err != nil {
-			return err
+			return [3]float64{}, err
 		}
 		const maxB = 256
 		hPW := stats.ReuseDistances(stats.PWKeys(pws), maxB)
 		hLine := stats.ReuseDistances(stats.LineKeys(blocks), maxB)
 		hBr := stats.ReuseDistances(stats.BranchKeys(blocks), maxB)
-		a, b, c := hPW.FracAbove(30), hLine.FracAbove(30), hBr.FracAbove(30)
-		sums[0] += a
-		sums[1] += b
-		sums[2] += c
-		t.AddRow(app, pct(a), pct(b), pct(c))
-		return nil
+		return [3]float64{hPW.FracAbove(30), hLine.FracAbove(30), hBr.FracAbove(30)}, nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	var sums [3]float64
+	for i, app := range ctx.AppList() {
+		r := rows[i]
+		sums[0] += r[0]
+		sums[1] += r[1]
+		sums[2] += r[2]
+		t.AddRow(app, pct(r[0]), pct(r[1]), pct(r[2]))
 	}
 	n := float64(len(ctx.AppList()))
 	t.AddRow("MEAN", pct(sums[0]/n), pct(sums[1]/n), pct(sums[2]/n))
@@ -167,31 +185,35 @@ func (c *Context) runPolicyOnApp(name, app string) (core.BehaviorResult, error) 
 }
 
 // behaviorReductions computes per-app miss reductions vs LRU for a policy
-// list (apps in parallel), returning per-policy per-app values.
+// list (apps as concurrent cells), returning per-policy per-app values.
 func (c *Context) behaviorReductions(policyNames []string) (map[string]map[string]float64, error) {
-	out := make(map[string]map[string]float64)
-	for _, name := range policyNames {
-		out[name] = make(map[string]float64)
-	}
-	var mu sync.Mutex
-	err := c.forEachApp(func(app string) error {
+	apps := c.AppList()
+	rows, err := appRows(c, func(app string) ([]float64, error) {
 		base, err := c.lruBaseline(app)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		for _, name := range policyNames {
+		vals := make([]float64, len(policyNames))
+		for i, name := range policyNames {
 			res, err := c.runPolicyOnApp(name, app)
 			if err != nil {
-				return err
+				return nil, err
 			}
-			mu.Lock()
-			out[name][app] = core.MissReduction(base, res.Stats)
-			mu.Unlock()
+			vals[i] = core.MissReduction(base, res.Stats)
 		}
-		return nil
+		return vals, nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	out := make(map[string]map[string]float64)
+	for _, name := range policyNames {
+		out[name] = make(map[string]float64, len(apps))
+	}
+	for i, app := range apps {
+		for j, name := range policyNames {
+			out[name][app] = rows[i][j]
+		}
 	}
 	return out, nil
 }
@@ -251,32 +273,35 @@ func Fig10FLACKAblation(ctx *Context) (*Table, error) {
 		cols = append(cols, v.Label())
 	}
 	t := &Table{Name: "fig10", Title: "FLACK ablation vs Belady over LRU, perfect icache (Fig. 10)", Columns: cols}
-	sums := make([]float64, len(variants)+1)
-	err := ctx.eachApp(func(app string) error {
+	rows, err := appRows(ctx, func(app string) ([]float64, error) {
 		_, pws, err := ctx.Trace(app, 0)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		base, err := ctx.lruBaseline(app)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		row := []any{app}
+		vals := make([]float64, 0, len(variants)+1)
 		bel := offline.RunBelady(pws, ctx.Cfg.UopCache, ctx.offlineOpts(offline.Options{}))
-		r := core.MissReduction(base, bel.Stats)
-		sums[0] += r
-		row = append(row, pct(r))
-		for i, v := range variants {
+		vals = append(vals, core.MissReduction(base, bel.Stats))
+		for _, v := range variants {
 			res := offline.RunFOO(pws, ctx.Cfg.UopCache, ctx.offlineOpts(offline.Options{Features: v}))
-			r := core.MissReduction(base, res.Stats)
-			sums[i+1] += r
-			row = append(row, pct(r))
+			vals = append(vals, core.MissReduction(base, res.Stats))
 		}
-		t.AddRow(row...)
-		return nil
+		return vals, nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	sums := make([]float64, len(variants)+1)
+	for i, app := range ctx.AppList() {
+		row := []any{app}
+		for j, r := range rows[i] {
+			sums[j] += r
+			row = append(row, pct(r))
+		}
+		t.AddRow(row...)
 	}
 	meanRow := []any{"MEAN"}
 	n := float64(len(ctx.AppList()))
@@ -294,36 +319,40 @@ func Fig15ProfileSources(ctx *Context) (*Table, error) {
 	srcs := []profiles.Source{profiles.SourceBelady, profiles.SourceFOO, profiles.SourceFLACK}
 	t := &Table{Name: "fig15", Title: "FURBYS miss reduction by offline profile source (Fig. 15)",
 		Columns: []string{"application", "belady-profile", "foo-profile", "flack-profile"}}
-	sums := make([]float64, len(srcs))
-	err := ctx.eachApp(func(app string) error {
+	rows, err := appRows(ctx, func(app string) ([3]float64, error) {
 		_, pws, err := ctx.Trace(app, 0)
 		if err != nil {
-			return err
+			return [3]float64{}, err
 		}
 		base, err := ctx.lruBaseline(app)
 		if err != nil {
-			return err
+			return [3]float64{}, err
 		}
-		row := []any{app}
+		var vals [3]float64
 		for i, src := range srcs {
 			prof, err := ctx.Profile(app, 0, src)
 			if err != nil {
-				return err
+				return [3]float64{}, err
 			}
 			pol, err := core.NewPolicy("furbys", prof, ctx.Cfg.UopCache, policy.FURBYSConfig{})
 			if err != nil {
-				return err
+				return [3]float64{}, err
 			}
 			res := core.RunBehavior(pws, ctx.Cfg, pol, ctx.runOpts())
-			r := core.MissReduction(base, res.Stats)
-			sums[i] += r
-			row = append(row, pct(r))
+			vals[i] = core.MissReduction(base, res.Stats)
 		}
-		t.AddRow(row...)
-		return nil
+		return vals, nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	var sums [3]float64
+	for i, app := range ctx.AppList() {
+		r := rows[i]
+		sums[0] += r[0]
+		sums[1] += r[1]
+		sums[2] += r[2]
+		t.AddRow(app, pct(r[0]), pct(r[1]), pct(r[2]))
 	}
 	n := float64(len(ctx.AppList()))
 	t.AddRow("MEAN", pct(sums[0]/n), pct(sums[1]/n), pct(sums[2]/n))
@@ -332,10 +361,15 @@ func Fig15ProfileSources(ctx *Context) (*Table, error) {
 }
 
 // Fig16SizeAssocSweep reproduces Fig. 16: FURBYS vs GHRP across cache sizes
-// and associativities.
+// and associativities. Each valid (entries, ways) point is one scheduler
+// cell; the geometry differs from the context's, so profiles are collected
+// directly rather than through the (geometry-keyed) cache.
 func Fig16SizeAssocSweep(ctx *Context) (*Table, error) {
 	t := &Table{Name: "fig16", Title: "Miss reduction across sizes and associativities: FURBYS vs GHRP (Fig. 16)",
 		Columns: []string{"entries", "ways", "furbys mean", "ghrp mean"}}
+	type combo struct{ entries, ways int }
+	var combos []combo
+	var labels []string
 	for _, entries := range []int{256, 512, 1024, 2048} {
 		for _, ways := range []int{4, 8, 16} {
 			cfg := ctx.Cfg
@@ -344,23 +378,37 @@ func Fig16SizeAssocSweep(ctx *Context) (*Table, error) {
 			if cfg.UopCache.Validate() != nil {
 				continue
 			}
-			var fu, gh []float64
-			for _, app := range ctx.AppList() {
-				_, pws, err := ctx.Trace(app, 0)
-				if err != nil {
-					return nil, err
-				}
-				base := core.RunBehavior(pws, cfg, policy.NewLRU(), ctx.runOpts())
-				prof := profiles.CollectObserved(pws, cfg.UopCache, profiles.SourceFLACK, ctx.Telemetry.Metrics, ctx.Telemetry.Events)
-				pol, err := core.NewPolicy("furbys", prof, cfg.UopCache, policy.FURBYSConfig{})
-				if err != nil {
-					return nil, err
-				}
-				fu = append(fu, core.MissReduction(base.Stats, core.RunBehavior(pws, cfg, pol, ctx.runOpts()).Stats))
-				gh = append(gh, core.MissReduction(base.Stats, core.RunBehavior(pws, cfg, policy.NewGHRP(), ctx.runOpts()).Stats))
-			}
-			t.AddRow(entries, ways, pct(mean(fu)), pct(mean(gh)))
+			combos = append(combos, combo{entries, ways})
+			labels = append(labels, fmt.Sprintf("%dx%d", entries, ways))
 		}
+	}
+	type point struct{ fu, gh float64 }
+	rows, err := cells(ctx, labels, func(i int) (point, error) {
+		cfg := ctx.Cfg
+		cfg.UopCache.Entries = combos[i].entries
+		cfg.UopCache.Ways = combos[i].ways
+		var fu, gh []float64
+		for _, app := range ctx.AppList() {
+			_, pws, err := ctx.Trace(app, 0)
+			if err != nil {
+				return point{}, err
+			}
+			base := core.RunBehavior(pws, cfg, policy.NewLRU(), ctx.runOpts())
+			prof := collectProfile(pws, cfg.UopCache, profiles.SourceFLACK, ctx.Telemetry.Metrics, ctx.Telemetry.Events)
+			pol, err := core.NewPolicy("furbys", prof, cfg.UopCache, policy.FURBYSConfig{})
+			if err != nil {
+				return point{}, err
+			}
+			fu = append(fu, core.MissReduction(base.Stats, core.RunBehavior(pws, cfg, pol, ctx.runOpts()).Stats))
+			gh = append(gh, core.MissReduction(base.Stats, core.RunBehavior(pws, cfg, policy.NewGHRP(), ctx.runOpts()).Stats))
+		}
+		return point{fu: mean(fu), gh: mean(gh)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range rows {
+		t.AddRow(combos[i].entries, combos[i].ways, pct(r.fu), pct(r.gh))
 	}
 	t.Notes = append(t.Notes, "Paper: FURBYS outperforms GHRP in every configuration; the gap narrows as capacity grows.")
 	return t, nil
@@ -371,29 +419,29 @@ func Fig16SizeAssocSweep(ctx *Context) (*Table, error) {
 func Fig18CrossValidation(ctx *Context) (*Table, error) {
 	t := &Table{Name: "fig18", Title: "Cross-validation: train-input profile vs same-input profile (Fig. 18)",
 		Columns: []string{"application", "same-input", "cross-input", "retained"}}
-	var sumSame, sumCross float64
-	err := ctx.eachApp(func(app string) error {
+	type row struct{ same, cross float64 }
+	rows, err := appRows(ctx, func(app string) (row, error) {
 		_, testPWs, err := ctx.Trace(app, 0)
 		if err != nil {
-			return err
+			return row{}, err
 		}
 		base, err := ctx.lruBaseline(app)
 		if err != nil {
-			return err
+			return row{}, err
 		}
 		// Same-input: profile from the test trace itself.
 		sameProf, err := ctx.Profile(app, 0, profiles.SourceFLACK)
 		if err != nil {
-			return err
+			return row{}, err
 		}
 		// Cross-input: merge profiles of two other inputs.
 		p1, err := ctx.Profile(app, 1, profiles.SourceFLACK)
 		if err != nil {
-			return err
+			return row{}, err
 		}
 		p2, err := ctx.Profile(app, 2, profiles.SourceFLACK)
 		if err != nil {
-			return err
+			return row{}, err
 		}
 		crossProf := profiles.Merge(p1, p2)
 
@@ -407,23 +455,27 @@ func Fig18CrossValidation(ctx *Context) (*Table, error) {
 		}
 		same, err := runWith(sameProf)
 		if err != nil {
-			return err
+			return row{}, err
 		}
 		cross, err := runWith(crossProf)
 		if err != nil {
-			return err
+			return row{}, err
 		}
-		sumSame += same
-		sumCross += cross
-		ret := "n/a"
-		if same > 0 {
-			ret = pct(cross / same)
-		}
-		t.AddRow(app, pct(same), pct(cross), ret)
-		return nil
+		return row{same: same, cross: cross}, nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	var sumSame, sumCross float64
+	for i, app := range ctx.AppList() {
+		r := rows[i]
+		sumSame += r.same
+		sumCross += r.cross
+		ret := "n/a"
+		if r.same > 0 {
+			ret = pct(r.cross / r.same)
+		}
+		t.AddRow(app, pct(r.same), pct(r.cross), ret)
 	}
 	n := float64(len(ctx.AppList()))
 	retained := 0.0
@@ -435,69 +487,95 @@ func Fig18CrossValidation(ctx *Context) (*Table, error) {
 	return t, nil
 }
 
-// Fig19WeightBits sweeps the number of weight-group bits (Fig. 19).
+// Fig19WeightBits sweeps the number of weight-group bits (Fig. 19); each
+// bit count is one scheduler cell.
 func Fig19WeightBits(ctx *Context) (*Table, error) {
 	t := &Table{Name: "fig19", Title: "Miss reduction vs number of weight bits (Fig. 19)",
 		Columns: []string{"bits", "groups", "mean reduction"}}
-	for bits := 1; bits <= 8; bits++ {
+	const maxBits = 8
+	labels := make([]string, maxBits)
+	for i := range labels {
+		labels[i] = fmt.Sprintf("bits=%d", i+1)
+	}
+	rows, err := cells(ctx, labels, func(i int) (float64, error) {
+		bits := i + 1
 		var vals []float64
 		for _, app := range ctx.AppList() {
 			_, pws, err := ctx.Trace(app, 0)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			base, err := ctx.lruBaseline(app)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			prof, err := ctx.Profile(app, 0, profiles.SourceFLACK)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			fcfg := policy.DefaultFURBYSConfig()
 			fcfg.WeightBits = bits
 			pol, err := core.NewPolicy("furbys", prof, ctx.Cfg.UopCache, fcfg)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			res := core.RunBehavior(pws, ctx.Cfg, pol, ctx.runOpts())
 			vals = append(vals, core.MissReduction(base, res.Stats))
 		}
-		t.AddRow(bits, 1<<bits, pct(mean(vals)))
+		return mean(vals), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range rows {
+		bits := i + 1
+		t.AddRow(bits, 1<<bits, pct(r))
 	}
 	t.Notes = append(t.Notes, "Paper: 3 bits (8 groups) balances reduction against hardware overhead.")
 	return t, nil
 }
 
-// Fig20DetectorDepth sweeps the local miss-pitfall detector depth (Fig. 20).
+// Fig20DetectorDepth sweeps the local miss-pitfall detector depth (Fig. 20);
+// each depth is one scheduler cell.
 func Fig20DetectorDepth(ctx *Context) (*Table, error) {
 	t := &Table{Name: "fig20", Title: "Miss reduction vs pitfall detector depth (Fig. 20)",
 		Columns: []string{"depth", "mean reduction"}}
-	for depth := 0; depth <= 4; depth++ {
+	const maxDepth = 4
+	labels := make([]string, maxDepth+1)
+	for i := range labels {
+		labels[i] = fmt.Sprintf("depth=%d", i)
+	}
+	rows, err := cells(ctx, labels, func(depth int) (float64, error) {
 		var vals []float64
 		for _, app := range ctx.AppList() {
 			_, pws, err := ctx.Trace(app, 0)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			base, err := ctx.lruBaseline(app)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			prof, err := ctx.Profile(app, 0, profiles.SourceFLACK)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			fcfg := policy.DefaultFURBYSConfig()
 			fcfg.DetectorDepth = depth
 			pol, err := core.NewPolicy("furbys", prof, ctx.Cfg.UopCache, fcfg)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			res := core.RunBehavior(pws, ctx.Cfg, pol, ctx.runOpts())
 			vals = append(vals, core.MissReduction(base, res.Stats))
 		}
-		t.AddRow(depth, pct(mean(vals)))
+		return mean(vals), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for depth, r := range rows {
+		t.AddRow(depth, pct(r))
 	}
 	t.Notes = append(t.Notes, "Paper: depth 2 gives the best miss reduction.")
 	return t, nil
@@ -507,31 +585,31 @@ func Fig20DetectorDepth(ctx *Context) (*Table, error) {
 func Fig21Bypass(ctx *Context) (*Table, error) {
 	t := &Table{Name: "fig21", Title: "FURBYS bypass mechanism on/off (Fig. 21)",
 		Columns: []string{"application", "bypass off", "bypass on", "bypassed insertions"}}
-	var sumOff, sumOn float64
-	err := ctx.eachApp(func(app string) error {
+	type row struct{ off, on, byFrac float64 }
+	rows, err := appRows(ctx, func(app string) (row, error) {
 		_, pws, err := ctx.Trace(app, 0)
 		if err != nil {
-			return err
+			return row{}, err
 		}
 		base, err := ctx.lruBaseline(app)
 		if err != nil {
-			return err
+			return row{}, err
 		}
 		prof, err := ctx.Profile(app, 0, profiles.SourceFLACK)
 		if err != nil {
-			return err
+			return row{}, err
 		}
 		offCfg := policy.DefaultFURBYSConfig()
 		offCfg.BypassEnabled = false
 		polOff, err := core.NewPolicy("furbys", prof, ctx.Cfg.UopCache, offCfg)
 		if err != nil {
-			return err
+			return row{}, err
 		}
 		rOff := core.MissReduction(base, core.RunBehavior(pws, ctx.Cfg, polOff, ctx.runOpts()).Stats)
 
 		polOn, err := core.NewPolicy("furbys", prof, ctx.Cfg.UopCache, policy.DefaultFURBYSConfig())
 		if err != nil {
-			return err
+			return row{}, err
 		}
 		resOn := core.RunBehavior(pws, ctx.Cfg, polOn, ctx.runOpts())
 		rOn := core.MissReduction(base, resOn.Stats)
@@ -539,13 +617,17 @@ func Fig21Bypass(ctx *Context) (*Table, error) {
 		if resOn.FURBYS != nil && resOn.FURBYS.InsertAttempts > 0 {
 			byFrac = float64(resOn.FURBYS.Bypasses) / float64(resOn.FURBYS.InsertAttempts)
 		}
-		sumOff += rOff
-		sumOn += rOn
-		t.AddRow(app, pct(rOff), pct(rOn), pct(byFrac))
-		return nil
+		return row{off: rOff, on: rOn, byFrac: byFrac}, nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	var sumOff, sumOn float64
+	for i, app := range ctx.AppList() {
+		r := rows[i]
+		sumOff += r.off
+		sumOn += r.on
+		t.AddRow(app, pct(r.off), pct(r.on), pct(r.byFrac))
 	}
 	n := float64(len(ctx.AppList()))
 	t.AddRow("MEAN", pct(sumOff/n), pct(sumOn/n), "")
@@ -553,27 +635,33 @@ func Fig21Bypass(ctx *Context) (*Table, error) {
 	return t, nil
 }
 
-// Fig22Hotness reproduces the hot/warm/cold PW analysis on Kafka (Fig. 22).
+// Fig22Hotness reproduces the hot/warm/cold PW analysis on Kafka (Fig. 22);
+// each policy's recorded replay is one scheduler cell.
 func Fig22Hotness(ctx *Context) (*Table, error) {
 	app := "kafka"
+	names := []string{"lru", "ghrp", "furbys", "flack"}
 	t := &Table{Name: "fig22", Title: "Hit rate by PW popularity decile on Kafka (Fig. 22)",
-		Columns: []string{"decile", "lru", "ghrp", "furbys", "flack"}}
-	_, pws, err := ctx.Trace(app, 0)
+		Columns: append([]string{"decile"}, names...)}
+	rows, err := cells(ctx, names, func(i int) ([10]stats.DecileStat, error) {
+		_, pws, err := ctx.Trace(app, 0)
+		if err != nil {
+			return [10]stats.DecileStat{}, err
+		}
+		res, err := core.RunBehaviorByName(names[i], pws, ctx.Cfg, ctx.runOptsRecord())
+		if err != nil {
+			return [10]stats.DecileStat{}, err
+		}
+		return stats.HotnessDeciles(pws, res.PerLookup), nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	deciles := map[string][10]stats.DecileStat{}
-	for _, name := range []string{"lru", "ghrp", "furbys", "flack"} {
-		res, err := core.RunBehaviorByName(name, pws, ctx.Cfg, ctx.runOptsRecord())
-		if err != nil {
-			return nil, err
-		}
-		deciles[name] = stats.HotnessDeciles(pws, res.PerLookup)
-	}
 	for d := 0; d < 10; d++ {
-		t.AddRow(fmt.Sprintf("%d-%d%%", d*10, (d+1)*10),
-			pct(deciles["lru"][d].HitRate()), pct(deciles["ghrp"][d].HitRate()),
-			pct(deciles["furbys"][d].HitRate()), pct(deciles["flack"][d].HitRate()))
+		row := []any{fmt.Sprintf("%d-%d%%", d*10, (d+1)*10)}
+		for i := range names {
+			row = append(row, pct(rows[i][d].HitRate()))
+		}
+		t.AddRow(row...)
 	}
 	t.Notes = append(t.Notes, "Paper: all policies handle hot PWs (<1% apart); FURBYS wins on warm PWs; the FLACK gap concentrates in cold PWs.")
 	return t, nil
@@ -583,36 +671,45 @@ func Fig22Hotness(ctx *Context) (*Table, error) {
 func CoverageStats(ctx *Context) (*Table, error) {
 	t := &Table{Name: "coverage", Title: "FURBYS victim-selection coverage and bypass rate (Section VI-C)",
 		Columns: []string{"application", "furbys-selected victims", "srrip fallback", "bypassed insertions"}}
-	var sumCov, sumBy float64
-	err := ctx.eachApp(func(app string) error {
+	type row struct {
+		ok      bool
+		cov, by float64
+	}
+	rows, err := appRows(ctx, func(app string) (row, error) {
 		_, pws, err := ctx.Trace(app, 0)
 		if err != nil {
-			return err
+			return row{}, err
 		}
 		prof, err := ctx.Profile(app, 0, profiles.SourceFLACK)
 		if err != nil {
-			return err
+			return row{}, err
 		}
 		pol, err := core.NewPolicy("furbys", prof, ctx.Cfg.UopCache, policy.FURBYSConfig{})
 		if err != nil {
-			return err
+			return row{}, err
 		}
 		res := core.RunBehavior(pws, ctx.Cfg, pol, ctx.runOpts())
 		if res.FURBYS == nil {
-			return nil
+			return row{}, nil
 		}
-		cov := res.FURBYS.VictimCoverage()
 		byFrac := 0.0
 		if res.FURBYS.InsertAttempts > 0 {
 			byFrac = float64(res.FURBYS.Bypasses) / float64(res.FURBYS.InsertAttempts)
 		}
-		sumCov += cov
-		sumBy += byFrac
-		t.AddRow(app, pct(cov), pct(1-cov), pct(byFrac))
-		return nil
+		return row{ok: true, cov: res.FURBYS.VictimCoverage(), by: byFrac}, nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	var sumCov, sumBy float64
+	for i, app := range ctx.AppList() {
+		r := rows[i]
+		if !r.ok {
+			continue
+		}
+		sumCov += r.cov
+		sumBy += r.by
+		t.AddRow(app, pct(r.cov), pct(1-r.cov), pct(r.by))
 	}
 	n := float64(len(ctx.AppList()))
 	t.AddRow("MEAN", pct(sumCov/n), pct(1-sumCov/n), pct(sumBy/n))

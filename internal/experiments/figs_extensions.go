@@ -16,42 +16,49 @@ import (
 func SensInclusion(ctx *Context) (*Table, error) {
 	t := &Table{Name: "sens-inclusion", Title: "Inclusive vs non-inclusive micro-op cache (Section VII)",
 		Columns: []string{"application", "inclusive: FURBYS IPC speedup", "non-inclusive: FURBYS IPC speedup", "non-inclusive: invalidations"}}
-	var sumInc, sumNon float64
-	err := ctx.eachApp(func(app string) error {
+	type row struct {
+		inc, non float64
+		inval    any
+	}
+	rows, err := appRows(ctx, func(app string) (row, error) {
 		blocks, _, err := ctx.Trace(app, 0)
 		if err != nil {
-			return err
+			return row{}, err
 		}
 		prof, err := ctx.Profile(app, 0, profiles.SourceFLACK)
 		if err != nil {
-			return err
+			return row{}, err
 		}
-		speedup := func(nonInclusive bool) (float64, uint64, error) {
+		speedup := func(nonInclusive bool) (float64, any, error) {
 			cfg := ctx.Cfg
 			cfg.Frontend.NonInclusive = nonInclusive
 			base := core.RunTimingObserved(blocks, cfg, policy.NewLRU(), ctx.Telemetry)
 			pol, err := core.NewPolicy("furbys", prof, cfg.UopCache, policy.FURBYSConfig{})
 			if err != nil {
-				return 0, 0, err
+				return 0, nil, err
 			}
 			fu := core.RunTimingObserved(blocks, cfg, pol, ctx.Telemetry)
 			return fu.Frontend.IPC()/base.Frontend.IPC() - 1, fu.Frontend.UopCache.Invalidations, nil
 		}
 		inc, _, err := speedup(false)
 		if err != nil {
-			return err
+			return row{}, err
 		}
 		non, inval, err := speedup(true)
 		if err != nil {
-			return err
+			return row{}, err
 		}
-		sumInc += inc
-		sumNon += non
-		t.AddRow(app, pct(inc), pct(non), inval)
-		return nil
+		return row{inc: inc, non: non, inval: inval}, nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	var sumInc, sumNon float64
+	for i, app := range ctx.AppList() {
+		r := rows[i]
+		sumInc += r.inc
+		sumNon += r.non
+		t.AddRow(app, pct(r.inc), pct(r.non), r.inval)
 	}
 	n := float64(len(ctx.AppList()))
 	t.AddRow("MEAN", pct(sumInc/n), pct(sumNon/n), "")
@@ -62,24 +69,36 @@ func SensInclusion(ctx *Context) (*Table, error) {
 // SensInsertDelay sweeps the asynchronous-insertion delay: the value of
 // FLACK's A feature (lazy eviction + late-insertion safeguard) should grow
 // with the lookup/insertion skew. This is the ablation DESIGN.md calls out
-// for the asynchrony model.
+// for the asynchrony model. Each delay point is one scheduler cell.
 func SensInsertDelay(ctx *Context) (*Table, error) {
 	t := &Table{Name: "sens-delay", Title: "Insertion-delay sensitivity: value of FLACK's asynchrony handling",
 		Columns: []string{"insert delay (lookups)", "lru miss rate", "foo reduction", "foo+A reduction", "A benefit"}}
 	app := ctx.AppList()[0]
-	_, pws, err := ctx.Trace(app, 0)
-	if err != nil {
-		return nil, err
+	delays := []int{0, 1, 2, 3, 5, 8}
+	labels := make([]string, len(delays))
+	for i, d := range delays {
+		labels[i] = fmt.Sprintf("delay=%d", d)
 	}
-	for _, delay := range []int{0, 1, 2, 3, 5, 8} {
+	type point struct{ missRate, rRaw, rA float64 }
+	points, err := cells(ctx, labels, func(i int) (point, error) {
+		_, pws, err := ctx.Trace(app, 0)
+		if err != nil {
+			return point{}, err
+		}
 		cfg := ctx.Cfg
-		cfg.UopCache.InsertDelay = delay
+		cfg.UopCache.InsertDelay = delays[i]
 		base := core.RunBehavior(pws, cfg, policy.NewLRU(), ctx.runOpts())
 		raw := offline.RunFOO(pws, cfg.UopCache, ctx.offlineOpts(offline.Options{Features: offline.Features{}}))
 		withA := offline.RunFOO(pws, cfg.UopCache, ctx.offlineOpts(offline.Options{Features: offline.Features{Async: true}}))
-		rRaw := core.MissReduction(base.Stats, raw.Stats)
-		rA := core.MissReduction(base.Stats, withA.Stats)
-		t.AddRow(delay, fmt.Sprintf("%.4f", base.Stats.UopMissRate()), pct(rRaw), pct(rA), pct(rA-rRaw))
+		return point{missRate: base.Stats.UopMissRate(),
+			rRaw: core.MissReduction(base.Stats, raw.Stats),
+			rA:   core.MissReduction(base.Stats, withA.Stats)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range points {
+		t.AddRow(delays[i], fmt.Sprintf("%.4f", p.missRate), pct(p.rRaw), pct(p.rA), pct(p.rA-p.rRaw))
 	}
 	t.Notes = append(t.Notes, "Raw FOO applies decisions at lookup time and degrades as insertions lag; the A feature recovers the loss (paper Section III-C/IV).")
 	return t, nil
@@ -87,22 +106,33 @@ func SensInsertDelay(ctx *Context) (*Table, error) {
 
 // SensSegmentLimit sweeps the FOO/FLACK flow-segmentation limit, the main
 // fidelity/runtime knob of the offline solver (a DESIGN.md substitution for
-// solving the whole-trace LP at once).
+// solving the whole-trace LP at once). Each limit is one scheduler cell.
 func SensSegmentLimit(ctx *Context) (*Table, error) {
 	t := &Table{Name: "sens-segment", Title: "FLACK plan quality vs flow segment limit",
 		Columns: []string{"segment limit", "flack miss reduction vs LRU"}}
 	app := ctx.AppList()[0]
-	_, pws, err := ctx.Trace(app, 0)
+	limits := []int{128, 512, 2048, offline.DefaultSegmentLimit}
+	labels := make([]string, len(limits))
+	for i, lim := range limits {
+		labels[i] = fmt.Sprintf("limit=%d", lim)
+	}
+	reds, err := cells(ctx, labels, func(i int) (float64, error) {
+		_, pws, err := ctx.Trace(app, 0)
+		if err != nil {
+			return 0, err
+		}
+		base, err := ctx.lruBaseline(app)
+		if err != nil {
+			return 0, err
+		}
+		res := offline.RunFLACK(pws, ctx.Cfg.UopCache, ctx.offlineOpts(offline.Options{SegmentLimit: limits[i]}))
+		return core.MissReduction(base, res.Stats), nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	base, err := ctx.lruBaseline(app)
-	if err != nil {
-		return nil, err
-	}
-	for _, lim := range []int{128, 512, 2048, offline.DefaultSegmentLimit} {
-		res := offline.RunFLACK(pws, ctx.Cfg.UopCache, ctx.offlineOpts(offline.Options{SegmentLimit: lim}))
-		t.AddRow(lim, pct(core.MissReduction(base, res.Stats)))
+	for i, r := range reds {
+		t.AddRow(limits[i], pct(r))
 	}
 	t.Notes = append(t.Notes, "Longer segments let keep decisions look further ahead; quality saturates well before whole-trace solving.")
 	return t, nil
@@ -115,29 +145,33 @@ func SensSegmentLimit(ctx *Context) (*Table, error) {
 func SensObjective(ctx *Context) (*Table, error) {
 	t := &Table{Name: "sens-objective", Title: "Flow objective: OHR vs BHR vs variable cost (Section III-D)",
 		Columns: []string{"application", "ohr", "bhr", "variable cost"}}
-	var sums [3]float64
-	err := ctx.eachApp(func(app string) error {
+	rows, err := appRows(ctx, func(app string) ([3]float64, error) {
 		_, pws, err := ctx.Trace(app, 0)
 		if err != nil {
-			return err
+			return [3]float64{}, err
 		}
 		base, err := ctx.lruBaseline(app)
 		if err != nil {
-			return err
+			return [3]float64{}, err
 		}
-		row := []any{app}
+		var vals [3]float64
 		for i, model := range []offline.CostModel{offline.CostOHR, offline.CostBHR, offline.CostVC} {
-			dec := offline.ComputeDecisions(pws, ctx.Cfg.UopCache, model, true, 0)
+			dec := offline.ComputeDecisions(pws, ctx.Cfg.UopCache, model, true, 0, ctx.Workers)
 			res := offline.ReplayPlan(pws, ctx.Cfg.UopCache, dec, ctx.offlineOpts(offline.Options{Features: offline.FLACKFeatures()}))
-			r := core.MissReduction(base, res.Stats)
-			sums[i] += r
-			row = append(row, pct(r))
+			vals[i] = core.MissReduction(base, res.Stats)
 		}
-		t.AddRow(row...)
-		return nil
+		return vals, nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	var sums [3]float64
+	for i, app := range ctx.AppList() {
+		r := rows[i]
+		sums[0] += r[0]
+		sums[1] += r[1]
+		sums[2] += r[2]
+		t.AddRow(app, pct(r[0]), pct(r[1]), pct(r[2]))
 	}
 	n := float64(len(ctx.AppList()))
 	t.AddRow("MEAN", pct(sums[0]/n), pct(sums[1]/n), pct(sums[2]/n))

@@ -15,7 +15,9 @@ import (
 // cross-line windows (CLASP) reduce the number of line-boundary window
 // cuts, and idealized entry compaction removes internal fragmentation
 // entirely. Both are complementary to replacement policy — the experiment
-// runs all four combinations under LRU.
+// runs all four combinations under LRU. Variants stay serial (each needs
+// the baseline's per-app miss rates); within a variant the apps run as
+// concurrent cells.
 func SensFragmentation(ctx *Context) (*Table, error) {
 	t := &Table{Name: "sens-fragmentation",
 		Title:   "Fragmentation attack: CLASP cross-line windows and idealized compaction (Section VIII)",
@@ -31,13 +33,13 @@ func SensFragmentation(ctx *Context) (*Table, error) {
 		{"compaction", false, true},
 		{"clasp+compaction", true, true},
 	}
+	type cell struct{ rate, util float64 }
 	baseRates := map[string]float64{}
 	for _, v := range variants {
-		var rates, utils, reds []float64
-		for _, app := range ctx.AppList() {
+		rows, err := appRows(ctx, func(app string) (cell, error) {
 			spec, err := workload.Get(app)
 			if err != nil {
-				return nil, err
+				return cell{}, err
 			}
 			blocks := workload.GenerateSpec(spec, ctx.Blocks, 0)
 			former := &trace.Former{MaxUops: trace.DefaultMaxUops, CrossLine: v.crossLine, MaxLines: 2}
@@ -45,17 +47,25 @@ func SensFragmentation(ctx *Context) (*Table, error) {
 			cfg := ctx.Cfg
 			cfg.UopCache.Compaction = v.compaction
 			res := core.RunBehavior(pws, cfg, policy.NewLRU(), ctx.runOpts())
-			rates = append(rates, res.Stats.UopMissRate())
 			// Utilization sampled at end of run via a fresh cache
 			// replay is overkill; re-run and query.
 			c := uopcache.New(cfg.UopCache, policy.NewLRU())
 			uopcache.NewBehavior(c, nil).Run(pws)
-			utils = append(utils, c.Utilization())
+			return cell{rate: res.Stats.UopMissRate(), util: c.Utilization()}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var rates, utils, reds []float64
+		for i, app := range ctx.AppList() {
+			r := rows[i]
+			rates = append(rates, r.rate)
+			utils = append(utils, r.util)
 			if v.label == "baseline lru" {
-				baseRates[app] = res.Stats.UopMissRate()
+				baseRates[app] = r.rate
 			}
 			if br := baseRates[app]; br > 0 {
-				reds = append(reds, (br-res.Stats.UopMissRate())/br)
+				reds = append(reds, (br-r.rate)/br)
 			}
 		}
 		t.AddRow(v.label, fmt.Sprintf("%.4f", mean(rates)), fmt.Sprintf("%.4f", mean(utils)), pct(mean(reds)))

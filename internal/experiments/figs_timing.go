@@ -2,28 +2,30 @@ package experiments
 
 import (
 	"fmt"
-	"sync"
 
 	"uopsim/internal/core"
 	"uopsim/internal/policy"
 	"uopsim/internal/profiles"
 )
 
-// timingByName runs the timing model for a named policy on an app, sharing
-// the context's cached profile for profile-guided policies.
+// timingByName runs (cached) the timing model for a named policy on an app,
+// sharing the context's cached profile for profile-guided policies.
+// Concurrent cells needing the same (app, policy) timing share one run.
 func (c *Context) timingByName(app, name string) (core.TimingResult, error) {
-	blocks, pws, err := c.Trace(app, 0)
-	if err != nil {
-		return core.TimingResult{}, err
-	}
-	var prof *profiles.Profile
-	if name == "thermometer" || name == "furbys" {
-		prof, err = c.Profile(app, 0, profiles.SourceFLACK)
+	return once(c.caches, c.caches.times, app+"/"+name, func() (core.TimingResult, error) {
+		blocks, pws, err := c.Trace(app, 0)
 		if err != nil {
 			return core.TimingResult{}, err
 		}
-	}
-	return core.RunTimingByNameObserved(name, blocks, pws, c.Cfg, prof, c.Telemetry)
+		var prof *profiles.Profile
+		if name == "thermometer" || name == "furbys" {
+			prof, err = c.Profile(app, 0, profiles.SourceFLACK)
+			if err != nil {
+				return core.TimingResult{}, err
+			}
+		}
+		return core.RunTimingByNameObserved(name, blocks, pws, c.Cfg, prof, c.Telemetry)
+	})
 }
 
 // Fig2PerfectStructures reproduces Fig. 2: per-core performance-per-watt
@@ -41,27 +43,32 @@ func Fig2PerfectStructures(ctx *Context) (*Table, error) {
 		{"bp", func(c *core.Config) { c.Frontend.PerfectBP = true }},
 		{"btb", func(c *core.Config) { c.Frontend.PerfectBTB = true }},
 	}
-	sums := make([]float64, len(variants))
-	err := ctx.eachApp(func(app string) error {
+	rows, err := appRows(ctx, func(app string) ([]float64, error) {
 		blocks, _, err := ctx.Trace(app, 0)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		base := core.RunTimingObserved(blocks, ctx.Cfg, policy.NewLRU(), ctx.Telemetry)
-		row := []any{app}
+		gains := make([]float64, len(variants))
 		for i, v := range variants {
 			cfg := ctx.Cfg
 			v.apply(&cfg)
 			res := core.RunTimingObserved(blocks, cfg, policy.NewLRU(), ctx.Telemetry)
-			gain := res.PPW/base.PPW - 1
-			sums[i] += gain
-			row = append(row, pct(gain))
+			gains[i] = res.PPW/base.PPW - 1
 		}
-		t.AddRow(row...)
-		return nil
+		return gains, nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	sums := make([]float64, len(variants))
+	for i, app := range ctx.AppList() {
+		row := []any{app}
+		for j, g := range rows[i] {
+			sums[j] += g
+			row = append(row, pct(g))
+		}
+		t.AddRow(row...)
 	}
 	meanRow := []any{"MEAN"}
 	n := float64(len(ctx.AppList()))
@@ -74,37 +81,32 @@ func Fig2PerfectStructures(ctx *Context) (*Table, error) {
 }
 
 // ppwTable renders PPW gains over LRU for a policy list under a config,
-// running applications in parallel.
+// running applications as concurrent cells.
 func (c *Context) ppwTable(name, title string, policyNames []string, notes ...string) (*Table, error) {
 	t := &Table{Name: name, Title: title, Columns: append([]string{"application"}, policyNames...), Notes: notes}
-	gains := make(map[string][]float64) // app -> per-policy gains
-	var mu sync.Mutex
-	err := c.forEachApp(func(app string) error {
+	rows, err := appRows(c, func(app string) ([]float64, error) {
 		base, err := c.timingByName(app, "lru")
 		if err != nil {
-			return err
+			return nil, err
 		}
 		row := make([]float64, len(policyNames))
 		for i, p := range policyNames {
 			res, err := c.timingByName(app, p)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			row[i] = res.PPW/base.PPW - 1
 		}
-		mu.Lock()
-		gains[app] = row
-		mu.Unlock()
-		return nil
+		return row, nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	sums := make([]float64, len(policyNames))
-	for _, app := range c.AppList() {
+	for i, app := range c.AppList() {
 		row := []any{app}
-		for i, g := range gains[app] {
-			sums[i] += g
+		for j, g := range rows[i] {
+			sums[j] += g
 			row = append(row, pct(g))
 		}
 		t.AddRow(row...)
@@ -130,38 +132,41 @@ func Fig11IPC(ctx *Context) (*Table, error) {
 	names := []string{"srrip", "ship++", "ghrp", "mockingjay", "thermometer", "furbys", "flack"}
 	t := &Table{Name: "fig11", Title: "IPC speedup over LRU (Fig. 11)",
 		Columns: append(append([]string{"application"}, names...), "infinite uop cache")}
-	sums := make([]float64, len(names)+1)
-	err := ctx.eachApp(func(app string) error {
+	rows, err := appRows(ctx, func(app string) ([]float64, error) {
 		blocks, _, err := ctx.Trace(app, 0)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		base, err := ctx.timingByName(app, "lru")
 		if err != nil {
-			return err
+			return nil, err
 		}
-		row := []any{app}
-		for i, p := range names {
+		speedups := make([]float64, 0, len(names)+1)
+		for _, p := range names {
 			res, err := ctx.timingByName(app, p)
 			if err != nil {
-				return err
+				return nil, err
 			}
-			sp := res.Frontend.IPC()/base.Frontend.IPC() - 1
-			sums[i] += sp
-			row = append(row, pct(sp))
+			speedups = append(speedups, res.Frontend.IPC()/base.Frontend.IPC()-1)
 		}
 		// Infinite (perfect) micro-op cache bound.
 		cfg := ctx.Cfg
 		cfg.Frontend.PerfectUopCache = true
 		inf := core.RunTimingObserved(blocks, cfg, policy.NewLRU(), ctx.Telemetry)
-		sp := inf.Frontend.IPC()/base.Frontend.IPC() - 1
-		sums[len(names)] += sp
-		row = append(row, pct(sp))
-		t.AddRow(row...)
-		return nil
+		speedups = append(speedups, inf.Frontend.IPC()/base.Frontend.IPC()-1)
+		return speedups, nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	sums := make([]float64, len(names)+1)
+	for i, app := range ctx.AppList() {
+		row := []any{app}
+		for j, sp := range rows[i] {
+			sums[j] += sp
+			row = append(row, pct(sp))
+		}
+		t.AddRow(row...)
 	}
 	meanRow := []any{"MEAN"}
 	n := float64(len(ctx.AppList()))
@@ -174,7 +179,7 @@ func Fig11IPC(ctx *Context) (*Table, error) {
 }
 
 // Fig12ISOPerformance reproduces Fig. 12: how large an LRU cache must be to
-// match FURBYS at 512 entries.
+// match FURBYS at 512 entries. Each capacity point is one scheduler cell.
 func Fig12ISOPerformance(ctx *Context) (*Table, error) {
 	t := &Table{Name: "fig12", Title: "ISO-performance: LRU at larger capacities vs FURBYS@512 (Fig. 12)",
 		Columns: []string{"configuration", "mean uop miss rate", "mean IPC", "mean miss reduction vs LRU@512"}}
@@ -193,21 +198,29 @@ func Fig12ISOPerformance(ctx *Context) (*Table, error) {
 		{"lru@1024", 1024, 16, false},
 		{"furbys@512", 512, 8, true},
 	}
-	for _, rc := range rows {
+	labels := make([]string, len(rows))
+	for i, rc := range rows {
+		labels[i] = rc.label
+	}
+	type point struct{ missRate, ipc, red float64 }
+	points, err := cells(ctx, labels, func(i int) (point, error) {
+		rc := rows[i]
 		cfg := ctx.Cfg
 		cfg.UopCache.Entries = rc.entries
 		cfg.UopCache.Ways = rc.ways
 		if err := cfg.UopCache.Validate(); err != nil {
-			return nil, fmt.Errorf("fig12 config %s: %w", rc.label, err)
+			return point{}, fmt.Errorf("fig12 config %s: %w", rc.label, err)
 		}
 		var missRates, ipcs, reds []float64
 		for _, app := range ctx.AppList() {
 			blocks, pws, err := ctx.Trace(app, 0)
 			if err != nil {
-				return nil, err
+				return point{}, err
 			}
-			baseCfg := ctx.Cfg
-			base := core.RunBehavior(pws, baseCfg, policy.NewLRU(), ctx.runOpts())
+			base, err := ctx.lruBaseline(app)
+			if err != nil {
+				return point{}, err
+			}
 
 			var polName string
 			var prof *profiles.Profile
@@ -215,69 +228,80 @@ func Fig12ISOPerformance(ctx *Context) (*Table, error) {
 				polName = "furbys"
 				prof, err = ctx.Profile(app, 0, profiles.SourceFLACK)
 				if err != nil {
-					return nil, err
+					return point{}, err
 				}
 			} else {
 				polName = "lru"
 			}
 			pol, err := core.NewPolicy(polName, prof, cfg.UopCache, policy.FURBYSConfig{})
 			if err != nil {
-				return nil, err
+				return point{}, err
 			}
 			beh := core.RunBehavior(pws, cfg, pol, ctx.runOpts())
 			missRates = append(missRates, beh.Stats.UopMissRate())
-			reds = append(reds, core.MissReduction(base.Stats, beh.Stats))
+			reds = append(reds, core.MissReduction(base, beh.Stats))
 
 			pol2, err := core.NewPolicy(polName, prof, cfg.UopCache, policy.FURBYSConfig{})
 			if err != nil {
-				return nil, err
+				return point{}, err
 			}
 			tim := core.RunTimingObserved(blocks, cfg, pol2, ctx.Telemetry)
 			ipcs = append(ipcs, tim.Frontend.IPC())
 		}
-		t.AddRow(rc.label, fmt.Sprintf("%.4f", mean(missRates)), fmt.Sprintf("%.4f", mean(ipcs)), pct(mean(reds)))
+		return point{missRate: mean(missRates), ipc: mean(ipcs), red: mean(reds)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range points {
+		t.AddRow(rows[i].label, fmt.Sprintf("%.4f", p.missRate), fmt.Sprintf("%.4f", p.ipc), pct(p.red))
 	}
 	t.Notes = append(t.Notes, "Paper: LRU needs ~1.5x the capacity on average (2x for Postgres) to match FURBYS.")
 	return t, nil
 }
 
 // Fig13EnergyBreakdownClang reproduces Fig. 13: per-core energy breakdown on
-// Clang for no-uop-cache, LRU, and FURBYS.
+// Clang for no-uop-cache, LRU, and FURBYS — each configuration one cell.
 func Fig13EnergyBreakdownClang(ctx *Context) (*Table, error) {
 	app := "clang"
 	t := &Table{Name: "fig13", Title: "Per-core energy breakdown on Clang (Fig. 13)",
 		Columns: []string{"configuration", "decoder", "icache", "uop cache", "others", "total vs no-uop-cache"}}
-	blocks, _, err := ctx.Trace(app, 0)
+	labels := []string{"no uop cache", "lru", "furbys"}
+	results, err := cells(ctx, labels, func(i int) (core.TimingResult, error) {
+		blocks, _, err := ctx.Trace(app, 0)
+		if err != nil {
+			return core.TimingResult{}, err
+		}
+		switch i {
+		case 0:
+			noCfg := ctx.Cfg
+			noCfg.Frontend.DisableUopCache = true
+			return core.RunTimingObserved(blocks, noCfg, policy.NewLRU(), ctx.Telemetry), nil
+		case 1:
+			return core.RunTimingObserved(blocks, ctx.Cfg, policy.NewLRU(), ctx.Telemetry), nil
+		default:
+			prof, err := ctx.Profile(app, 0, profiles.SourceFLACK)
+			if err != nil {
+				return core.TimingResult{}, err
+			}
+			fpol, err := core.NewPolicy("furbys", prof, ctx.Cfg.UopCache, policy.FURBYSConfig{})
+			if err != nil {
+				return core.TimingResult{}, err
+			}
+			return core.RunTimingObserved(blocks, ctx.Cfg, fpol, ctx.Telemetry), nil
+		}
+	})
 	if err != nil {
 		return nil, err
 	}
-	noCfg := ctx.Cfg
-	noCfg.Frontend.DisableUopCache = true
-	noUop := core.RunTimingObserved(blocks, noCfg, policy.NewLRU(), ctx.Telemetry)
-
-	lru := core.RunTimingObserved(blocks, ctx.Cfg, policy.NewLRU(), ctx.Telemetry)
-
-	prof, err := ctx.Profile(app, 0, profiles.SourceFLACK)
-	if err != nil {
-		return nil, err
-	}
-	fpol, err := core.NewPolicy("furbys", prof, ctx.Cfg.UopCache, policy.FURBYSConfig{})
-	if err != nil {
-		return nil, err
-	}
-	furbys := core.RunTimingObserved(blocks, ctx.Cfg, fpol, ctx.Telemetry)
-
-	baseTotal := noUop.Power.Total()
-	add := func(label string, r core.TimingResult) {
-		b := r.Power
+	baseTotal := results[0].Power.Total()
+	for i, label := range labels {
+		b := results[i].Power
 		others := b.Total() - b.Decoder - b.ICache - b.UopCache
 		t.AddRow(label,
 			pct(b.Decoder/b.Total()), pct(b.ICache/b.Total()), pct(b.UopCache/b.Total()),
 			pct(others/b.Total()), pct(b.Total()/baseTotal))
 	}
-	add("no uop cache", noUop)
-	add("lru", lru)
-	add("furbys", furbys)
 	t.Notes = append(t.Notes,
 		"Paper: without a uop cache the decoder takes 12.5% and the icache 7.7% of per-core power; adding an LRU uop cache saves 8.1%; FURBYS saves a further 2.2%.")
 	return t, nil
@@ -288,21 +312,24 @@ func Fig13EnergyBreakdownClang(ctx *Context) (*Table, error) {
 func Fig14EnergyReductionBreakdown(ctx *Context) (*Table, error) {
 	t := &Table{Name: "fig14", Title: "Energy-reduction breakdown of FURBYS vs LRU (Fig. 14)",
 		Columns: []string{"application", "icache", "uop-cache insertion", "decoder", "other", "total saved"}}
-	var sums [4]float64
-	n := 0
-	err := ctx.eachApp(func(app string) error {
+	type row struct {
+		skip    bool
+		shares  [4]float64
+		totFrac float64
+	}
+	rows, err := appRows(ctx, func(app string) (row, error) {
 		blocks, _, err := ctx.Trace(app, 0)
 		if err != nil {
-			return err
+			return row{}, err
 		}
 		lru := core.RunTimingObserved(blocks, ctx.Cfg, policy.NewLRU(), ctx.Telemetry)
 		prof, err := ctx.Profile(app, 0, profiles.SourceFLACK)
 		if err != nil {
-			return err
+			return row{}, err
 		}
 		fpol, err := core.NewPolicy("furbys", prof, ctx.Cfg.UopCache, policy.FURBYSConfig{})
 		if err != nil {
-			return err
+			return row{}, err
 		}
 		fu := core.RunTimingObserved(blocks, ctx.Cfg, fpol, ctx.Telemetry)
 		dIc := lru.Power.ICache - fu.Power.ICache
@@ -311,19 +338,27 @@ func Fig14EnergyReductionBreakdown(ctx *Context) (*Table, error) {
 		dTot := lru.Power.Total() - fu.Power.Total()
 		dOther := dTot - dIc - dUop - dDec
 		if dTot <= 0 {
-			t.AddRow(app, "-", "-", "-", "-", pct(dTot/lru.Power.Total()))
-			return nil
+			return row{skip: true, totFrac: dTot / lru.Power.Total()}, nil
 		}
-		n++
-		sums[0] += dIc / dTot
-		sums[1] += dUop / dTot
-		sums[2] += dDec / dTot
-		sums[3] += dOther / dTot
-		t.AddRow(app, pct(dIc/dTot), pct(dUop/dTot), pct(dDec/dTot), pct(dOther/dTot), pct(dTot/lru.Power.Total()))
-		return nil
+		return row{shares: [4]float64{dIc / dTot, dUop / dTot, dDec / dTot, dOther / dTot},
+			totFrac: dTot / lru.Power.Total()}, nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	var sums [4]float64
+	n := 0
+	for i, app := range ctx.AppList() {
+		r := rows[i]
+		if r.skip {
+			t.AddRow(app, "-", "-", "-", "-", pct(r.totFrac))
+			continue
+		}
+		n++
+		for k := 0; k < 4; k++ {
+			sums[k] += r.shares[k]
+		}
+		t.AddRow(app, pct(r.shares[0]), pct(r.shares[1]), pct(r.shares[2]), pct(r.shares[3]), pct(r.totFrac))
 	}
 	if n > 0 {
 		t.AddRow("MEAN", pct(sums[0]/float64(n)), pct(sums[1]/float64(n)), pct(sums[2]/float64(n)), pct(sums[3]/float64(n)), "")
@@ -333,16 +368,13 @@ func Fig14EnergyReductionBreakdown(ctx *Context) (*Table, error) {
 }
 
 // Fig17Zen4PPW reproduces Fig. 17: PPW gains under the Zen4 configuration.
+// The derived context gets fresh caches (different geometry) but shares the
+// scheduler, so the run obeys the same worker budget and its cell timings
+// land in the fig17 manifest entry.
 func Fig17Zen4PPW(ctx *Context) (*Table, error) {
-	zen4 := NewContext(ctx.Blocks)
-	zen4.Apps = ctx.Apps
-	zen4.Cfg = core.Zen4Config()
-	zen4.Cfg.Energy = ctx.Cfg.Energy
-	zen4.Telemetry = ctx.Telemetry
-	zen4.Progress = ctx.Progress
-	zen4.Begin("fig17")
-	t, err := zen4.ppwTable("fig17", "PPW gain over LRU, Zen4 configuration (Fig. 17)",
+	cfg := core.Zen4Config()
+	cfg.Energy = ctx.Cfg.Energy
+	return ctx.withConfig(cfg).ppwTable("fig17", "PPW gain over LRU, Zen4 configuration (Fig. 17)",
 		[]string{"srrip", "ship++", "ghrp", "mockingjay", "thermometer", "furbys"},
 		"Paper: FURBYS gains 2.41% PPW on Zen4, still ahead of every other policy.")
-	return t, err
 }

@@ -2,6 +2,7 @@ package offline
 
 import (
 	"uopsim/internal/flow"
+	"uopsim/internal/parallel"
 	"uopsim/internal/trace"
 	"uopsim/internal/uopcache"
 )
@@ -85,7 +86,13 @@ type fooRequest struct {
 // with min-cost flow. foldVariants enables FLACK's treatment of overlapping
 // same-start windows as one object sized by its largest variant. segLimit
 // bounds the per-set flow instance (0 selects DefaultSegmentLimit).
-func ComputeDecisions(pws []trace.PW, cfg uopcache.Config, model CostModel, foldVariants bool, segLimit int) *Decisions {
+//
+// workers bounds the solver's parallelism (0 = GOMAXPROCS, 1 = serial).
+// Every (set, segment) flow instance is independent — each builds its own
+// flow.Graph and writes keep decisions at the disjoint trace positions of
+// its own requests — so the fan-out needs no locking and the resulting plan
+// is byte-identical at any worker count.
+func ComputeDecisions(pws []trace.PW, cfg uopcache.Config, model CostModel, foldVariants bool, segLimit, workers int) *Decisions {
 	if segLimit <= 0 {
 		segLimit = DefaultSegmentLimit
 	}
@@ -127,15 +134,21 @@ func ComputeDecisions(pws []trace.PW, cfg uopcache.Config, model CostModel, fold
 		})
 	}
 
+	// Flatten the (set, segment) instances into one work list so a few
+	// long sets cannot serialize the tail of the fan-out.
+	var segs [][]fooRequest
 	for _, reqs := range perSet {
 		for off := 0; off < len(reqs); off += segLimit {
 			end := off + segLimit
 			if end > len(reqs) {
 				end = len(reqs)
 			}
-			solveSegment(reqs[off:end], cfg.Ways, model, dec)
+			segs = append(segs, reqs[off:end])
 		}
 	}
+	parallel.ForEach(workers, len(segs), func(i int) {
+		solveSegment(segs[i], cfg.Ways, model, dec)
+	})
 	return dec
 }
 

@@ -125,6 +125,10 @@ type Options struct {
 	ICache *cache.Config
 	// RecordPerLookup enables Result.PerLookup.
 	RecordPerLookup bool
+	// Workers bounds the plan solver's parallelism (0 = GOMAXPROCS,
+	// 1 = serial). Only ComputeDecisions fans out; the replay itself is
+	// inherently serial (see replayDecisions).
+	Workers int
 	// Metrics, when non-nil, receives the live uopcache_* counters of
 	// the replay; Events, when non-nil, receives the structured decision
 	// trace. Both are optional observability attachments.
@@ -150,7 +154,7 @@ func RunFOO(pws []trace.PW, cfg uopcache.Config, opts Options) Result {
 	if opts.Features.VarCost {
 		model = CostVC
 	}
-	dec := ComputeDecisions(pws, cfg, model, opts.Features.SelBypass, opts.SegmentLimit)
+	dec := ComputeDecisions(pws, cfg, model, opts.Features.SelBypass, opts.SegmentLimit, opts.Workers)
 	return replayDecisions(pws, cfg, dec, opts)
 }
 
@@ -162,6 +166,14 @@ func ReplayPlan(pws []trace.PW, cfg uopcache.Config, dec *Decisions, opts Option
 }
 
 // replayDecisions drives the behaviour simulator under a plan.
+//
+// Unlike the solve, the replay does NOT decompose per set: the behaviour
+// simulator's asynchronous-insertion due times count GLOBAL lookups (an
+// insertion issued in one set matures after accesses to other sets), and
+// the inclusive L1i couples sets through line evictions. Splitting the
+// replay per set would change those interleavings and therefore the
+// results, so parallel speedup for replays comes from running independent
+// (experiment, app) cells concurrently at the harness layer instead.
 func replayDecisions(pws []trace.PW, cfg uopcache.Config, dec *Decisions, opts Options) Result {
 	o := NewOracle(pws)
 	rp := &replayPolicy{o: o, curKeep: make(map[uint64]bool)}

@@ -1,0 +1,278 @@
+// Package parallel is the simulator's only approved concurrency layer: a
+// bounded worker pool with index-ordered result collection, deterministic
+// first-error selection, panic propagation, and a shared cell limiter for
+// the experiment scheduler. Simulation packages may not spawn goroutines
+// directly (the simlint determinism analyzer enforces it); they fan
+// independent work out through this package so results merge in input order
+// and rendered output stays byte-identical at any worker count.
+//
+// The determinism contract: callers pass an index-addressed unit of work
+// whose result depends only on its index (no shared mutable state, any
+// randomness seeded per unit); the pool stores each result in its input
+// slot, so the merged slice is the same at 1 worker or 64. Only the ERROR
+// returned by Map/MapLimited may vary with the worker count, because a
+// failure cancels units that have not started yet — the lowest-index error
+// among the units that ran is reported, which at one worker is always the
+// first error in input order.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"uopsim/internal/telemetry"
+)
+
+// Workers resolves a requested worker count: values <= 0 select
+// runtime.GOMAXPROCS(0), the scheduler's actual parallelism.
+func Workers(requested int) int {
+	if requested > 0 {
+		return requested
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// PanicError carries a worker panic to the caller's goroutine, with the
+// worker's stack attached so the crash points at the unit of work rather
+// than at the pool internals.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+// Error implements error.
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("parallel: worker panic: %v\n%s", p.Value, p.Stack)
+}
+
+// run invokes fn(i), converting a panic into a *PanicError.
+func run(i int, fn func(i int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(i)
+}
+
+// state tracks cancellation and the winning (lowest-index) failure of one
+// Map/ForEach/MapLimited invocation.
+type state struct {
+	stop   atomic.Bool
+	mu     sync.Mutex
+	errIdx int
+	err    error
+}
+
+// record notes a failure at index i; the lowest index wins so the reported
+// error does not depend on goroutine interleaving among completed units.
+func (s *state) record(i int, err error) {
+	s.stop.Store(true)
+	s.mu.Lock()
+	if s.err == nil || i < s.errIdx {
+		s.errIdx, s.err = i, err
+	}
+	s.mu.Unlock()
+}
+
+// finish re-raises a captured worker panic on the caller's goroutine and
+// otherwise returns the winning error.
+func (s *state) finish() error {
+	if pe, ok := s.err.(*PanicError); ok {
+		panic(pe)
+	}
+	return s.err
+}
+
+// Map runs fn over indices [0, n) on a bounded pool of workers, collecting
+// results in index order. workers <= 0 selects GOMAXPROCS. The first error
+// (lowest index among units that ran) cancels units that have not started;
+// a worker panic is re-raised on the caller's goroutine. With one worker
+// (or n <= 1) everything runs inline on the caller, in index order.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if n == 0 {
+		return out, nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return out, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	var (
+		st   state
+		next atomic.Int64
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || st.stop.Load() {
+					return
+				}
+				if err := run(i, func(i int) error {
+					v, err := fn(i)
+					if err == nil {
+						out[i] = v
+					}
+					return err
+				}); err != nil {
+					st.record(i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return out, st.finish()
+}
+
+// ForEach runs fn over indices [0, n) on a bounded pool, for work that
+// writes into disjoint regions of a shared result (e.g. per-segment solver
+// decisions): no result collection, no errors, panics re-raised.
+func ForEach(workers, n int, fn func(i int)) {
+	_, _ = Map(workers, n, func(i int) (struct{}, error) {
+		fn(i)
+		return struct{}{}, nil
+	})
+}
+
+// Limiter is a counting semaphore shared by concurrently running experiment
+// cells: many orchestrating goroutines may exist, but at most Cap heavy
+// cell bodies execute at once. When built with a telemetry registry it
+// publishes the scheduler's utilization: queue depth, active workers, cell
+// count and per-cell busy time.
+type Limiter struct {
+	slots  chan struct{}
+	width  int
+	queued atomic.Int64
+	active atomic.Int64
+
+	queueDepth    *telemetry.Gauge
+	activeWorkers *telemetry.Gauge
+	cellsTotal    *telemetry.Counter
+	cellBusy      *telemetry.Histogram
+}
+
+// NewLimiter builds a limiter admitting Workers(workers) concurrent cells.
+// reg may be nil (no metrics).
+func NewLimiter(workers int, reg *telemetry.Registry) *Limiter {
+	w := Workers(workers)
+	l := &Limiter{slots: make(chan struct{}, w), width: w}
+	if reg != nil {
+		l.queueDepth = reg.Gauge("parallel_queue_depth")
+		l.activeWorkers = reg.Gauge("parallel_active_workers")
+		l.cellsTotal = reg.Counter("parallel_cells_total")
+		l.cellBusy = reg.Histogram("parallel_cell_busy_us")
+	}
+	return l
+}
+
+// Cap returns the limiter's concurrency width.
+func (l *Limiter) Cap() int { return l.width }
+
+// Do runs fn while holding one of the limiter's slots, blocking until a
+// slot frees up. The slot is released even if fn panics.
+func (l *Limiter) Do(fn func()) {
+	if l.queueDepth != nil {
+		l.queueDepth.Set(float64(l.queued.Add(1)))
+	}
+	l.slots <- struct{}{}
+	if l.queueDepth != nil {
+		l.queueDepth.Set(float64(l.queued.Add(-1)))
+	}
+	if l.activeWorkers != nil {
+		l.activeWorkers.Set(float64(l.active.Add(1)))
+	}
+	start := time.Now()
+	defer func() {
+		if l.cellBusy != nil {
+			l.cellBusy.Observe(uint64(time.Since(start).Microseconds()))
+		}
+		if l.cellsTotal != nil {
+			l.cellsTotal.Inc()
+		}
+		if l.activeWorkers != nil {
+			l.activeWorkers.Set(float64(l.active.Add(-1)))
+		}
+		<-l.slots
+	}()
+	fn()
+}
+
+// MapLimited is Map gated by a shared limiter instead of a private pool:
+// one goroutine per unit is spawned immediately (orchestration is cheap)
+// but each unit's body runs only while holding a limiter slot, so the TOTAL
+// number of heavy bodies across every concurrent MapLimited call stays at
+// the limiter's cap. Results land in index order; the lowest-index error
+// among units that ran wins and cancels unstarted units; panics re-raise on
+// the caller. A nil limiter or a cap of 1 runs everything inline, serially,
+// still holding the slot (if any) so concurrent callers interleave safely.
+func MapLimited[T any](l *Limiter, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if n == 0 {
+		return out, nil
+	}
+	body := func(i int) error {
+		return run(i, func(i int) error {
+			v, err := fn(i)
+			if err == nil {
+				out[i] = v
+			}
+			return err
+		})
+	}
+	if l == nil || l.Cap() <= 1 || n <= 1 {
+		var st state
+		for i := 0; i < n; i++ {
+			var err error
+			do := func() { err = body(i) }
+			if l != nil {
+				l.Do(do)
+			} else {
+				do()
+			}
+			if err != nil {
+				st.record(i, err)
+				return out, st.finish()
+			}
+		}
+		return out, nil
+	}
+	var (
+		st state
+		wg sync.WaitGroup
+	)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			l.Do(func() {
+				if st.stop.Load() {
+					return
+				}
+				if err := body(i); err != nil {
+					st.record(i, err)
+				}
+			})
+		}(i)
+	}
+	wg.Wait()
+	return out, st.finish()
+}

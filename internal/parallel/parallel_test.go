@@ -1,0 +1,220 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"uopsim/internal/telemetry"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d", got)
+	}
+	if got := Workers(5); got != 5 {
+		t.Errorf("Workers(5) = %d", got)
+	}
+}
+
+func TestMapOrderedResults(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		out, err := Map(workers, 100, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(4, 0, func(i int) (int, error) { return 0, errors.New("never") })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("out=%v err=%v", out, err)
+	}
+}
+
+func TestMapLowestIndexErrorWins(t *testing.T) {
+	errAt := func(bad ...int) func(i int) (int, error) {
+		set := map[int]bool{}
+		for _, b := range bad {
+			set[b] = true
+		}
+		return func(i int) (int, error) {
+			if set[i] {
+				return 0, fmt.Errorf("unit %d failed", i)
+			}
+			return i, nil
+		}
+	}
+	// Serial: the first failing index in input order.
+	if _, err := Map(1, 10, errAt(3, 7)); err == nil || err.Error() != "unit 3 failed" {
+		t.Errorf("serial err = %v", err)
+	}
+	// Parallel: among the units that ran, the lowest failing index wins;
+	// with every unit failing, that is deterministically unit 0.
+	all := make([]int, 32)
+	for i := range all {
+		all[i] = i
+	}
+	if _, err := Map(8, 32, errAt(all...)); err == nil || err.Error() != "unit 0 failed" {
+		t.Errorf("parallel err = %v", err)
+	}
+}
+
+func TestMapErrorCancelsUnstartedUnits(t *testing.T) {
+	var ran atomic.Int64
+	boom := errors.New("boom")
+	_, err := Map(2, 10_000, func(i int) (int, error) {
+		ran.Add(1)
+		return 0, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if n := ran.Load(); n >= 10_000 {
+		t.Errorf("cancellation did not skip any of %d units", n)
+	}
+}
+
+func TestMapPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if workers == 1 {
+					// Inline execution: the panic is the original value.
+					if r != "kaboom" {
+						t.Errorf("workers=1 recovered %v", r)
+					}
+					return
+				}
+				pe, ok := r.(*PanicError)
+				if !ok {
+					t.Fatalf("workers=%d recovered %T (%v), want *PanicError", workers, r, r)
+				}
+				if pe.Value != "kaboom" || len(pe.Stack) == 0 {
+					t.Errorf("PanicError = %v", pe)
+				}
+			}()
+			Map(workers, 8, func(i int) (int, error) {
+				if i == 3 {
+					panic("kaboom")
+				}
+				return i, nil
+			})
+			t.Errorf("workers=%d: no panic", workers)
+		}()
+	}
+}
+
+func TestForEachDisjointWrites(t *testing.T) {
+	out := make([]int, 500)
+	ForEach(8, len(out), func(i int) { out[i] = i + 1 })
+	for i, v := range out {
+		if v != i+1 {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapLimitedSharedBudget(t *testing.T) {
+	l := NewLimiter(2, nil)
+	if l.Cap() != 2 {
+		t.Fatalf("Cap = %d", l.Cap())
+	}
+	var active, peak atomic.Int64
+	// Two concurrent MapLimited calls share the two slots.
+	done := make(chan error, 2)
+	for c := 0; c < 2; c++ {
+		go func() {
+			_, err := MapLimited(l, 20, func(i int) (int, error) {
+				a := active.Add(1)
+				for {
+					p := peak.Load()
+					if a <= p || peak.CompareAndSwap(p, a) {
+						break
+					}
+				}
+				defer active.Add(-1)
+				return i, nil
+			})
+			done <- err
+		}()
+	}
+	for c := 0; c < 2; c++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p := peak.Load(); p > 2 {
+		t.Errorf("peak concurrent bodies = %d, want <= limiter cap 2", p)
+	}
+}
+
+func TestMapLimitedNilAndSerial(t *testing.T) {
+	out, err := MapLimited[int](nil, 5, func(i int) (int, error) { return i * 2, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*2 {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+	// Cap-1 limiter: inline, stops at first error.
+	l := NewLimiter(1, nil)
+	var ran int
+	_, err = MapLimited(l, 5, func(i int) (int, error) {
+		ran++
+		if i == 2 {
+			return 0, errors.New("stop")
+		}
+		return i, nil
+	})
+	if err == nil || ran != 3 {
+		t.Errorf("err=%v ran=%d, want error after 3 units", err, ran)
+	}
+}
+
+func TestLimiterMetrics(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	l := NewLimiter(2, reg)
+	if _, err := MapLimited(l, 6, func(i int) (int, error) { return i, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("parallel_cells_total").Value(); got != 6 {
+		t.Errorf("parallel_cells_total = %d, want 6", got)
+	}
+	if got := reg.Histogram("parallel_cell_busy_us").Count(); got != 6 {
+		t.Errorf("parallel_cell_busy_us count = %d, want 6", got)
+	}
+	if got := reg.Gauge("parallel_active_workers").Value(); got != 0 {
+		t.Errorf("parallel_active_workers settled at %v, want 0", got)
+	}
+}
+
+func TestMapLimitedPanicPropagates(t *testing.T) {
+	l := NewLimiter(4, nil)
+	defer func() {
+		if _, ok := recover().(*PanicError); !ok {
+			t.Error("expected *PanicError")
+		}
+	}()
+	MapLimited(l, 8, func(i int) (int, error) {
+		if i == 5 {
+			panic("cell crash")
+		}
+		return i, nil
+	})
+	t.Error("no panic")
+}

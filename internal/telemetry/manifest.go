@@ -71,6 +71,9 @@ type RunManifest struct {
 	Config      map[string]any `json:"config,omitempty"`
 	Seed        int64          `json:"seed,omitempty"`
 	Blocks      int            `json:"blocks,omitempty"`
+	// Workers is the resolved concurrency budget the run used (1 = the
+	// serial schedule).
+	Workers     int            `json:"workers,omitempty"`
 	Apps        []string       `json:"apps,omitempty"`
 	Figures     []FigureRun    `json:"figures,omitempty"`
 	Failures    []string       `json:"failures,omitempty"`
