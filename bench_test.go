@@ -159,7 +159,7 @@ func BenchmarkFLACKSolve(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		offline.ComputeDecisions(pws, cfg, offline.CostVC, true, 0, 1)
+		offline.ComputeDecisions(nil, pws, cfg, offline.CostVC, true, 0, 1)
 	}
 }
 
@@ -173,7 +173,7 @@ func BenchmarkFLACKSolveParallel(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		offline.ComputeDecisions(pws, cfg, offline.CostVC, true, 0, 0)
+		offline.ComputeDecisions(nil, pws, cfg, offline.CostVC, true, 0, 0)
 	}
 }
 

@@ -6,108 +6,288 @@
 //	experiments [-blocks N] [-apps a,b,c] [-csv dir] [-md file] fig8 fig10 ...
 //	experiments [-parallel N] [-quiet] [-manifest run.json] [-telemetry FILE]
 //	            [-events FILE] [-pprof ADDR] all
+//	experiments [-resume dir] [-retries N] [-strict] [-faultinject SPEC] all
 //
 // -parallel N runs up to N heavy (experiment, app) cells concurrently
 // (0 = GOMAXPROCS); output is byte-identical at any worker count, and
 // -parallel 1 reproduces the serial schedule exactly. Progress lines
 // ([fig8] kafka 3/11 1.2s) stream to stderr unless -quiet. A run manifest
 // (configuration, build info, worker count, per-figure and per-app
-// wall-clock, failures) is written next to the CSV/SVG output, or to
+// wall-clock, failures, status) is written next to the CSV/SVG output, or to
 // -manifest. Any failed experiment or write makes the exit status non-zero,
 // but later experiments still run.
+//
+// Resilience: SIGINT/SIGTERM drains the run gracefully — cells in flight
+// finish, queued work is abandoned, completed results are flushed, and the
+// manifest is written with status "interrupted" (exit status 130). Every
+// completed cell is journaled to checkpoint.jsonl in the -csv (or -svg)
+// directory; -resume DIR reloads that journal and skips the journaled
+// cells, producing byte-identical output to an uninterrupted run. A cell
+// that fails or panics is retried -retries times and then degrades to a
+// marked-missing table entry recorded in the manifest; -strict restores
+// fail-fast behaviour. -faultinject SITE:HITS:MODE (see internal/faultinject)
+// injects deterministic cell failures for testing these paths.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"uopsim/internal/experiments"
+	"uopsim/internal/faultinject"
 	"uopsim/internal/parallel"
 	"uopsim/internal/plot"
 	"uopsim/internal/telemetry"
 )
 
 func main() {
-	var (
-		list     = flag.Bool("list", false, "list experiment ids and exit")
-		blocks   = flag.Int("blocks", 60000, "dynamic blocks per application trace")
-		apps     = flag.String("apps", "", "comma-separated app subset (default: all 11)")
-		csvDir   = flag.String("csv", "", "directory to write per-experiment CSV files")
-		svgDir   = flag.String("svg", "", "directory to write per-experiment SVG figures")
-		check    = flag.Bool("check", false, "verify the paper's qualitative claims against each table")
-		mdFile   = flag.String("md", "", "file to append markdown tables to (default stdout only)")
-		report   = flag.String("report", "", "file to write the paper-vs-measured report (summary + checks + tables)")
-		par      = flag.Int("parallel", 0, "max concurrent (experiment, app) cells; 0 = GOMAXPROCS, 1 = serial schedule")
-		quiet    = flag.Bool("quiet", false, "suppress per-app progress lines on stderr")
-		manifest = flag.String("manifest", "", "write the run manifest to `FILE` (default: run.json in -csv or -svg dir)")
-	)
-	var obs telemetry.CLI
-	obs.RegisterFlags(flag.CommandLine)
-	flag.Parse()
+	os.Exit(runMain(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	if *list {
-		for _, id := range experiments.IDs() {
-			fmt.Println(id)
+// options is the parsed and validated command line.
+type options struct {
+	list      bool
+	blocks    int
+	apps      string
+	csvDir    string
+	svgDir    string
+	check     bool
+	mdFile    string
+	report    string
+	par       int
+	quiet     bool
+	manifest  string
+	resume    string
+	retries   int
+	strict    bool
+	faultSpec string
+
+	obs   telemetry.CLI
+	fault *faultinject.Injector
+	ids   []string
+}
+
+// usageError marks a bad invocation: reported with usage conventions and
+// exit status 2, distinct from operational failures (exit 1).
+type usageError struct{ err error }
+
+func (u usageError) Error() string { return u.err.Error() }
+
+// parseArgs parses and validates the command line up front, before any
+// simulation work: flag types, worker/retry/sample ranges, experiment ids,
+// fault-injection spec syntax, and output-directory writability all fail
+// fast with a usage error instead of wasting a run.
+func parseArgs(args []string, stderr io.Writer) (*options, error) {
+	o := &options{}
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.BoolVar(&o.list, "list", false, "list experiment ids and exit")
+	fs.IntVar(&o.blocks, "blocks", 60000, "dynamic blocks per application trace")
+	fs.StringVar(&o.apps, "apps", "", "comma-separated app subset (default: all 11)")
+	fs.StringVar(&o.csvDir, "csv", "", "directory to write per-experiment CSV files")
+	fs.StringVar(&o.svgDir, "svg", "", "directory to write per-experiment SVG figures")
+	fs.BoolVar(&o.check, "check", false, "verify the paper's qualitative claims against each table")
+	fs.StringVar(&o.mdFile, "md", "", "file to append markdown tables to (default stdout only)")
+	fs.StringVar(&o.report, "report", "", "file to write the paper-vs-measured report (summary + checks + tables)")
+	fs.IntVar(&o.par, "parallel", 0, "max concurrent (experiment, app) cells; 0 = GOMAXPROCS, 1 = serial schedule")
+	fs.BoolVar(&o.quiet, "quiet", false, "suppress per-app progress lines on stderr")
+	fs.StringVar(&o.manifest, "manifest", "", "write the run manifest to `FILE` (default: run.json in -csv or -svg dir)")
+	fs.StringVar(&o.resume, "resume", "", "resume from the checkpoint journal in `DIR` (written by a previous -csv/-svg run)")
+	fs.IntVar(&o.retries, "retries", 0, "extra attempts for a failed or panicking cell before it counts as failed")
+	fs.BoolVar(&o.strict, "strict", false, "fail an experiment on the first exhausted cell instead of degrading to a marked-missing entry")
+	fs.StringVar(&o.faultSpec, "faultinject", "", "inject cell faults: `SITE:HITS:MODE` (testing; see internal/faultinject)")
+	o.obs.RegisterFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil, err
 		}
-		return
+		return nil, usageError{err}
 	}
-	ids := flag.Args()
-	if len(ids) == 0 {
-		fmt.Fprintln(os.Stderr, "experiments: no experiment ids given (try -list or 'all')")
-		os.Exit(2)
+	o.ids = fs.Args()
+	if o.list {
+		return o, nil
 	}
-	if len(ids) == 1 && ids[0] == "all" {
-		ids = experiments.IDs()
+	if len(o.ids) == 0 {
+		return nil, usageError{errors.New("no experiment ids given (try -list or 'all')")}
 	}
-	for _, id := range ids {
+	if len(o.ids) == 1 && o.ids[0] == "all" {
+		o.ids = experiments.IDs()
+	}
+	for _, id := range o.ids {
 		if _, ok := experiments.Lookup(id); !ok {
-			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", id)
-			os.Exit(2)
+			return nil, usageError{fmt.Errorf("unknown experiment %q", id)}
 		}
 	}
-	if err := obs.Start(); err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
+	if o.blocks <= 0 {
+		return nil, usageError{fmt.Errorf("-blocks must be positive (got %d)", o.blocks)}
+	}
+	if o.par < 0 {
+		return nil, usageError{fmt.Errorf("-parallel must be >= 0 (got %d; 0 selects GOMAXPROCS)", o.par)}
+	}
+	if o.retries < 0 {
+		return nil, usageError{fmt.Errorf("-retries must be >= 0 (got %d)", o.retries)}
+	}
+	if o.obs.Sample <= 0 {
+		return nil, usageError{fmt.Errorf("-sample must be positive (got %d)", o.obs.Sample)}
+	}
+	if o.faultSpec != "" {
+		inj, err := faultinject.New(o.faultSpec)
+		if err != nil {
+			return nil, usageError{err}
+		}
+		o.fault = inj
+	}
+	for _, dir := range []string{o.csvDir, o.svgDir} {
+		if dir == "" {
+			continue
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, usageError{fmt.Errorf("output dir: %w", err)}
+		}
+	}
+	if o.resume != "" {
+		st, err := os.Stat(o.resume)
+		if err != nil {
+			return nil, usageError{fmt.Errorf("-resume: %w", err)}
+		}
+		if !st.IsDir() {
+			return nil, usageError{fmt.Errorf("-resume %s: not a directory", o.resume)}
+		}
+	}
+	return o, nil
+}
+
+// runMain is the single exit point: 0 on success, 1 on operational failure,
+// 2 on a bad invocation, 130 when the run was interrupted and drained.
+func runMain(args []string, stdout, stderr io.Writer) int {
+	o, err := parseArgs(args, stderr)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		fmt.Fprintln(stderr, "experiments:", err)
+		var ue usageError
+		if errors.As(err, &ue) {
+			return 2
+		}
+		return 1
+	}
+	if o.list {
+		for _, id := range experiments.IDs() {
+			fmt.Fprintln(stdout, id)
+		}
+		return 0
+	}
+	interrupted, err := run(o, args, stdout, stderr)
+	if err != nil {
+		fmt.Fprintln(stderr, "experiments:", err)
+		if interrupted {
+			return 130
+		}
+		return 1
+	}
+	if interrupted {
+		return 130
+	}
+	return 0
+}
+
+// run executes the campaign. It reports whether the run was interrupted
+// (drained after SIGINT/SIGTERM or a context cancellation) and the first
+// fatal or aggregate error.
+func run(o *options, args []string, stdout, stderr io.Writer) (interrupted bool, err error) {
+	if err := o.obs.Start(); err != nil {
+		return false, err
 	}
 
-	ctx := experiments.NewContext(*blocks)
-	if *apps != "" {
-		ctx.Apps = strings.Split(*apps, ",")
+	// SIGINT/SIGTERM cancels the campaign context: cells in flight finish,
+	// queued work is abandoned, and everything below the RunMany call —
+	// report, manifest, telemetry flush — still runs.
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ectx := experiments.NewContext(o.blocks)
+	if o.apps != "" {
+		ectx.Apps = strings.Split(o.apps, ",")
 	}
-	ctx.Workers = *par
-	ctx.Telemetry.Metrics = obs.Registry
-	if obs.Sink != nil {
-		ctx.Telemetry.Events = obs.Sink
+	ectx.Workers = o.par
+	ectx.Ctx = sigCtx
+	ectx.Retries = o.retries
+	ectx.Degrade = !o.strict
+	ectx.Fault = o.fault
+	ectx.Telemetry.Metrics = o.obs.Registry
+	if o.obs.Sink != nil {
+		ectx.Telemetry.Events = o.obs.Sink
 	}
-	if !*quiet {
-		ctx.Progress = telemetry.NewProgress(os.Stderr)
+	if !o.quiet {
+		ectx.Progress = telemetry.NewProgress(stderr)
+	}
+	if o.fault != nil {
+		o.fault.Arm(o.obs.Registry)
 	}
 
-	workers := parallel.Workers(*par)
-	man := telemetry.NewRunManifest("experiments", os.Args[1:])
-	man.Blocks = *blocks
+	workers := parallel.Workers(o.par)
+	man := telemetry.NewRunManifest("experiments", args)
+	man.Blocks = o.blocks
 	man.Workers = workers
-	man.Apps = ctx.AppList()
+	man.Apps = ectx.AppList()
 	man.Config = map[string]any{
-		"blocks": *blocks, "apps": strings.Join(ctx.AppList(), ","),
-		"csv": *csvDir, "svg": *svgDir, "check": *check, "parallel": workers,
+		"blocks": o.blocks, "apps": strings.Join(ectx.AppList(), ","),
+		"csv": o.csvDir, "svg": o.svgDir, "check": o.check, "parallel": workers,
+		"retries": o.retries, "strict": o.strict, "resume": o.resume,
 	}
-	fail := func(format string, args ...any) {
-		msg := fmt.Sprintf(format, args...)
-		fmt.Fprintln(os.Stderr, "experiments: "+msg)
+	fail := func(format string, a ...any) {
+		msg := fmt.Sprintf(format, a...)
+		fmt.Fprintln(stderr, "experiments: "+msg)
 		man.Failures = append(man.Failures, msg)
 	}
 
+	// The checkpoint journal lives with the run's artifacts: the -resume
+	// directory when resuming, else the CSV (or SVG) output directory.
+	// Every completed cell is journaled; a later run pointed at the same
+	// directory restores those cells instead of re-simulating them.
+	journalDir := o.resume
+	if journalDir == "" {
+		journalDir = o.csvDir
+	}
+	if journalDir == "" {
+		journalDir = o.svgDir
+	}
+	if journalDir != "" {
+		hdr := experiments.CheckpointHeader{
+			Version: experiments.CheckpointVersion,
+			Tool:    "experiments",
+			Blocks:  o.blocks,
+			Apps:    ectx.AppList(),
+			Build:   man.Build.Revision,
+		}
+		journal, jerr := experiments.OpenCheckpoint(filepath.Join(journalDir, "checkpoint.jsonl"), hdr)
+		if jerr != nil {
+			fail("checkpoint: %v", jerr)
+		} else {
+			defer journal.Close()
+			ectx.Journal = journal
+			if !o.quiet && journal.Restored() > 0 {
+				fmt.Fprintf(stderr, "experiments: resuming — %d cell(s) restored from %s\n",
+					journal.Restored(), filepath.Join(journalDir, "checkpoint.jsonl"))
+			}
+		}
+	}
+
 	var md *os.File
-	if *mdFile != "" {
-		f, err := os.OpenFile(*mdFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+	if o.mdFile != "" {
+		f, ferr := os.OpenFile(o.mdFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if ferr != nil {
+			return false, ferr
 		}
 		defer f.Close()
 		md = f
@@ -119,9 +299,9 @@ func main() {
 	checkFailures := 0
 	var allTables []*experiments.Table
 	var allChecks []experiments.CheckResult
-	experiments.RunMany(ctx, ids, func(r experiments.RunResult) {
+	experiments.RunMany(ectx, o.ids, func(r experiments.RunResult) {
 		id := r.ID
-		fig := telemetry.FigureRun{ID: id, WallSeconds: r.WallSeconds, Apps: r.Apps}
+		fig := telemetry.FigureRun{ID: id, WallSeconds: r.WallSeconds, Apps: r.Apps, FailedCells: r.Failed}
 		if r.Err != nil {
 			fig.Error = r.Err.Error()
 			man.Figures = append(man.Figures, fig)
@@ -132,70 +312,89 @@ func main() {
 		fig.Title = tbl.Title
 		fig.Rows = len(tbl.Rows)
 		man.Figures = append(man.Figures, fig)
+		if len(r.Failed) > 0 {
+			fail("%s: %d cell(s) failed after retries (rendered with missing entries)", id, len(r.Failed))
+		}
 		wall := time.Duration(r.WallSeconds * float64(time.Second))
-		fmt.Printf("== %s (%s) ==\n", id, wall.Round(time.Millisecond))
-		if err := tbl.Markdown(os.Stdout); err != nil {
-			fail("%s: stdout: %v", id, err)
+		fmt.Fprintf(stdout, "== %s (%s) ==\n", id, wall.Round(time.Millisecond))
+		if werr := tbl.Markdown(stdout); werr != nil {
+			fail("%s: stdout: %v", id, werr)
 		}
 		if md != nil {
-			if err := tbl.Markdown(md); err != nil {
-				fail("%s: %s: %v", id, *mdFile, err)
+			if werr := tbl.Markdown(md); werr != nil {
+				fail("%s: %s: %v", id, o.mdFile, werr)
 			}
 		}
 		allTables = append(allTables, tbl)
-		if *check || *report != "" {
+		if o.check || o.report != "" {
 			res := experiments.Check(tbl)
 			allChecks = append(allChecks, res)
-			if *check {
+			if o.check {
 				for _, p := range res.Passed {
-					fmt.Printf("CHECK PASS %s: %s\n", id, p)
+					fmt.Fprintf(stdout, "CHECK PASS %s: %s\n", id, p)
 				}
 				for _, f := range res.Failed {
-					fmt.Printf("CHECK FAIL %s: %s\n", id, f)
+					fmt.Fprintf(stdout, "CHECK FAIL %s: %s\n", id, f)
 					checkFailures++
 				}
 			}
 		}
-		if *csvDir != "" {
-			if err := writeCSV(*csvDir, id, tbl); err != nil {
-				fail("%s: %v", id, err)
+		if o.csvDir != "" {
+			if werr := writeCSV(o.csvDir, id, tbl); werr != nil {
+				fail("%s: %v", id, werr)
 			}
 		}
-		if *svgDir != "" {
-			if err := writeSVG(*svgDir, id, tbl); err != nil {
-				fail("%s: %v", id, err)
+		if o.svgDir != "" {
+			if werr := writeSVG(o.svgDir, id, tbl); werr != nil {
+				fail("%s: %v", id, werr)
 			}
 		}
 	})
-	if *report != "" {
-		if err := writeReport(*report, allTables, allChecks); err != nil {
-			fail("report: %v", err)
+	interrupted = sigCtx.Err() != nil
+	if o.report != "" {
+		if werr := writeReport(o.report, allTables, allChecks); werr != nil {
+			fail("report: %v", werr)
 		}
 	}
 	if checkFailures > 0 {
 		fail("%d claim(s) failed", checkFailures)
 	}
-
-	man.Finish()
-	if path := manifestPath(*manifest, *csvDir, *svgDir); path != "" {
-		if err := man.WriteFile(path); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments: manifest:", err)
-			os.Exit(1)
-		}
-		if *manifest != "" {
-			fmt.Fprintln(os.Stderr, "experiments: build", buildLine(man.Build))
-		}
-		if !*quiet {
-			fmt.Fprintln(os.Stderr, "experiments: manifest written to", path)
+	if ectx.Journal != nil {
+		if jerr := ectx.Journal.Err(); jerr != nil {
+			fail("checkpoint: %v", jerr)
 		}
 	}
-	if err := obs.Close(); err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
+
+	switch {
+	case interrupted:
+		man.Status = telemetry.StatusInterrupted
+	case len(man.Failures) > 0:
+		man.Status = telemetry.StatusFailed
+	default:
+		man.Status = telemetry.StatusOK
+	}
+	man.Finish()
+	if path := manifestPath(o.manifest, o.csvDir, o.svgDir); path != "" {
+		if werr := man.WriteFile(path); werr != nil {
+			return interrupted, fmt.Errorf("manifest: %w", werr)
+		}
+		if o.manifest != "" {
+			fmt.Fprintln(stderr, "experiments: build", buildLine(man.Build))
+		}
+		if !o.quiet {
+			fmt.Fprintln(stderr, "experiments: manifest written to", path)
+		}
+	}
+	if cerr := o.obs.Close(); cerr != nil {
+		return interrupted, cerr
+	}
+	if interrupted {
+		return true, fmt.Errorf("interrupted: %d of %d experiment(s) completed", len(allTables), len(o.ids))
 	}
 	if len(man.Failures) > 0 {
-		os.Exit(1)
+		return false, fmt.Errorf("%d failure(s)", len(man.Failures))
 	}
+	return false, nil
 }
 
 // buildLine renders the manifest's build identification (go version, VCS
@@ -233,15 +432,7 @@ func writeCSV(dir, id string, tbl *experiments.Table) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	f, err := os.Create(filepath.Join(dir, id+".csv"))
-	if err != nil {
-		return err
-	}
-	if err := tbl.CSV(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return telemetry.AtomicWriteFile(filepath.Join(dir, id+".csv"), 0o644, tbl.CSV)
 }
 
 func writeSVG(dir, id string, tbl *experiments.Table) error {
@@ -254,17 +445,14 @@ func writeSVG(dir, id string, tbl *experiments.Table) error {
 	if !ok {
 		return nil
 	}
-	return os.WriteFile(filepath.Join(dir, id+".svg"), []byte(svg), 0o644)
+	return telemetry.AtomicWriteFile(filepath.Join(dir, id+".svg"), 0o644, func(w io.Writer) error {
+		_, err := io.WriteString(w, svg)
+		return err
+	})
 }
 
 func writeReport(path string, tables []*experiments.Table, checks []experiments.CheckResult) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := experiments.WriteReport(f, tables, checks); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return telemetry.AtomicWriteFile(path, 0o644, func(w io.Writer) error {
+		return experiments.WriteReport(w, tables, checks)
+	})
 }

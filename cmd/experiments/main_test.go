@@ -1,0 +1,111 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestParseArgsValidation is the up-front CLI contract: every malformed
+// invocation is rejected as a usage error (exit status 2) before any
+// simulation work starts.
+func TestParseArgsValidation(t *testing.T) {
+	tmp := t.TempDir()
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string // substring of the usage error; "" = must parse
+	}{
+		{"no ids", []string{}, "no experiment ids"},
+		{"unknown id", []string{"fig999"}, `unknown experiment "fig999"`},
+		{"unknown flag", []string{"-nope", "fig8"}, "flag provided but not defined"},
+		{"negative parallel", []string{"-parallel", "-2", "fig8"}, "-parallel must be >= 0"},
+		{"negative retries", []string{"-retries", "-1", "fig8"}, "-retries must be >= 0"},
+		{"zero blocks", []string{"-blocks", "0", "fig8"}, "-blocks must be positive"},
+		{"zero sample", []string{"-events", filepath.Join(tmp, "e.jsonl"), "-sample", "0", "fig8"}, "-sample must be positive"},
+		{"bad fault spec", []string{"-faultinject", "nonsense", "fig8"}, "not SITE:HITS:MODE"},
+		{"bad fault mode", []string{"-faultinject", "a:1:kaboom", "fig8"}, "unknown mode"},
+		{"unwritable output dir", []string{"-csv", filepath.Join(tmp, "f.csv", "sub"), "fig8"}, "output dir"},
+		{"resume missing dir", []string{"-resume", filepath.Join(tmp, "absent"), "fig8"}, "-resume"},
+		{"resume not a dir", []string{"-resume", filepath.Join(tmp, "f.csv"), "fig8"}, "not a directory"},
+
+		{"ok single", []string{"fig8"}, ""},
+		{"ok all", []string{"all"}, ""},
+		{"ok flags", []string{"-parallel", "4", "-retries", "2", "-strict", "-faultinject", "*:3:panic", "fig8", "tab2"}, ""},
+		{"ok list without ids", []string{"-list"}, ""},
+	}
+	// The "not a directory" case needs the file to exist.
+	if err := writeFile(filepath.Join(tmp, "f.csv"), "x"); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			o, err := parseArgs(c.args, io.Discard)
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("parseArgs(%v) = %v, want success", c.args, err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("parseArgs(%v) succeeded (options %+v), want error containing %q", c.args, o, c.wantErr)
+			}
+			var ue usageError
+			if !errors.As(err, &ue) {
+				t.Fatalf("parseArgs(%v) = %v (%T), want a usageError", c.args, err, err)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("parseArgs(%v) = %q, want it to contain %q", c.args, err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestParseArgsValues(t *testing.T) {
+	o, err := parseArgs([]string{"-parallel", "3", "-retries", "2", "-strict", "-blocks", "5000", "fig8", "tab2"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.par != 3 || o.retries != 2 || !o.strict || o.blocks != 5000 {
+		t.Errorf("options = %+v", o)
+	}
+	if len(o.ids) != 2 || o.ids[0] != "fig8" || o.ids[1] != "tab2" {
+		t.Errorf("ids = %v", o.ids)
+	}
+	if o.fault != nil {
+		t.Error("fault injector built without -faultinject")
+	}
+}
+
+func TestParseArgsAllExpands(t *testing.T) {
+	o, err := parseArgs([]string{"all"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o.ids) < 20 {
+		t.Errorf("'all' expanded to only %d ids", len(o.ids))
+	}
+}
+
+func TestParseArgsHelp(t *testing.T) {
+	if _, err := parseArgs([]string{"-h"}, io.Discard); !errors.Is(err, flag.ErrHelp) {
+		t.Errorf("-h returned %v, want flag.ErrHelp", err)
+	}
+	if code := runMain([]string{"-h"}, io.Discard, io.Discard); code != 0 {
+		t.Errorf("runMain(-h) = %d, want 0", code)
+	}
+	if code := runMain([]string{"fig999"}, io.Discard, io.Discard); code != 2 {
+		t.Errorf("runMain(unknown id) = %d, want 2", code)
+	}
+	if code := runMain([]string{"-list"}, io.Discard, io.Discard); code != 0 {
+		t.Errorf("runMain(-list) = %d, want 0", code)
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

@@ -14,8 +14,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -23,18 +25,59 @@ import (
 	"uopsim/internal/analysis"
 )
 
+// usageError marks a command-line mistake: exit code 2 instead of 1.
+type usageError struct{ err error }
+
+func (e usageError) Error() string { return e.err.Error() }
+
+// findingsError carries the diagnostic count: exit code 1, findings already
+// printed.
+type findingsError struct{ findings, packages int }
+
+func (e findingsError) Error() string {
+	return fmt.Sprintf("%d finding(s) in %d package(s)", e.findings, e.packages)
+}
+
 func main() {
+	os.Exit(runMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func runMain(args []string, stdout, stderr io.Writer) int {
+	err := run(args, stdout, stderr)
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, flag.ErrHelp):
+		return 0
+	default:
+		fmt.Fprintln(stderr, "simlint:", err)
+		var ue usageError
+		if errors.As(err, &ue) {
+			return 2
+		}
+		return 1
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("simlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		list  = flag.Bool("list", false, "list analyzers and exit")
-		names = flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+		list  = fs.Bool("list", false, "list analyzers and exit")
+		names = fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return usageError{err}
+	}
 
 	if *list {
 		for _, a := range analysis.All() {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
 		}
-		return
+		return nil
 	}
 
 	analyzers := analysis.All()
@@ -43,31 +86,29 @@ func main() {
 		for _, n := range strings.Split(*names, ",") {
 			a, ok := analysis.ByName(strings.TrimSpace(n))
 			if !ok {
-				fmt.Fprintf(os.Stderr, "simlint: unknown analyzer %q (try -list)\n", n)
-				os.Exit(2)
+				return usageError{fmt.Errorf("unknown analyzer %q (try -list)", n)}
 			}
 			analyzers = append(analyzers, a)
 		}
 	}
 
-	prog, err := analysis.Load(".", flag.Args()...)
+	prog, err := analysis.Load(".", fs.Args()...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return usageError{err}
 	}
 	diags := analysis.Run(prog, analyzers)
 	cwd, _ := os.Getwd()
 	for _, d := range diags {
 		file := d.Pos.Filename
 		if cwd != "" {
-			if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
+			if rel, rerr := filepath.Rel(cwd, file); rerr == nil && !strings.HasPrefix(rel, "..") {
 				file = rel
 			}
 		}
-		fmt.Printf("%s:%d:%d: [%s] %s\n", file, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		fmt.Fprintf(stdout, "%s:%d:%d: [%s] %s\n", file, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 	}
 	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "simlint: %d finding(s) in %d package(s)\n", len(diags), len(prog.Packages))
-		os.Exit(1)
+		return findingsError{findings: len(diags), packages: len(prog.Packages)}
 	}
+	return nil
 }

@@ -8,8 +8,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -19,47 +21,75 @@ import (
 	"uopsim/internal/workload"
 )
 
+// usageError marks a command-line mistake: exit code 2 instead of 1.
+type usageError struct{ err error }
+
+func (e usageError) Error() string { return e.err.Error() }
+
 func main() {
+	os.Exit(runMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func runMain(args []string, stdout, stderr io.Writer) int {
+	err := run(args, stdout, stderr)
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, flag.ErrHelp):
+		return 0
+	default:
+		fmt.Fprintln(stderr, "tracegen:", err)
+		var ue usageError
+		if errors.As(err, &ue) {
+			return 2
+		}
+		return 1
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		app      = flag.String("app", "kafka", "application: "+strings.Join(workload.Names(), ", "))
-		blocks   = flag.Int("blocks", 100000, "dynamic blocks to generate")
-		input    = flag.Int("input", 0, "input variant")
-		out      = flag.String("o", "", "output file (required)")
-		progress = flag.Bool("progress", false, "print phase status lines to stderr")
+		app      = fs.String("app", "kafka", "application: "+strings.Join(workload.Names(), ", "))
+		blocks   = fs.Int("blocks", 100000, "dynamic blocks to generate")
+		input    = fs.Int("input", 0, "input variant")
+		out      = fs.String("o", "", "output file (required)")
+		progress = fs.Bool("progress", false, "print phase status lines to stderr")
 	)
 	var obs telemetry.CLI
-	obs.RegisterFlags(flag.CommandLine)
-	flag.Parse()
+	obs.RegisterFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return usageError{err}
+	}
 	if *out == "" {
-		fmt.Fprintln(os.Stderr, "tracegen: -o is required")
-		os.Exit(2)
+		return usageError{errors.New("-o is required")}
 	}
-	if err := obs.Start(); err != nil {
-		fmt.Fprintln(os.Stderr, "tracegen:", err)
-		os.Exit(1)
-	}
-	var prog *telemetry.Progress
-	if *progress {
-		prog = telemetry.NewProgress(os.Stderr)
+	if *blocks <= 0 {
+		return usageError{fmt.Errorf("-blocks must be positive (got %d)", *blocks)}
 	}
 	spec, err := workload.Get(*app)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "tracegen:", err)
-		os.Exit(1)
+		return usageError{err}
+	}
+	if err := obs.Start(); err != nil {
+		return err
+	}
+	var prog *telemetry.Progress
+	if *progress {
+		prog = telemetry.NewProgress(stderr)
 	}
 	start := time.Now()
 	blks := workload.GenerateSpec(spec, *blocks, *input)
 	prog.Step("generate", *app, 1, 2, time.Since(start))
-	f, err := os.Create(*out)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "tracegen:", err)
-		os.Exit(1)
-	}
-	defer f.Close()
 	phase := time.Now()
-	if err := trace.WriteBlocks(f, blks); err != nil {
-		fmt.Fprintln(os.Stderr, "tracegen:", err)
-		os.Exit(1)
+	if err := telemetry.AtomicWriteFile(*out, 0o644, func(w io.Writer) error {
+		return trace.WriteBlocks(w, blks)
+	}); err != nil {
+		return err
 	}
 	pws := trace.FormPWs(blks, 0)
 	prog.Step("write", *out, 2, 2, time.Since(phase))
@@ -77,9 +107,9 @@ func main() {
 		}
 	}
 	if err := obs.Close(); err != nil {
-		fmt.Fprintln(os.Stderr, "tracegen:", err)
-		os.Exit(1)
+		return err
 	}
-	fmt.Printf("wrote %d blocks (%d PW lookups) for %s input %d to %s\n",
+	fmt.Fprintf(stdout, "wrote %d blocks (%d PW lookups) for %s input %d to %s\n",
 		len(blks), len(pws), *app, *input, *out)
+	return nil
 }

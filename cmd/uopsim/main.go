@@ -10,8 +10,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -23,43 +25,78 @@ import (
 	"uopsim/internal/workload"
 )
 
+// usageError marks a command-line mistake: exit code 2 instead of 1.
+type usageError struct{ err error }
+
+func (e usageError) Error() string { return e.err.Error() }
+
 func main() {
-	var (
-		app      = flag.String("app", "kafka", "application: "+strings.Join(workload.Names(), ", "))
-		traceF   = flag.String("trace", "", "trace file from tracegen (overrides -app/-blocks/-input)")
-		pol      = flag.String("policy", "lru", "replacement policy: "+strings.Join(append(core.PolicyNames(), core.OfflineNames()...), ", "))
-		mode     = flag.String("mode", "behavior", "simulation mode: behavior or timing")
-		blocks   = flag.Int("blocks", 100000, "dynamic blocks to simulate")
-		input    = flag.Int("input", 0, "input variant (cross-validation inputs are 1, 2, ...)")
-		icache   = flag.Bool("icache", false, "model the inclusive L1i (behavior mode); default is a perfect icache")
-		zen4     = flag.Bool("zen4", false, "use the Zen4 configuration instead of Zen3")
-		progress = flag.Bool("progress", false, "print phase status lines to stderr")
-	)
-	var obs telemetry.CLI
-	obs.RegisterFlags(flag.CommandLine)
-	flag.Parse()
-	if err := obs.Start(); err != nil {
-		fmt.Fprintln(os.Stderr, "uopsim:", err)
-		os.Exit(1)
-	}
-	err := run(*app, *traceF, *pol, *mode, *blocks, *input, *icache, *zen4, *progress, &obs)
-	if cerr := obs.Close(); cerr != nil && err == nil {
-		err = cerr
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "uopsim:", err)
-		os.Exit(1)
+	os.Exit(runMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func runMain(args []string, stdout, stderr io.Writer) int {
+	err := run(args, stdout, stderr)
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, flag.ErrHelp):
+		return 0
+	default:
+		fmt.Fprintln(stderr, "uopsim:", err)
+		var ue usageError
+		if errors.As(err, &ue) {
+			return 2
+		}
+		return 1
 	}
 }
 
-func run(app, traceFile, pol, mode string, blocks, input int, icache, zen4, progress bool, obs *telemetry.CLI) error {
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("uopsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		app      = fs.String("app", "kafka", "application: "+strings.Join(workload.Names(), ", "))
+		traceF   = fs.String("trace", "", "trace file from tracegen (overrides -app/-blocks/-input)")
+		pol      = fs.String("policy", "lru", "replacement policy: "+strings.Join(append(core.PolicyNames(), core.OfflineNames()...), ", "))
+		mode     = fs.String("mode", "behavior", "simulation mode: behavior or timing")
+		blocks   = fs.Int("blocks", 100000, "dynamic blocks to simulate")
+		input    = fs.Int("input", 0, "input variant (cross-validation inputs are 1, 2, ...)")
+		icache   = fs.Bool("icache", false, "model the inclusive L1i (behavior mode); default is a perfect icache")
+		zen4     = fs.Bool("zen4", false, "use the Zen4 configuration instead of Zen3")
+		progress = fs.Bool("progress", false, "print phase status lines to stderr")
+	)
+	var obs telemetry.CLI
+	obs.RegisterFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return usageError{err}
+	}
+	if *mode != "behavior" && *mode != "timing" {
+		return usageError{fmt.Errorf("unknown mode %q (want behavior or timing)", *mode)}
+	}
+	if *blocks <= 0 {
+		return usageError{fmt.Errorf("-blocks must be positive (got %d)", *blocks)}
+	}
+	if err := obs.Start(); err != nil {
+		return err
+	}
+	err := simulate(*app, *traceF, *pol, *mode, *blocks, *input, *icache, *zen4, *progress, &obs, stdout, stderr)
+	if cerr := obs.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func simulate(app, traceFile, pol, mode string, blocks, input int, icache, zen4, progress bool, obs *telemetry.CLI, stdout, stderr io.Writer) error {
 	cfg := core.DefaultConfig()
 	if zen4 {
 		cfg = core.Zen4Config()
 	}
 	var prog *telemetry.Progress
 	if progress {
-		prog = telemetry.NewProgress(os.Stderr)
+		prog = telemetry.NewProgress(stderr)
 	}
 	tel := core.Telemetry{Metrics: obs.Registry}
 	if obs.Sink != nil {
@@ -75,7 +112,9 @@ func run(app, traceFile, pol, mode string, blocks, input int, icache, zen4, prog
 			return err
 		}
 		blks, err = trace.ReadBlocks(f)
-		f.Close()
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
 		if err != nil {
 			return err
 		}
@@ -88,7 +127,7 @@ func run(app, traceFile, pol, mode string, blocks, input int, icache, zen4, prog
 		}
 	}
 	prog.Step("trace", app, 1, 3, time.Since(start))
-	fmt.Printf("app=%s policy=%s mode=%s blocks=%d pw-lookups=%d config=%s\n",
+	fmt.Fprintf(stdout, "app=%s policy=%s mode=%s blocks=%d pw-lookups=%d config=%s\n",
 		app, pol, mode, len(blks), len(pws), cfg.Name)
 
 	switch mode {
@@ -101,13 +140,13 @@ func run(app, traceFile, pol, mode string, blocks, input int, icache, zen4, prog
 		}
 		prog.Step("simulate", app, 3, 3, time.Since(phase))
 		s := res.Stats
-		fmt.Printf("lookups=%d full-hits=%d partial-hits=%d misses=%d\n", s.Lookups, s.FullHits, s.PartialHits, s.Misses)
-		fmt.Printf("uops requested=%d hit=%d missed=%d  uop-miss-rate=%.4f\n", s.UopsRequested, s.UopsHit, s.UopsMissed, s.UopMissRate())
-		fmt.Printf("insertions=%d entries-written=%d bypasses=%d evictions=%d invalidations=%d\n",
+		fmt.Fprintf(stdout, "lookups=%d full-hits=%d partial-hits=%d misses=%d\n", s.Lookups, s.FullHits, s.PartialHits, s.Misses)
+		fmt.Fprintf(stdout, "uops requested=%d hit=%d missed=%d  uop-miss-rate=%.4f\n", s.UopsRequested, s.UopsHit, s.UopsMissed, s.UopMissRate())
+		fmt.Fprintf(stdout, "insertions=%d entries-written=%d bypasses=%d evictions=%d invalidations=%d\n",
 			s.Insertions, s.EntriesWritten, s.Bypasses, s.Evictions, s.Invalidations)
 		if res.FURBYS != nil {
 			f := res.FURBYS
-			fmt.Printf("furbys: victim-coverage=%.2f%% bypass-rate=%.2f%%\n",
+			fmt.Fprintf(stdout, "furbys: victim-coverage=%.2f%% bypass-rate=%.2f%%\n",
 				100*f.VictimCoverage(), 100*float64(f.Bypasses)/float64(max64(f.InsertAttempts, 1)))
 		}
 	case "timing":
@@ -124,16 +163,14 @@ func run(app, traceFile, pol, mode string, blocks, input int, icache, zen4, prog
 		}
 		prog.Step("simulate", app, 3, 3, time.Since(phase))
 		fr := res.Frontend
-		fmt.Printf("instructions=%d uops=%d cycles=%d IPC=%.4f\n", fr.Instructions, fr.Uops, fr.Cycles, fr.IPC())
-		fmt.Printf("branch MPKI=%.2f (mispredicts=%d)\n", fr.Branch.MPKI(), fr.Branch.Mispredicts())
-		fmt.Printf("uop-miss-rate=%.4f icache-misses=%d switches=%d\n",
+		fmt.Fprintf(stdout, "instructions=%d uops=%d cycles=%d IPC=%.4f\n", fr.Instructions, fr.Uops, fr.Cycles, fr.IPC())
+		fmt.Fprintf(stdout, "branch MPKI=%.2f (mispredicts=%d)\n", fr.Branch.MPKI(), fr.Branch.Mispredicts())
+		fmt.Fprintf(stdout, "uop-miss-rate=%.4f icache-misses=%d switches=%d\n",
 			fr.UopCache.UopMissRate(), fr.Events.ICacheMisses, fr.Events.Switches)
 		b := res.Power
-		fmt.Printf("energy (pJ): decoder=%.0f icache=%.0f uop$=%.0f backend=%.0f static=%.0f total=%.0f\n",
+		fmt.Fprintf(stdout, "energy (pJ): decoder=%.0f icache=%.0f uop$=%.0f backend=%.0f static=%.0f total=%.0f\n",
 			b.Decoder, b.ICache, b.UopCache, b.Backend, b.Static, b.Total())
-		fmt.Printf("performance-per-watt=%.4g instructions/J\n", res.PPW)
-	default:
-		return fmt.Errorf("unknown mode %q", mode)
+		fmt.Fprintf(stdout, "performance-per-watt=%.4g instructions/J\n", res.PPW)
 	}
 	return nil
 }

@@ -10,7 +10,7 @@ import (
 // metricNamePattern is the exposition contract: every metric belongs to one
 // of the simulator's subsystem families, so Prometheus scrapes and the
 // Stats-reconciliation tests can enumerate what they expect.
-var metricNamePattern = regexp.MustCompile(`^(uopcache|frontend|policy|offline|parallel)_[a-z0-9_]+$`)
+var metricNamePattern = regexp.MustCompile(`^(uopcache|frontend|policy|offline|parallel|faultinject)_[a-z0-9_]+$`)
 
 // Telemetry enforces that metric names handed to the telemetry registry
 // (Registry.Counter / Gauge / Histogram methods of a package named
@@ -20,7 +20,7 @@ var metricNamePattern = regexp.MustCompile(`^(uopcache|frontend|policy|offline|p
 // Stats-reconciliation tests assert against.
 var Telemetry = &Analyzer{
 	Name: "telemetry",
-	Doc:  "metric names must be compile-time constants matching ^(uopcache|frontend|policy|offline|parallel)_[a-z0-9_]+$",
+	Doc:  "metric names must be compile-time constants matching ^(uopcache|frontend|policy|offline|parallel|faultinject)_[a-z0-9_]+$",
 	Run:  runTelemetry,
 }
 

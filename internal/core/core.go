@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"uopsim/internal/backend"
@@ -149,6 +150,12 @@ func (t Telemetry) instrument(pol uopcache.Policy) uopcache.Policy {
 
 // BehaviorOptions tunes a behaviour-mode run.
 type BehaviorOptions struct {
+	// Ctx, when non-nil, cancels the offline plan solve mid-run; callers
+	// that set it must discard the result when Ctx.Err() != nil afterwards
+	// (the plan, and hence the replay, is then incomplete). nil = never
+	// cancelled. Online policies and replays are serial and run to
+	// completion regardless.
+	Ctx context.Context
 	// WithICache models the inclusive L1i; off = perfect icache.
 	WithICache bool
 	// RecordPerLookup captures each lookup's outcome (for hotness and
@@ -229,6 +236,7 @@ func RunBehaviorByName(name string, pws []trace.PW, cfg Config, opts BehaviorOpt
 
 func offlineOptions(cfg Config, opts BehaviorOptions) offline.Options {
 	o := offline.Options{
+		Ctx:             opts.Ctx,
 		RecordPerLookup: opts.RecordPerLookup,
 		Metrics:         opts.Telemetry.Metrics,
 		Events:          opts.Telemetry.Events,
@@ -300,9 +308,9 @@ func RunTimingByNameObserved(name string, blocks []trace.Block, pws []trace.PW, 
 	case "belady":
 		pol = offline.NewBeladySchedule(pws)
 	case "foo":
-		pol = offline.NewFLACKSchedule(pws, cfg.UopCache, offline.Features{}, 0)
+		pol = offline.NewFLACKSchedule(nil, pws, cfg.UopCache, offline.Features{}, 0)
 	case "flack":
-		pol = offline.NewFLACKSchedule(pws, cfg.UopCache, offline.FLACKFeatures(), 0)
+		pol = offline.NewFLACKSchedule(nil, pws, cfg.UopCache, offline.FLACKFeatures(), 0)
 	default:
 		if name == "thermometer" || name == "furbys" {
 			if prof == nil {

@@ -1,0 +1,233 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// cutLine splits data at the first newline. ok is false when no newline
+// exists — an incomplete (torn) line.
+func cutLine(data []byte) (line, rest []byte, ok bool) {
+	i := bytes.IndexByte(data, '\n')
+	if i < 0 {
+		return data, nil, false
+	}
+	return data[:i], data[i+1:], true
+}
+
+// CheckpointHeader identifies the run a journal belongs to. A journal whose
+// header does not match the resuming run byte-for-byte is discarded: cell
+// results are only portable between runs with the same tool version, trace
+// length and application list (per-cell geometry is additionally fingerprinted
+// in each entry's key, so config sweeps inside one run stay distinct).
+type CheckpointHeader struct {
+	// Version is the journal format version; bump it when the entry
+	// schema or the key layout changes.
+	Version int `json:"version"`
+	// Tool names the producing binary (e.g. "experiments").
+	Tool string `json:"tool"`
+	// Blocks is the per-trace dynamic block count of the run.
+	Blocks int `json:"blocks"`
+	// Apps is the application list of the run, in order.
+	Apps []string `json:"apps,omitempty"`
+	// Build pins the producing binary's VCS revision when available, so a
+	// rebuilt simulator never replays results of different code.
+	Build string `json:"build,omitempty"`
+}
+
+// CheckpointVersion is the current journal format version.
+const CheckpointVersion = 1
+
+// checkpointEntry is one journaled cell result: the cell's full coordinate
+// key and its JSON-encoded typed row group.
+type checkpointEntry struct {
+	Key   string          `json:"key"`
+	Value json.RawMessage `json:"value"`
+}
+
+// Checkpoint is a crash-safe cell-result journal (JSONL, append-only). The
+// first line is the run header; every following line records one completed
+// cell. Appends are a single O_APPEND write followed by fsync, so a crash at
+// any instant leaves at most one torn trailing line — which the loader
+// tolerates by stopping at the first unparsable line. Restored values decode
+// back into the cells' typed row groups, so a resumed run renders
+// byte-identical output without re-simulating the journaled cells.
+type Checkpoint struct {
+	mu       sync.Mutex
+	f        *os.File
+	entries  map[string]json.RawMessage
+	restored int
+	err      error
+}
+
+// OpenCheckpoint opens (or creates) the journal at path. An existing journal
+// whose header matches hdr exactly has its entries loaded for Lookup; a
+// header mismatch (different tool, trace length, app list, build, or format
+// version) discards the stale journal and starts fresh. A torn trailing line
+// — the signature of a crash mid-append — is dropped silently; every line
+// before it is kept.
+func OpenCheckpoint(path string, hdr CheckpointHeader) (*Checkpoint, error) {
+	want, err := json.Marshal(hdr)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint %s: header: %w", path, err)
+	}
+	cp := &Checkpoint{entries: make(map[string]json.RawMessage)}
+	data, rerr := os.ReadFile(path)
+	compatible := false
+	valid := 0 // bytes of the file verified intact (header + complete entries)
+	if rerr == nil {
+		line, rest, ok := cutLine(data)
+		if ok && bytes.Equal(bytes.TrimSpace(line), want) {
+			compatible = true
+			valid = len(data) - len(rest)
+			for {
+				line, next, ok := cutLine(rest)
+				if !ok {
+					// No trailing newline: a torn line from a
+					// crashed append; everything after it is
+					// untrustworthy.
+					break
+				}
+				var e checkpointEntry
+				if json.Unmarshal(line, &e) != nil || e.Key == "" {
+					break
+				}
+				cp.entries[e.Key] = e.Value
+				valid = len(data) - len(next)
+				rest = next
+			}
+		}
+	} else if !os.IsNotExist(rerr) {
+		return nil, fmt.Errorf("checkpoint %s: %w", path, rerr)
+	}
+	cp.restored = len(cp.entries)
+	if compatible {
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND|os.O_CREATE, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint %s: %w", path, err)
+		}
+		if valid < len(data) {
+			// Cut the torn tail off before appending, so the next entry
+			// starts on a fresh line instead of gluing onto the fragment.
+			if err := f.Truncate(int64(valid)); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("checkpoint %s: truncate torn tail: %w", path, err)
+			}
+		}
+		cp.f = f
+		return cp, nil
+	}
+	// Fresh (or incompatible) journal: truncate and stamp the header.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint %s: %w", path, err)
+	}
+	if _, err := f.Write(append(want, '\n')); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("checkpoint %s: header: %w", path, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("checkpoint %s: sync: %w", path, err)
+	}
+	cp.f = f
+	return cp, nil
+}
+
+// Lookup returns the journaled value for a cell key, if present.
+func (cp *Checkpoint) Lookup(key string) (json.RawMessage, bool) {
+	if cp == nil {
+		return nil, false
+	}
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	v, ok := cp.entries[key]
+	return v, ok
+}
+
+// Append journals one completed cell: a single appended line, fsynced before
+// returning, so the entry either exists completely or (after a crash) is a
+// torn tail the loader drops. A write failure does not fail the cell — the
+// result is already computed; it just will not be resumable — but is
+// remembered and reported by Err so the driver can warn.
+func (cp *Checkpoint) Append(key string, value json.RawMessage) {
+	if cp == nil {
+		return
+	}
+	line, err := json.Marshal(checkpointEntry{Key: key, Value: value})
+	if err != nil {
+		cp.fail(fmt.Errorf("checkpoint: encode %q: %w", key, err))
+		return
+	}
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	cp.entries[key] = value
+	if cp.f == nil {
+		return
+	}
+	if _, err := cp.f.Write(append(line, '\n')); err != nil {
+		cp.failLocked(fmt.Errorf("checkpoint: append %q: %w", key, err))
+		return
+	}
+	if err := cp.f.Sync(); err != nil {
+		cp.failLocked(fmt.Errorf("checkpoint: sync %q: %w", key, err))
+	}
+}
+
+func (cp *Checkpoint) fail(err error) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	cp.failLocked(err)
+}
+
+func (cp *Checkpoint) failLocked(err error) {
+	if cp.err == nil {
+		cp.err = err
+	}
+}
+
+// Restored reports how many entries the journal held at open time.
+func (cp *Checkpoint) Restored() int {
+	if cp == nil {
+		return 0
+	}
+	return cp.restored
+}
+
+// Len reports the journal's current entry count.
+func (cp *Checkpoint) Len() int {
+	if cp == nil {
+		return 0
+	}
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return len(cp.entries)
+}
+
+// Err returns the first journaling failure (nil when every append landed).
+func (cp *Checkpoint) Err() error {
+	if cp == nil {
+		return nil
+	}
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return cp.err
+}
+
+// Close closes the journal file.
+func (cp *Checkpoint) Close() error {
+	if cp == nil {
+		return nil
+	}
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	if cp.f == nil {
+		return nil
+	}
+	err := cp.f.Close()
+	cp.f = nil
+	return err
+}

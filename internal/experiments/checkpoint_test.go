@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testHeader() CheckpointHeader {
+	return CheckpointHeader{
+		Version: CheckpointVersion,
+		Tool:    "experiments",
+		Blocks:  8000,
+		Apps:    []string{"kafka", "wordpress"},
+		Build:   "abc123",
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "checkpoint.jsonl")
+	cp, err := OpenCheckpoint(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp.Append("k1", json.RawMessage(`{"x":1}`))
+	cp.Append("k2", json.RawMessage(`[1,2,3]`))
+	if err := cp.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cp2, err := OpenCheckpoint(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp2.Close()
+	if cp2.Restored() != 2 {
+		t.Fatalf("Restored = %d, want 2", cp2.Restored())
+	}
+	v, ok := cp2.Lookup("k1")
+	if !ok || string(v) != `{"x":1}` {
+		t.Errorf("k1 = %s ok=%v", v, ok)
+	}
+	if _, ok := cp2.Lookup("missing"); ok {
+		t.Error("Lookup invented an entry")
+	}
+}
+
+// TestCheckpointHeaderMismatchDiscards: a journal written by a different run
+// (other trace length, app list, build, or format version) must not leak
+// cell results into this one.
+func TestCheckpointHeaderMismatchDiscards(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "checkpoint.jsonl")
+	cp, err := OpenCheckpoint(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp.Append("k1", json.RawMessage(`1`))
+	cp.Close()
+
+	hdr := testHeader()
+	hdr.Blocks = 9999
+	cp2, err := OpenCheckpoint(path, hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp2.Close()
+	if cp2.Restored() != 0 {
+		t.Fatalf("Restored = %d, want 0 after header mismatch", cp2.Restored())
+	}
+	if _, ok := cp2.Lookup("k1"); ok {
+		t.Error("stale entry survived a header mismatch")
+	}
+}
+
+// TestCheckpointTornTailTolerated: a crash mid-append leaves a truncated
+// final line; the loader must keep every complete entry before it.
+func TestCheckpointTornTailTolerated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "checkpoint.jsonl")
+	cp, err := OpenCheckpoint(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp.Append("k1", json.RawMessage(`1`))
+	cp.Append("k2", json.RawMessage(`2`))
+	cp.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the last line in half, simulating a crash mid-write.
+	torn := data[:len(data)-8]
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cp2, err := OpenCheckpoint(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp2.Close()
+	if cp2.Restored() != 1 {
+		t.Fatalf("Restored = %d, want 1 (torn tail dropped)", cp2.Restored())
+	}
+	if _, ok := cp2.Lookup("k1"); !ok {
+		t.Error("entry before the torn tail was lost")
+	}
+	if _, ok := cp2.Lookup("k2"); ok {
+		t.Error("torn entry was restored")
+	}
+	// Appending after a torn-tail recovery keeps the journal loadable: the
+	// recovered entries plus the new one all come back.
+	cp2.Append("k3", json.RawMessage(`3`))
+	cp2.Close()
+	cp3, err := OpenCheckpoint(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp3.Close()
+	if _, ok := cp3.Lookup("k3"); !ok {
+		t.Error("entry appended after recovery was lost")
+	}
+}
+
+// TestCheckpointNilSafe: a nil journal is the "checkpointing off" mode —
+// every method must be a no-op.
+func TestCheckpointNilSafe(t *testing.T) {
+	var cp *Checkpoint
+	cp.Append("k", json.RawMessage(`1`))
+	if _, ok := cp.Lookup("k"); ok {
+		t.Error("nil journal returned an entry")
+	}
+	if cp.Restored() != 0 || cp.Len() != 0 || cp.Err() != nil || cp.Close() != nil {
+		t.Error("nil journal is not inert")
+	}
+}
+
+func TestCheckpointHeaderIsFirstLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "checkpoint.jsonl")
+	cp, err := OpenCheckpoint(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, _, _ := strings.Cut(string(data), "\n")
+	var hdr CheckpointHeader
+	if err := json.Unmarshal([]byte(first), &hdr); err != nil {
+		t.Fatalf("header line %q: %v", first, err)
+	}
+	if hdr.Tool != "experiments" || hdr.Version != CheckpointVersion || hdr.Blocks != 8000 {
+		t.Errorf("header = %+v", hdr)
+	}
+}

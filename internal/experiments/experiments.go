@@ -12,16 +12,32 @@
 // byte-identical at any worker count; -parallel 1 reproduces the serial
 // schedule. All goroutines live in internal/parallel — simlint forbids raw
 // `go` statements in this package.
+//
+// Resilience model: Context.Ctx cancels a campaign cooperatively (cells in
+// flight finish, queued cells are abandoned), Context.Journal checkpoints
+// every completed cell so an interrupted campaign resumes without redoing
+// work, and each cell body runs under panic containment with a bounded
+// retry budget (Context.Retries) — a cell that exhausts its budget either
+// fails the experiment (strict mode) or degrades to a marked-missing table
+// entry recorded in the manifest (Context.Degrade). Context.Fault hooks a
+// deterministic fault injector into every cell for testing these paths.
 package experiments
 
 import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"io"
+	"runtime/debug"
+	"sort"
 	"strings"
 	"sync"
 	"time"
 
 	"uopsim/internal/core"
+	"uopsim/internal/faultinject"
 	"uopsim/internal/offline"
 	"uopsim/internal/parallel"
 	"uopsim/internal/profiles"
@@ -130,10 +146,42 @@ type Context struct {
 	// same budget is handed to the offline solver.
 	Workers int
 
+	// Ctx cancels the campaign cooperatively: cells already executing run
+	// to completion, queued cells are abandoned, and RunMany reports
+	// Ctx.Err() for every experiment that did not finish. nil = never
+	// cancelled.
+	Ctx context.Context
+	// Retries is the number of EXTRA attempts a failed or panicking cell
+	// gets before it counts as failed (0 = one attempt, no retry).
+	Retries int
+	// Degrade selects what a cell failure (after retries) does: false
+	// (the zero value, library default) fails the experiment fast; true
+	// lets the experiment render with that cell zero-valued and marked
+	// missing in the table notes and the manifest's failed-cell log.
+	Degrade bool
+	// Journal, when non-nil, records every completed cell's typed result
+	// so an interrupted campaign can resume without recomputing: on the
+	// next run, journaled cells are restored byte-identically instead of
+	// re-simulated. See Checkpoint.
+	Journal *Checkpoint
+	// Fault, when non-nil, is consulted at the start of every cell
+	// attempt — the deterministic fault-injection hook the resilience
+	// tests (and -faultinject) use to make the Nth cell fail, panic, or
+	// stall. nil = no injection.
+	Fault *faultinject.Injector
+
 	// id scopes progress lines and timing records to one experiment.
 	id     string
 	caches *ctxCaches
 	sched  *ctxSched
+}
+
+// ctx normalizes the context's cancellation handle (nil = never cancelled).
+func (c *Context) ctx() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
 }
 
 // ctxCaches holds the per-geometry singleflight result caches. The mutex
@@ -147,12 +195,39 @@ type ctxCaches struct {
 	times  map[string]*flight[core.TimingResult]
 }
 
-// ctxSched is the cross-experiment scheduler state: the shared cell limiter
-// and the per-experiment timing records feeding the run manifest.
+// ctxSched is the cross-experiment scheduler state: the shared cell limiter,
+// the per-experiment timing records feeding the run manifest, the
+// per-experiment failed-cell log, and the per-experiment sweep sequence
+// numbers that key the checkpoint journal.
 type ctxSched struct {
 	mu      sync.Mutex
 	cells   *parallel.Limiter
 	timings map[string][]telemetry.AppRun
+	// failures logs cells that exhausted their retry budget, tagged with
+	// (sweep, index) so the log sorts deterministically regardless of
+	// completion order.
+	failures map[string][]cellFailureRec
+	// seqs numbers each experiment's cell sweeps in call order. Sweeps
+	// within one experiment run serially (cell bodies may not nest), so
+	// the numbering is reproducible at any worker count — which is what
+	// lets journal keys written by an interrupted parallel run match a
+	// serial resume.
+	seqs map[string]int
+}
+
+// cellFailureRec tags a manifest failure record with its deterministic sort
+// key.
+type cellFailureRec struct {
+	seq, idx int
+	f        telemetry.CellFailure
+}
+
+// nextSeq returns the experiment's next sweep sequence number.
+func (s *ctxSched) nextSeq(id string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seqs[id]++
+	return s.seqs[id]
 }
 
 // flight is one singleflight computation: the first caller computes and
@@ -205,7 +280,11 @@ func NewContext(blocks int) *Context {
 		Cfg:    core.DefaultConfig(),
 		Blocks: blocks,
 		caches: newCaches(),
-		sched:  &ctxSched{timings: make(map[string][]telemetry.AppRun)},
+		sched: &ctxSched{
+			timings:  make(map[string][]telemetry.AppRun),
+			failures: make(map[string][]cellFailureRec),
+			seqs:     make(map[string]int),
+		},
 	}
 }
 
@@ -249,6 +328,45 @@ func (c *Context) Timings(id string) []telemetry.AppRun {
 	return c.sched.timings[id]
 }
 
+// Failures returns the named experiment's failed-cell log in deterministic
+// (sweep, index) order — the order the cells would have completed in under
+// the serial schedule, regardless of the worker count that actually ran.
+func (c *Context) Failures(id string) []telemetry.CellFailure {
+	c.sched.mu.Lock()
+	recs := append([]cellFailureRec(nil), c.sched.failures[id]...)
+	c.sched.mu.Unlock()
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].seq != recs[j].seq {
+			return recs[i].seq < recs[j].seq
+		}
+		return recs[i].idx < recs[j].idx
+	})
+	out := make([]telemetry.CellFailure, len(recs))
+	for i, r := range recs {
+		out[i] = r.f
+	}
+	return out
+}
+
+// recordFailure logs a cell that exhausted its retry budget.
+func (c *Context) recordFailure(seq, idx int, f telemetry.CellFailure) {
+	c.sched.mu.Lock()
+	defer c.sched.mu.Unlock()
+	c.sched.failures[c.id] = append(c.sched.failures[c.id], cellFailureRec{seq: seq, idx: idx, f: f})
+}
+
+// geometry fingerprints everything a cell result depends on besides its
+// (experiment, sweep, index, label) coordinates: the full system
+// configuration and the trace length. Journal entries carry it so a resumed
+// run never replays a checkpoint computed under different geometry.
+func (c *Context) geometry() string {
+	h := sha256.New()
+	b, _ := json.Marshal(c.Cfg)
+	h.Write(b)
+	fmt.Fprintf(h, "|%d", c.Blocks)
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
 // recordCell notes one completed (experiment, cell) unit and emits a
 // progress line; done is the completion count within the cell sweep.
 func (c *Context) recordCell(label string, elapsed time.Duration, done, total int, err error) {
@@ -275,20 +393,111 @@ func (c *Context) recordCell(label string, elapsed time.Duration, done, total in
 // recordCell serializes them. Cell bodies must not call cells again — the
 // budget is held for the body's whole duration, and nesting could deadlock
 // at -parallel 1.
+//
+// Each cell runs through the resilience pipeline (runCell): checkpoint
+// restore, fault injection, panic containment, bounded retry, and —
+// depending on Context.Degrade — fail-fast or degrade-to-missing.
 func cells[T any](c *Context, labels []string, fn func(i int) (T, error)) ([]T, error) {
+	seq := c.sched.nextSeq(c.id)
+	geo := ""
+	if c.Journal != nil {
+		geo = c.geometry()
+	}
 	var mu sync.Mutex
 	done := 0
-	return parallel.MapLimited(c.limiter(), len(labels), func(i int) (T, error) {
+	return parallel.MapLimited(c.ctx(), c.limiter(), len(labels), func(i int) (T, error) {
 		//simlint:ignore determinism wall-clock progress reporting only; never feeds simulation state
 		start := time.Now()
-		v, err := fn(i)
+		v, err, report := runCell(c, seq, i, labels[i], geo, fn)
 		mu.Lock()
 		done++
 		n := done
 		mu.Unlock()
-		c.recordCell(labels[i], time.Since(start), n, len(labels), err)
+		c.recordCell(labels[i], time.Since(start), n, len(labels), report)
 		return v, err
 	})
+}
+
+// runCell executes one cell through the resilience pipeline. It returns the
+// cell value, the error to propagate to the sweep (nil when the failure was
+// degraded away), and the error to report in the timing record (the real
+// failure even under degradation).
+func runCell[T any](c *Context, seq, i int, label, geo string, fn func(i int) (T, error)) (v T, runErr, report error) {
+	site := c.id + "/" + label
+	var key string
+	if c.Journal != nil {
+		key = fmt.Sprintf("%s|%d|%d|%s|%s", c.id, seq, i, label, geo)
+		if raw, ok := c.Journal.Lookup(key); ok {
+			if err := json.Unmarshal(raw, &v); err == nil {
+				return v, nil, nil
+			}
+			// A corrupt or shape-mismatched entry is not fatal — the
+			// cell just recomputes (and overwrites the entry).
+			var zero T
+			v = zero
+		}
+	}
+	attempts := 1 + c.Retries
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	var lastStack string
+	tried := 0
+	for a := 0; a < attempts; a++ {
+		if err := c.ctx().Err(); err != nil {
+			return v, err, err
+		}
+		tried++
+		var stack string
+		v, lastErr, stack = attemptCell(c, site, i, fn)
+		if stack != "" {
+			lastStack = stack
+		}
+		if err := c.ctx().Err(); err != nil {
+			// The campaign was cancelled while this cell ran; the
+			// offline solve inside it may have been abandoned, so the
+			// result could be incomplete. Discard it, never journal
+			// it, and surface the cancellation.
+			var zero T
+			return zero, err, err
+		}
+		if lastErr == nil {
+			if c.Journal != nil {
+				if raw, err := json.Marshal(v); err == nil {
+					c.Journal.Append(key, raw)
+				}
+			}
+			return v, nil, nil
+		}
+	}
+	fail := telemetry.CellFailure{Cell: site, Attempts: tried, Error: lastErr.Error(), Stack: lastStack}
+	c.recordFailure(seq, i, fail)
+	if c.Degrade {
+		var zero T
+		return zero, nil, lastErr
+	}
+	return v, lastErr, lastErr
+}
+
+// attemptCell runs one attempt of a cell body with the fault-injection hook
+// applied and any panic converted into an error carrying the goroutine
+// stack, so a crashing cell fails like any other cell instead of tearing
+// down the whole campaign.
+func attemptCell[T any](c *Context, site string, i int, fn func(i int) (T, error)) (v T, err error, stack string) {
+	defer func() {
+		if p := recover(); p != nil {
+			var zero T
+			v = zero
+			err = fmt.Errorf("cell panic: %v", p)
+			stack = string(debug.Stack())
+		}
+	}()
+	if ferr := c.Fault.Hit(c.ctx(), site); ferr != nil {
+		return v, ferr, ""
+	}
+	v, err = fn(i)
+	return v, err, ""
 }
 
 // appRows runs fn once per application as independent scheduler cells,
@@ -300,10 +509,10 @@ func appRows[T any](c *Context, fn func(app string) (T, error)) ([]T, error) {
 	return cells(c, apps, func(i int) (T, error) { return fn(apps[i]) })
 }
 
-// runOpts returns BehaviorOptions carrying the context's telemetry and
-// solver worker budget.
+// runOpts returns BehaviorOptions carrying the context's cancellation
+// handle, telemetry and solver worker budget.
 func (c *Context) runOpts() core.BehaviorOptions {
-	return core.BehaviorOptions{Telemetry: c.Telemetry, Workers: c.Workers}
+	return core.BehaviorOptions{Ctx: c.Ctx, Telemetry: c.Telemetry, Workers: c.Workers}
 }
 
 // runOptsRecord is runOpts with per-lookup outcome recording enabled.
@@ -313,9 +522,10 @@ func (c *Context) runOptsRecord() core.BehaviorOptions {
 	return opts
 }
 
-// offlineOpts attaches the context's telemetry and worker budget to offline
-// replay options.
+// offlineOpts attaches the context's cancellation handle, telemetry and
+// worker budget to offline replay options.
 func (c *Context) offlineOpts(o offline.Options) offline.Options {
+	o.Ctx = c.Ctx
 	o.Metrics = c.Telemetry.Metrics
 	o.Events = c.Telemetry.Events
 	o.Workers = c.Workers
@@ -373,6 +583,11 @@ type RunResult struct {
 	WallSeconds float64
 	// Apps holds the per-cell wall-clock records (manifest material).
 	Apps []telemetry.AppRun
+	// Failed lists the cells that exhausted their retry budget, in
+	// deterministic (sweep, index) order. Under Context.Degrade the
+	// experiment still produced a Table with these cells marked missing;
+	// in strict mode Err is also set.
+	Failed []telemetry.CellFailure
 }
 
 // RunMany executes the named experiments under the context's worker budget.
@@ -381,6 +596,11 @@ type RunResult struct {
 // Results come back in input order, and emit (optional) is called for each
 // result in input order as soon as it and all its predecessors completed —
 // so a driver can stream tables without reordering output.
+//
+// Cancelling c.Ctx drains the campaign gracefully: experiments already
+// running finish their in-flight cells and return, queued experiments are
+// abandoned, and every unfinished id comes back (and is emitted) with
+// Err = c.Ctx.Err() so the driver can mark the run interrupted.
 func RunMany(c *Context, ids []string, emit func(RunResult)) []RunResult {
 	out := make([]RunResult, len(ids))
 	workers := 1
@@ -390,19 +610,37 @@ func RunMany(c *Context, ids []string, emit func(RunResult)) []RunResult {
 	var mu sync.Mutex
 	finished := make([]bool, len(ids))
 	next := 0
-	parallel.Map(workers, len(ids), func(i int) (struct{}, error) {
-		r := c.runOne(ids[i])
-		mu.Lock()
-		out[i], finished[i] = r, true
+	flush := func() { // mu held
 		for next < len(ids) && finished[next] {
 			if emit != nil {
 				emit(out[next])
 			}
 			next++
 		}
+	}
+	parallel.Map(c.Ctx, workers, len(ids), func(i int) (struct{}, error) {
+		r := c.runOne(ids[i])
+		mu.Lock()
+		out[i], finished[i] = r, true
+		flush()
 		mu.Unlock()
 		return struct{}{}, nil
 	})
+	// A cancellation abandons queued experiments; fill their slots so the
+	// manifest shows every requested id with why it did not run.
+	mu.Lock()
+	for i := range out {
+		if !finished[i] {
+			err := c.ctx().Err()
+			if err == nil {
+				err = context.Canceled
+			}
+			out[i] = RunResult{ID: ids[i], Err: err}
+			finished[i] = true
+		}
+	}
+	flush()
+	mu.Unlock()
 	return out
 }
 
@@ -416,10 +654,43 @@ func (c *Context) runOne(id string) RunResult {
 	}
 	//simlint:ignore determinism wall-clock bookkeeping for the manifest only
 	start := time.Now()
-	r.Table, r.Err = run(c.scoped(id))
+	r.Table, r.Err = runContained(run, c.scoped(id))
 	r.WallSeconds = time.Since(start).Seconds()
 	r.Apps = c.Timings(id)
+	r.Failed = c.Failures(id)
+	if r.Table != nil {
+		for _, f := range r.Failed {
+			r.Table.Notes = append(r.Table.Notes,
+				fmt.Sprintf("MISSING cell %s: failed after %d attempt(s): %s", f.Cell, f.Attempts, f.Error))
+		}
+	}
 	return r
+}
+
+// runContained invokes an experiment body with panics converted to errors,
+// so one crashing experiment (e.g. row-merge code tripping over a degraded
+// cell's zero value) fails its own RunResult instead of tearing down the
+// whole campaign.
+func runContained(run Runner, c *Context) (t *Table, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			t = nil
+			err = fmt.Errorf("experiment panic: %v\n%s", p, debug.Stack())
+		}
+	}()
+	return run(c)
+}
+
+// padded extends a cell's row group with zeros to length n: a degraded
+// (failed, zero-valued) cell renders as zero entries in its table row — the
+// MISSING note marks it — instead of panicking or skewing the column count.
+func padded(row []float64, n int) []float64 {
+	if len(row) >= n {
+		return row
+	}
+	out := make([]float64, n)
+	copy(out, row)
+	return out
 }
 
 // Registry maps experiment ids (tab1, fig8, ...) to runners, in paper

@@ -49,10 +49,14 @@ func Table1(ctx *Context) (*Table, error) {
 func Table2(ctx *Context) (*Table, error) {
 	t := &Table{Name: "tab2", Title: "Data center applications (Table II)",
 		Columns: []string{"application", "description", "paper MPKI", "measured MPKI", "static PWs", "overlapping PWs", "avg uops/PW"}}
+	// Exported, concretely-typed fields: cell row groups round-trip
+	// through the JSON checkpoint journal, and unexported or `any`-typed
+	// fields would be dropped or re-typed on restore, breaking the
+	// byte-identical-resume guarantee.
 	type row struct {
-		desc, target, mpki string
-		distinct           any
-		overlap, avg       string
+		Desc, Target, MPKI string
+		Distinct           int
+		Overlap, Avg       string
 	}
 	rows, err := appRows(ctx, func(app string) (row, error) {
 		spec, err := workload.Get(app)
@@ -65,16 +69,16 @@ func Table2(ctx *Context) (*Table, error) {
 		}
 		res := core.RunTimingObserved(blocks, ctx.Cfg, policy.NewLRU(), ctx.Telemetry)
 		an := trace.Analyze(pws, ctx.Cfg.UopCache.UopsPerEntry)
-		return row{desc: spec.Description, target: fmt.Sprintf("%.2f", spec.TargetMPKI),
-			mpki: fmt.Sprintf("%.2f", res.Frontend.Branch.MPKI()), distinct: an.DistinctStarts,
-			overlap: pct(an.OverlapFrac()), avg: fmt.Sprintf("%.1f", an.AvgUops)}, nil
+		return row{Desc: spec.Description, Target: fmt.Sprintf("%.2f", spec.TargetMPKI),
+			MPKI: fmt.Sprintf("%.2f", res.Frontend.Branch.MPKI()), Distinct: an.DistinctStarts,
+			Overlap: pct(an.OverlapFrac()), Avg: fmt.Sprintf("%.1f", an.AvgUops)}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	for i, app := range ctx.AppList() {
 		r := rows[i]
-		t.AddRow(app, r.desc, r.target, r.mpki, r.distinct, r.overlap, r.avg)
+		t.AddRow(app, r.Desc, r.Target, r.MPKI, r.Distinct, r.Overlap, r.Avg)
 	}
 	t.Notes = append(t.Notes, "Measured MPKI comes from the TAGE-lite predictor on the synthetic traces; the paper's column is the calibration target.")
 	return t, nil
@@ -93,8 +97,8 @@ func Sec3BMissClasses(ctx *Context) (*Table, error) {
 		return offline.RunFLACK(pws, cfg, offline.Options{}).Stats.Misses
 	}
 	type row struct {
-		lru, flack         [3]float64
-		lruTotal, flackTot any
+		LRU, FLACK           [3]float64
+		LRUTotal, FLACKTotal uint64
 	}
 	rows, err := appRows(ctx, func(app string) (row, error) {
 		_, pws, err := ctx.Trace(app, 0)
@@ -105,8 +109,8 @@ func Sec3BMissClasses(ctx *Context) (*Table, error) {
 		mf := stats.Classify(pws, ctx.Cfg.UopCache, flackCounter)
 		c1, c2, c3 := ml.Fractions()
 		f1, f2, f3 := mf.Fractions()
-		return row{lru: [3]float64{c1, c2, c3}, flack: [3]float64{f1, f2, f3},
-			lruTotal: ml.Total, flackTot: mf.Total}, nil
+		return row{LRU: [3]float64{c1, c2, c3}, FLACK: [3]float64{f1, f2, f3},
+			LRUTotal: ml.Total, FLACKTotal: mf.Total}, nil
 	})
 	if err != nil {
 		return nil, err
@@ -115,11 +119,11 @@ func Sec3BMissClasses(ctx *Context) (*Table, error) {
 	for i, app := range ctx.AppList() {
 		r := rows[i]
 		for k := 0; k < 3; k++ {
-			lruTotals[k] += r.lru[k]
-			flackTotals[k] += r.flack[k]
+			lruTotals[k] += r.LRU[k]
+			flackTotals[k] += r.FLACK[k]
 		}
-		t.AddRow(app, "lru", pct(r.lru[0]), pct(r.lru[1]), pct(r.lru[2]), r.lruTotal)
-		t.AddRow(app, "flack", pct(r.flack[0]), pct(r.flack[1]), pct(r.flack[2]), r.flackTot)
+		t.AddRow(app, "lru", pct(r.LRU[0]), pct(r.LRU[1]), pct(r.LRU[2]), r.LRUTotal)
+		t.AddRow(app, "flack", pct(r.FLACK[0]), pct(r.FLACK[1]), pct(r.FLACK[2]), r.FLACKTotal)
 	}
 	n := float64(len(ctx.AppList()))
 	t.AddRow("MEAN", "lru", pct(lruTotals[0]/n), pct(lruTotals[1]/n), pct(lruTotals[2]/n), "")
@@ -211,8 +215,9 @@ func (c *Context) behaviorReductions(policyNames []string) (map[string]map[strin
 		out[name] = make(map[string]float64, len(apps))
 	}
 	for i, app := range apps {
+		row := padded(rows[i], len(policyNames))
 		for j, name := range policyNames {
-			out[name][app] = rows[i][j]
+			out[name][app] = row[j]
 		}
 	}
 	return out, nil
@@ -297,7 +302,7 @@ func Fig10FLACKAblation(ctx *Context) (*Table, error) {
 	sums := make([]float64, len(variants)+1)
 	for i, app := range ctx.AppList() {
 		row := []any{app}
-		for j, r := range rows[i] {
+		for j, r := range padded(rows[i], len(variants)+1) {
 			sums[j] += r
 			row = append(row, pct(r))
 		}
@@ -382,7 +387,7 @@ func Fig16SizeAssocSweep(ctx *Context) (*Table, error) {
 			labels = append(labels, fmt.Sprintf("%dx%d", entries, ways))
 		}
 	}
-	type point struct{ fu, gh float64 }
+	type point struct{ Fu, Gh float64 }
 	rows, err := cells(ctx, labels, func(i int) (point, error) {
 		cfg := ctx.Cfg
 		cfg.UopCache.Entries = combos[i].entries
@@ -402,13 +407,13 @@ func Fig16SizeAssocSweep(ctx *Context) (*Table, error) {
 			fu = append(fu, core.MissReduction(base.Stats, core.RunBehavior(pws, cfg, pol, ctx.runOpts()).Stats))
 			gh = append(gh, core.MissReduction(base.Stats, core.RunBehavior(pws, cfg, policy.NewGHRP(), ctx.runOpts()).Stats))
 		}
-		return point{fu: mean(fu), gh: mean(gh)}, nil
+		return point{Fu: mean(fu), Gh: mean(gh)}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	for i, r := range rows {
-		t.AddRow(combos[i].entries, combos[i].ways, pct(r.fu), pct(r.gh))
+		t.AddRow(combos[i].entries, combos[i].ways, pct(r.Fu), pct(r.Gh))
 	}
 	t.Notes = append(t.Notes, "Paper: FURBYS outperforms GHRP in every configuration; the gap narrows as capacity grows.")
 	return t, nil
@@ -419,7 +424,7 @@ func Fig16SizeAssocSweep(ctx *Context) (*Table, error) {
 func Fig18CrossValidation(ctx *Context) (*Table, error) {
 	t := &Table{Name: "fig18", Title: "Cross-validation: train-input profile vs same-input profile (Fig. 18)",
 		Columns: []string{"application", "same-input", "cross-input", "retained"}}
-	type row struct{ same, cross float64 }
+	type row struct{ Same, Cross float64 }
 	rows, err := appRows(ctx, func(app string) (row, error) {
 		_, testPWs, err := ctx.Trace(app, 0)
 		if err != nil {
@@ -461,7 +466,7 @@ func Fig18CrossValidation(ctx *Context) (*Table, error) {
 		if err != nil {
 			return row{}, err
 		}
-		return row{same: same, cross: cross}, nil
+		return row{Same: same, Cross: cross}, nil
 	})
 	if err != nil {
 		return nil, err
@@ -469,13 +474,13 @@ func Fig18CrossValidation(ctx *Context) (*Table, error) {
 	var sumSame, sumCross float64
 	for i, app := range ctx.AppList() {
 		r := rows[i]
-		sumSame += r.same
-		sumCross += r.cross
+		sumSame += r.Same
+		sumCross += r.Cross
 		ret := "n/a"
-		if r.same > 0 {
-			ret = pct(r.cross / r.same)
+		if r.Same > 0 {
+			ret = pct(r.Cross / r.Same)
 		}
-		t.AddRow(app, pct(r.same), pct(r.cross), ret)
+		t.AddRow(app, pct(r.Same), pct(r.Cross), ret)
 	}
 	n := float64(len(ctx.AppList()))
 	retained := 0.0
@@ -585,7 +590,7 @@ func Fig20DetectorDepth(ctx *Context) (*Table, error) {
 func Fig21Bypass(ctx *Context) (*Table, error) {
 	t := &Table{Name: "fig21", Title: "FURBYS bypass mechanism on/off (Fig. 21)",
 		Columns: []string{"application", "bypass off", "bypass on", "bypassed insertions"}}
-	type row struct{ off, on, byFrac float64 }
+	type row struct{ Off, On, ByFrac float64 }
 	rows, err := appRows(ctx, func(app string) (row, error) {
 		_, pws, err := ctx.Trace(app, 0)
 		if err != nil {
@@ -617,7 +622,7 @@ func Fig21Bypass(ctx *Context) (*Table, error) {
 		if resOn.FURBYS != nil && resOn.FURBYS.InsertAttempts > 0 {
 			byFrac = float64(resOn.FURBYS.Bypasses) / float64(resOn.FURBYS.InsertAttempts)
 		}
-		return row{off: rOff, on: rOn, byFrac: byFrac}, nil
+		return row{Off: rOff, On: rOn, ByFrac: byFrac}, nil
 	})
 	if err != nil {
 		return nil, err
@@ -625,9 +630,9 @@ func Fig21Bypass(ctx *Context) (*Table, error) {
 	var sumOff, sumOn float64
 	for i, app := range ctx.AppList() {
 		r := rows[i]
-		sumOff += r.off
-		sumOn += r.on
-		t.AddRow(app, pct(r.off), pct(r.on), pct(r.byFrac))
+		sumOff += r.Off
+		sumOn += r.On
+		t.AddRow(app, pct(r.Off), pct(r.On), pct(r.ByFrac))
 	}
 	n := float64(len(ctx.AppList()))
 	t.AddRow("MEAN", pct(sumOff/n), pct(sumOn/n), "")
@@ -672,8 +677,8 @@ func CoverageStats(ctx *Context) (*Table, error) {
 	t := &Table{Name: "coverage", Title: "FURBYS victim-selection coverage and bypass rate (Section VI-C)",
 		Columns: []string{"application", "furbys-selected victims", "srrip fallback", "bypassed insertions"}}
 	type row struct {
-		ok      bool
-		cov, by float64
+		OK      bool
+		Cov, By float64
 	}
 	rows, err := appRows(ctx, func(app string) (row, error) {
 		_, pws, err := ctx.Trace(app, 0)
@@ -696,7 +701,7 @@ func CoverageStats(ctx *Context) (*Table, error) {
 		if res.FURBYS.InsertAttempts > 0 {
 			byFrac = float64(res.FURBYS.Bypasses) / float64(res.FURBYS.InsertAttempts)
 		}
-		return row{ok: true, cov: res.FURBYS.VictimCoverage(), by: byFrac}, nil
+		return row{OK: true, Cov: res.FURBYS.VictimCoverage(), By: byFrac}, nil
 	})
 	if err != nil {
 		return nil, err
@@ -704,12 +709,12 @@ func CoverageStats(ctx *Context) (*Table, error) {
 	var sumCov, sumBy float64
 	for i, app := range ctx.AppList() {
 		r := rows[i]
-		if !r.ok {
+		if !r.OK {
 			continue
 		}
-		sumCov += r.cov
-		sumBy += r.by
-		t.AddRow(app, pct(r.cov), pct(1-r.cov), pct(r.by))
+		sumCov += r.Cov
+		sumBy += r.By
+		t.AddRow(app, pct(r.Cov), pct(1-r.Cov), pct(r.By))
 	}
 	n := float64(len(ctx.AppList()))
 	t.AddRow("MEAN", pct(sumCov/n), pct(1-sumCov/n), pct(sumBy/n))

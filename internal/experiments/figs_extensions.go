@@ -17,8 +17,8 @@ func SensInclusion(ctx *Context) (*Table, error) {
 	t := &Table{Name: "sens-inclusion", Title: "Inclusive vs non-inclusive micro-op cache (Section VII)",
 		Columns: []string{"application", "inclusive: FURBYS IPC speedup", "non-inclusive: FURBYS IPC speedup", "non-inclusive: invalidations"}}
 	type row struct {
-		inc, non float64
-		inval    any
+		Inc, Non float64
+		Inval    uint64
 	}
 	rows, err := appRows(ctx, func(app string) (row, error) {
 		blocks, _, err := ctx.Trace(app, 0)
@@ -29,13 +29,13 @@ func SensInclusion(ctx *Context) (*Table, error) {
 		if err != nil {
 			return row{}, err
 		}
-		speedup := func(nonInclusive bool) (float64, any, error) {
+		speedup := func(nonInclusive bool) (float64, uint64, error) {
 			cfg := ctx.Cfg
 			cfg.Frontend.NonInclusive = nonInclusive
 			base := core.RunTimingObserved(blocks, cfg, policy.NewLRU(), ctx.Telemetry)
 			pol, err := core.NewPolicy("furbys", prof, cfg.UopCache, policy.FURBYSConfig{})
 			if err != nil {
-				return 0, nil, err
+				return 0, 0, err
 			}
 			fu := core.RunTimingObserved(blocks, cfg, pol, ctx.Telemetry)
 			return fu.Frontend.IPC()/base.Frontend.IPC() - 1, fu.Frontend.UopCache.Invalidations, nil
@@ -48,7 +48,7 @@ func SensInclusion(ctx *Context) (*Table, error) {
 		if err != nil {
 			return row{}, err
 		}
-		return row{inc: inc, non: non, inval: inval}, nil
+		return row{Inc: inc, Non: non, Inval: inval}, nil
 	})
 	if err != nil {
 		return nil, err
@@ -56,9 +56,9 @@ func SensInclusion(ctx *Context) (*Table, error) {
 	var sumInc, sumNon float64
 	for i, app := range ctx.AppList() {
 		r := rows[i]
-		sumInc += r.inc
-		sumNon += r.non
-		t.AddRow(app, pct(r.inc), pct(r.non), r.inval)
+		sumInc += r.Inc
+		sumNon += r.Non
+		t.AddRow(app, pct(r.Inc), pct(r.Non), r.Inval)
 	}
 	n := float64(len(ctx.AppList()))
 	t.AddRow("MEAN", pct(sumInc/n), pct(sumNon/n), "")
@@ -79,7 +79,7 @@ func SensInsertDelay(ctx *Context) (*Table, error) {
 	for i, d := range delays {
 		labels[i] = fmt.Sprintf("delay=%d", d)
 	}
-	type point struct{ missRate, rRaw, rA float64 }
+	type point struct{ MissRate, RRaw, RA float64 }
 	points, err := cells(ctx, labels, func(i int) (point, error) {
 		_, pws, err := ctx.Trace(app, 0)
 		if err != nil {
@@ -90,15 +90,15 @@ func SensInsertDelay(ctx *Context) (*Table, error) {
 		base := core.RunBehavior(pws, cfg, policy.NewLRU(), ctx.runOpts())
 		raw := offline.RunFOO(pws, cfg.UopCache, ctx.offlineOpts(offline.Options{Features: offline.Features{}}))
 		withA := offline.RunFOO(pws, cfg.UopCache, ctx.offlineOpts(offline.Options{Features: offline.Features{Async: true}}))
-		return point{missRate: base.Stats.UopMissRate(),
-			rRaw: core.MissReduction(base.Stats, raw.Stats),
-			rA:   core.MissReduction(base.Stats, withA.Stats)}, nil
+		return point{MissRate: base.Stats.UopMissRate(),
+			RRaw: core.MissReduction(base.Stats, raw.Stats),
+			RA:   core.MissReduction(base.Stats, withA.Stats)}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	for i, p := range points {
-		t.AddRow(delays[i], fmt.Sprintf("%.4f", p.missRate), pct(p.rRaw), pct(p.rA), pct(p.rA-p.rRaw))
+		t.AddRow(delays[i], fmt.Sprintf("%.4f", p.MissRate), pct(p.RRaw), pct(p.RA), pct(p.RA-p.RRaw))
 	}
 	t.Notes = append(t.Notes, "Raw FOO applies decisions at lookup time and degrades as insertions lag; the A feature recovers the loss (paper Section III-C/IV).")
 	return t, nil
@@ -156,7 +156,7 @@ func SensObjective(ctx *Context) (*Table, error) {
 		}
 		var vals [3]float64
 		for i, model := range []offline.CostModel{offline.CostOHR, offline.CostBHR, offline.CostVC} {
-			dec := offline.ComputeDecisions(pws, ctx.Cfg.UopCache, model, true, 0, ctx.Workers)
+			dec := offline.ComputeDecisions(ctx.Ctx, pws, ctx.Cfg.UopCache, model, true, 0, ctx.Workers)
 			res := offline.ReplayPlan(pws, ctx.Cfg.UopCache, dec, ctx.offlineOpts(offline.Options{Features: offline.FLACKFeatures()}))
 			vals[i] = core.MissReduction(base, res.Stats)
 		}

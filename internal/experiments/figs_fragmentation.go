@@ -33,7 +33,7 @@ func SensFragmentation(ctx *Context) (*Table, error) {
 		{"compaction", false, true},
 		{"clasp+compaction", true, true},
 	}
-	type cell struct{ rate, util float64 }
+	type cell struct{ Rate, Util float64 }
 	baseRates := map[string]float64{}
 	for _, v := range variants {
 		rows, err := appRows(ctx, func(app string) (cell, error) {
@@ -51,7 +51,7 @@ func SensFragmentation(ctx *Context) (*Table, error) {
 			// replay is overkill; re-run and query.
 			c := uopcache.New(cfg.UopCache, policy.NewLRU())
 			uopcache.NewBehavior(c, nil).Run(pws)
-			return cell{rate: res.Stats.UopMissRate(), util: c.Utilization()}, nil
+			return cell{Rate: res.Stats.UopMissRate(), Util: c.Utilization()}, nil
 		})
 		if err != nil {
 			return nil, err
@@ -59,13 +59,13 @@ func SensFragmentation(ctx *Context) (*Table, error) {
 		var rates, utils, reds []float64
 		for i, app := range ctx.AppList() {
 			r := rows[i]
-			rates = append(rates, r.rate)
-			utils = append(utils, r.util)
+			rates = append(rates, r.Rate)
+			utils = append(utils, r.Util)
 			if v.label == "baseline lru" {
-				baseRates[app] = r.rate
+				baseRates[app] = r.Rate
 			}
 			if br := baseRates[app]; br > 0 {
-				reds = append(reds, (br-r.rate)/br)
+				reds = append(reds, (br-r.Rate)/br)
 			}
 		}
 		t.AddRow(v.label, fmt.Sprintf("%.4f", mean(rates)), fmt.Sprintf("%.4f", mean(utils)), pct(mean(reds)))

@@ -64,7 +64,7 @@ func Fig2PerfectStructures(ctx *Context) (*Table, error) {
 	sums := make([]float64, len(variants))
 	for i, app := range ctx.AppList() {
 		row := []any{app}
-		for j, g := range rows[i] {
+		for j, g := range padded(rows[i], len(variants)) {
 			sums[j] += g
 			row = append(row, pct(g))
 		}
@@ -105,7 +105,7 @@ func (c *Context) ppwTable(name, title string, policyNames []string, notes ...st
 	sums := make([]float64, len(policyNames))
 	for i, app := range c.AppList() {
 		row := []any{app}
-		for j, g := range rows[i] {
+		for j, g := range padded(rows[i], len(policyNames)) {
 			sums[j] += g
 			row = append(row, pct(g))
 		}
@@ -162,7 +162,7 @@ func Fig11IPC(ctx *Context) (*Table, error) {
 	sums := make([]float64, len(names)+1)
 	for i, app := range ctx.AppList() {
 		row := []any{app}
-		for j, sp := range rows[i] {
+		for j, sp := range padded(rows[i], len(names)+1) {
 			sums[j] += sp
 			row = append(row, pct(sp))
 		}
@@ -202,7 +202,7 @@ func Fig12ISOPerformance(ctx *Context) (*Table, error) {
 	for i, rc := range rows {
 		labels[i] = rc.label
 	}
-	type point struct{ missRate, ipc, red float64 }
+	type point struct{ MissRate, IPC, Red float64 }
 	points, err := cells(ctx, labels, func(i int) (point, error) {
 		rc := rows[i]
 		cfg := ctx.Cfg
@@ -248,13 +248,13 @@ func Fig12ISOPerformance(ctx *Context) (*Table, error) {
 			tim := core.RunTimingObserved(blocks, cfg, pol2, ctx.Telemetry)
 			ipcs = append(ipcs, tim.Frontend.IPC())
 		}
-		return point{missRate: mean(missRates), ipc: mean(ipcs), red: mean(reds)}, nil
+		return point{MissRate: mean(missRates), IPC: mean(ipcs), Red: mean(reds)}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	for i, p := range points {
-		t.AddRow(rows[i].label, fmt.Sprintf("%.4f", p.missRate), fmt.Sprintf("%.4f", p.ipc), pct(p.red))
+		t.AddRow(rows[i].label, fmt.Sprintf("%.4f", p.MissRate), fmt.Sprintf("%.4f", p.IPC), pct(p.Red))
 	}
 	t.Notes = append(t.Notes, "Paper: LRU needs ~1.5x the capacity on average (2x for Postgres) to match FURBYS.")
 	return t, nil
@@ -313,9 +313,9 @@ func Fig14EnergyReductionBreakdown(ctx *Context) (*Table, error) {
 	t := &Table{Name: "fig14", Title: "Energy-reduction breakdown of FURBYS vs LRU (Fig. 14)",
 		Columns: []string{"application", "icache", "uop-cache insertion", "decoder", "other", "total saved"}}
 	type row struct {
-		skip    bool
-		shares  [4]float64
-		totFrac float64
+		Skip    bool
+		Shares  [4]float64
+		TotFrac float64
 	}
 	rows, err := appRows(ctx, func(app string) (row, error) {
 		blocks, _, err := ctx.Trace(app, 0)
@@ -338,10 +338,10 @@ func Fig14EnergyReductionBreakdown(ctx *Context) (*Table, error) {
 		dTot := lru.Power.Total() - fu.Power.Total()
 		dOther := dTot - dIc - dUop - dDec
 		if dTot <= 0 {
-			return row{skip: true, totFrac: dTot / lru.Power.Total()}, nil
+			return row{Skip: true, TotFrac: dTot / lru.Power.Total()}, nil
 		}
-		return row{shares: [4]float64{dIc / dTot, dUop / dTot, dDec / dTot, dOther / dTot},
-			totFrac: dTot / lru.Power.Total()}, nil
+		return row{Shares: [4]float64{dIc / dTot, dUop / dTot, dDec / dTot, dOther / dTot},
+			TotFrac: dTot / lru.Power.Total()}, nil
 	})
 	if err != nil {
 		return nil, err
@@ -350,15 +350,15 @@ func Fig14EnergyReductionBreakdown(ctx *Context) (*Table, error) {
 	n := 0
 	for i, app := range ctx.AppList() {
 		r := rows[i]
-		if r.skip {
-			t.AddRow(app, "-", "-", "-", "-", pct(r.totFrac))
+		if r.Skip {
+			t.AddRow(app, "-", "-", "-", "-", pct(r.TotFrac))
 			continue
 		}
 		n++
 		for k := 0; k < 4; k++ {
-			sums[k] += r.shares[k]
+			sums[k] += r.Shares[k]
 		}
-		t.AddRow(app, pct(r.shares[0]), pct(r.shares[1]), pct(r.shares[2]), pct(r.shares[3]), pct(r.totFrac))
+		t.AddRow(app, pct(r.Shares[0]), pct(r.Shares[1]), pct(r.Shares[2]), pct(r.Shares[3]), pct(r.TotFrac))
 	}
 	if n > 0 {
 		t.AddRow("MEAN", pct(sums[0]/float64(n)), pct(sums[1]/float64(n)), pct(sums[2]/float64(n)), pct(sums[3]/float64(n)), "")

@@ -91,7 +91,7 @@ func TestProfileSingleflight(t *testing.T) {
 	const n = 8
 	profs := make([]*profiles.Profile, n)
 	errs := make([]error, n)
-	parallel.ForEach(n, n, func(i int) {
+	parallel.ForEach(nil, n, n, func(i int) {
 		profs[i], errs[i] = ctx.Profile("kafka", 0, profiles.SourceFLACK)
 	})
 	for i := 0; i < n; i++ {
@@ -121,7 +121,7 @@ func TestTraceSingleflight(t *testing.T) {
 	const n = 8
 	pws := make([][]trace.PW, n)
 	errs := make([]error, n)
-	parallel.ForEach(n, n, func(i int) {
+	parallel.ForEach(nil, n, n, func(i int) {
 		_, pws[i], errs[i] = ctx.Trace("kafka", 0)
 	})
 	for i := 0; i < n; i++ {

@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"uopsim/internal/faultinject"
+)
+
+// renderCtx runs ids through RunMany on the given context and returns the
+// concatenated CSV+Markdown of every table. Strict failures fail the test.
+func renderCtx(t *testing.T, ctx *Context, ids []string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, r := range RunMany(ctx, ids, nil) {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.ID, r.Err)
+		}
+		if err := r.Table.CSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Table.Markdown(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.String()
+}
+
+func resumeHeader(ctx *Context) CheckpointHeader {
+	return CheckpointHeader{
+		Version: CheckpointVersion,
+		Tool:    "experiments",
+		Blocks:  ctx.Blocks,
+		Apps:    ctx.AppList(),
+	}
+}
+
+// TestResumeByteIdentity is the acceptance contract of checkpoint/resume: a
+// run that dies at an arbitrary cell (here: a deterministic injected failure
+// in strict mode), restarted against the same journal, must render output
+// byte-identical to an uninterrupted run — at every worker count. tab2
+// exercises the timing path, fig8 FLACK profiling, sens-fragmentation the
+// multi-sweep journal keys (four sweeps reusing the same cell labels).
+func TestResumeByteIdentity(t *testing.T) {
+	ids := []string{"tab2", "fig8", "sens-fragmentation"}
+
+	// The uninterrupted reference, no journal involved.
+	ref := smallCtx()
+	ref.Workers = 1
+	want := renderCtx(t, ref, ids)
+
+	// Run 1: journaled, strict, with the fourth cell attempt failing by
+	// injection — the campaign dies partway with some cells checkpointed.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "checkpoint.jsonl")
+	ctx1 := smallCtx()
+	ctx1.Workers = 1
+	ctx1.Fault = faultinject.MustNew("*:4:error")
+	j1, err := OpenCheckpoint(path, resumeHeader(ctx1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx1.Journal = j1
+	results := RunMany(ctx1, ids, nil)
+	j1.Close()
+	failed := 0
+	for _, r := range results {
+		if r.Err != nil {
+			failed++
+			var ierr *faultinject.Error
+			if !errors.As(r.Err, &ierr) {
+				t.Fatalf("%s failed with %v, want the injected fault", r.ID, r.Err)
+			}
+		}
+	}
+	if failed == 0 {
+		t.Fatal("the injected fault did not interrupt the run")
+	}
+
+	// Resume: same journal, fault gone, at several worker counts. Restored
+	// cells replay from the journal; only the missing ones recompute.
+	for _, workers := range []int{1, 4, 0} {
+		j, err := OpenCheckpoint(path, resumeHeader(ctx1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j.Restored() == 0 {
+			t.Fatal("nothing restored — the interrupted run journaled no cells")
+		}
+		ctx2 := smallCtx()
+		ctx2.Workers = workers
+		ctx2.Journal = j
+		got := renderCtx(t, ctx2, ids)
+		j.Close()
+		if got != want {
+			t.Errorf("workers=%d: resumed output differs from the uninterrupted run", workers)
+		}
+	}
+}
+
+// TestRetryRecoversTransientFault: with a retry budget, a cell that fails on
+// its first two attempts and then succeeds must leave no trace — no failure
+// records, output identical to a clean run.
+func TestRetryRecoversTransientFault(t *testing.T) {
+	ids := []string{"tab2"}
+	ref := smallCtx()
+	ref.Workers = 1
+	want := renderCtx(t, ref, ids)
+
+	ctx := smallCtx()
+	ctx.Workers = 1
+	ctx.Retries = 2
+	ctx.Fault = faultinject.MustNew("*:1-2:error")
+	got := renderCtx(t, ctx, ids)
+	if got != want {
+		t.Error("retried run differs from the clean run")
+	}
+	if f := ctx.Failures("tab2"); len(f) != 0 {
+		t.Errorf("recovered cell still logged failures: %+v", f)
+	}
+}
+
+// TestDegradeRecordsFailure: in degrade mode an always-failing cell must not
+// fail the experiment — it renders with the cell marked missing, and the
+// failure (with its attempt count) lands in the failed-cell log.
+func TestDegradeRecordsFailure(t *testing.T) {
+	ctx := smallCtx()
+	ctx.Workers = 1
+	ctx.Retries = 1
+	ctx.Degrade = true
+	ctx.Fault = faultinject.MustNew("fig8/kafka:1+:error")
+	results := RunMany(ctx, []string{"fig8"}, nil)
+	r := results[0]
+	if r.Err != nil {
+		t.Fatalf("degrade mode still failed the experiment: %v", r.Err)
+	}
+	if r.Table == nil {
+		t.Fatal("no table rendered")
+	}
+	if len(r.Failed) != 1 {
+		t.Fatalf("Failed = %+v, want exactly one record", r.Failed)
+	}
+	f := r.Failed[0]
+	if f.Cell != "fig8/kafka" || f.Attempts != 2 || !strings.Contains(f.Error, "faultinject") {
+		t.Errorf("failure record = %+v", f)
+	}
+	found := false
+	for _, n := range r.Table.Notes {
+		if strings.Contains(n, "MISSING cell fig8/kafka") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("table notes missing the degraded-cell marker: %v", r.Table.Notes)
+	}
+}
+
+// TestPanicContainment: a panicking cell must be caught, converted to a
+// failure record carrying the stack, and degraded like any other failure
+// instead of tearing down the campaign.
+func TestPanicContainment(t *testing.T) {
+	ctx := smallCtx()
+	ctx.Workers = 1
+	ctx.Degrade = true
+	ctx.Fault = faultinject.MustNew("fig8/kafka:1+:panic")
+	r := RunMany(ctx, []string{"fig8"}, nil)[0]
+	if r.Err != nil {
+		t.Fatalf("contained panic still failed the experiment: %v", r.Err)
+	}
+	if len(r.Failed) != 1 {
+		t.Fatalf("Failed = %+v, want exactly one record", r.Failed)
+	}
+	f := r.Failed[0]
+	if !strings.Contains(f.Error, "cell panic") {
+		t.Errorf("failure error = %q, want a cell panic", f.Error)
+	}
+	if f.Stack == "" {
+		t.Error("panic failure record carries no stack")
+	}
+}
+
+// TestCancelledCampaignDrains: with the campaign context already cancelled,
+// every requested experiment must come back promptly with the context's
+// error (and in input order), not hang or half-run.
+func TestCancelledCampaignDrains(t *testing.T) {
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ctx := smallCtx()
+	ctx.Workers = 2
+	ctx.Ctx = cctx
+	ids := []string{"tab2", "fig8"}
+	var emitted []string
+	results := RunMany(ctx, ids, func(r RunResult) { emitted = append(emitted, r.ID) })
+	for i, r := range results {
+		if r.ID != ids[i] {
+			t.Fatalf("results[%d] = %s, want %s", i, r.ID, ids[i])
+		}
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", r.ID, r.Err)
+		}
+	}
+	for i, id := range emitted {
+		if id != ids[i] {
+			t.Fatalf("emit order = %v", emitted)
+		}
+	}
+	if len(emitted) != len(ids) {
+		t.Fatalf("emitted %d of %d results", len(emitted), len(ids))
+	}
+}

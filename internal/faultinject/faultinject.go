@@ -1,0 +1,251 @@
+// Package faultinject is a deterministic fault-injection harness for the
+// experiment pipeline's resilience tests (and for manual chaos runs via
+// cmd/experiments -faultinject). An Injector is armed with a compact spec
+// string and counts the hits that reach a matching site; on the selected
+// hits it injects a failure — an error, a panic, or a stall that blocks
+// until the caller's context is cancelled. Everything is stdlib-only and
+// deterministic: the trigger is either an explicit hit number/range or a
+// seeded PRNG, never the wall clock, so a failing resilience test replays
+// exactly.
+//
+// Spec grammar (all parts after the site are optional-free, fixed order):
+//
+//	SITE:HITS:MODE
+//
+//	SITE  — substring match against the hit site ("" or "*" matches all).
+//	        Experiment cells present as "<figure>/<cell-label>".
+//	HITS  — which matching hits inject: "N" (exactly the Nth), "N-M"
+//	        (hits N through M inclusive), "N+" (every hit from the Nth on),
+//	        or "~P@SEED" (each hit injects with probability P in [0,1],
+//	        decided by a PRNG seeded with SEED).
+//	MODE  — "error", "panic", or "stall".
+//
+// Examples: "cell:3:panic" (third matching hit panics), "fig9/:1-2:error"
+// (first two fig9 cells fail, the third succeeds — the retry test),
+// "*:~0.25@42:error" (a quarter of hits fail, deterministically).
+package faultinject
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+
+	"uopsim/internal/telemetry"
+)
+
+// Mode selects what an injection does to the victim call.
+type Mode int
+
+const (
+	// ModeError makes Hit return an *Error.
+	ModeError Mode = iota
+	// ModePanic makes Hit panic with an *Error value.
+	ModePanic
+	// ModeStall makes Hit block until the caller's context is cancelled,
+	// then return the context's error. With a never-cancelled context the
+	// stall returns an *Error immediately rather than hanging forever.
+	ModeStall
+)
+
+// String names the mode the way the spec grammar spells it.
+func (m Mode) String() string {
+	switch m {
+	case ModeError:
+		return "error"
+	case ModePanic:
+		return "panic"
+	case ModeStall:
+		return "stall"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Error is the injected failure value: the error returned by ModeError and
+// ModeStall, and the panic value of ModePanic. Callers distinguish injected
+// faults from organic ones with errors.As.
+type Error struct {
+	Site string
+	Hit  uint64
+	Mode Mode
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	return fmt.Sprintf("faultinject: injected %s at site %q (hit %d)", e.Mode, e.Site, e.Hit)
+}
+
+// Injector decides, hit by hit, whether to inject a fault. The zero value
+// and the nil Injector never inject, so call sites can stay unconditional.
+type Injector struct {
+	site string
+	mode Mode
+	// lo/hi bound the injecting hit numbers (1-based, inclusive); hi == 0
+	// with prob < 0 means "exactly lo"; hi == maxUint64 means "lo and on".
+	lo, hi uint64
+	// prob >= 0 selects seeded-random triggering instead of lo/hi.
+	prob float64
+
+	mu    sync.Mutex
+	count uint64
+	rng   *rand.Rand
+
+	hits     *telemetry.Counter
+	injected *telemetry.Counter
+}
+
+// New parses a spec (see the package comment for the grammar).
+func New(spec string) (*Injector, error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("faultinject: spec %q is not SITE:HITS:MODE", spec)
+	}
+	in := &Injector{site: parts[0], prob: -1}
+	if in.site == "*" {
+		in.site = ""
+	}
+	var err error
+	if in.mode, err = parseMode(parts[2]); err != nil {
+		return nil, err
+	}
+	if err := in.parseHits(parts[1]); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+// MustNew is New for test fixtures with compile-time-known specs.
+func MustNew(spec string) *Injector {
+	in, err := New(spec)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+func parseMode(s string) (Mode, error) {
+	switch s {
+	case "error":
+		return ModeError, nil
+	case "panic":
+		return ModePanic, nil
+	case "stall":
+		return ModeStall, nil
+	}
+	return 0, fmt.Errorf("faultinject: unknown mode %q (want error, panic, or stall)", s)
+}
+
+func (in *Injector) parseHits(s string) error {
+	switch {
+	case strings.HasPrefix(s, "~"):
+		probSeed := strings.SplitN(s[1:], "@", 2)
+		if len(probSeed) != 2 {
+			return fmt.Errorf("faultinject: random hits %q want ~P@SEED", s)
+		}
+		p, err := strconv.ParseFloat(probSeed[0], 64)
+		if err != nil || p < 0 || p > 1 {
+			return fmt.Errorf("faultinject: probability %q not in [0,1]", probSeed[0])
+		}
+		seed, err := strconv.ParseInt(probSeed[1], 10, 64)
+		if err != nil {
+			return fmt.Errorf("faultinject: seed %q: %v", probSeed[1], err)
+		}
+		in.prob = p
+		in.rng = rand.New(rand.NewSource(seed))
+		return nil
+	case strings.HasSuffix(s, "+"):
+		lo, err := parseHitNum(s[:len(s)-1])
+		if err != nil {
+			return err
+		}
+		in.lo, in.hi = lo, ^uint64(0)
+		return nil
+	case strings.Contains(s, "-"):
+		loHi := strings.SplitN(s, "-", 2)
+		lo, err := parseHitNum(loHi[0])
+		if err != nil {
+			return err
+		}
+		hi, err := parseHitNum(loHi[1])
+		if err != nil {
+			return err
+		}
+		if hi < lo {
+			return fmt.Errorf("faultinject: empty hit range %q", s)
+		}
+		in.lo, in.hi = lo, hi
+		return nil
+	default:
+		lo, err := parseHitNum(s)
+		if err != nil {
+			return err
+		}
+		in.lo, in.hi = lo, lo
+		return nil
+	}
+}
+
+func parseHitNum(s string) (uint64, error) {
+	n, err := strconv.ParseUint(s, 10, 64)
+	if err != nil || n == 0 {
+		return 0, fmt.Errorf("faultinject: hit number %q must be a positive integer", s)
+	}
+	return n, nil
+}
+
+// Arm attaches hit/injection counters to reg (nil reg is a no-op), so a
+// chaos run's manifest-adjacent metrics record how many faults actually
+// fired.
+func (in *Injector) Arm(reg *telemetry.Registry) {
+	if in == nil || reg == nil {
+		return
+	}
+	in.hits = reg.Counter("faultinject_hits_total")
+	in.injected = reg.Counter("faultinject_injected_total")
+}
+
+// Hit reports one arrival at site. If the injector's spec selects this hit
+// it injects: ModeError returns an *Error, ModePanic panics with one, and
+// ModeStall blocks until ctx is cancelled (returning ctx.Err()). A nil
+// injector, a non-matching site, and an unselected hit all return nil.
+func (in *Injector) Hit(ctx context.Context, site string) error {
+	if in == nil || (in.site != "" && !strings.Contains(site, in.site)) {
+		return nil
+	}
+	in.mu.Lock()
+	in.count++
+	hit := in.count
+	inject := false
+	if in.prob >= 0 {
+		inject = in.rng.Float64() < in.prob
+	} else {
+		inject = hit >= in.lo && hit <= in.hi
+	}
+	in.mu.Unlock()
+	if in.hits != nil {
+		in.hits.Inc()
+	}
+	if !inject {
+		return nil
+	}
+	if in.injected != nil {
+		in.injected.Inc()
+	}
+	ierr := &Error{Site: site, Hit: hit, Mode: in.mode}
+	switch in.mode {
+	case ModePanic:
+		panic(ierr)
+	case ModeStall:
+		if ctx == nil || ctx.Done() == nil {
+			return ierr
+		}
+		<-ctx.Done()
+		return ctx.Err()
+	case ModeError:
+		return ierr
+	default:
+		return ierr
+	}
+}

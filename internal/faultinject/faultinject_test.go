@@ -1,0 +1,148 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"uopsim/internal/telemetry"
+)
+
+func TestSpecParsing(t *testing.T) {
+	bad := []string{
+		"",                  // no separators
+		"site:3",            // missing mode
+		"site:3:boom",       // unknown mode
+		"site:0:error",      // hit numbers are 1-based
+		"site:x:error",      // not a number
+		"site:5-2:error",    // empty range
+		"site:~1.5@7:error", // probability out of range
+		"site:~0.5:error",   // seedless random
+	}
+	for _, spec := range bad {
+		if _, err := New(spec); err == nil {
+			t.Errorf("New(%q): expected an error", spec)
+		}
+	}
+	good := []string{"*:1:error", "cell:2-4:panic", "fig9/:3+:stall", ":~0.25@42:error"}
+	for _, spec := range good {
+		if _, err := New(spec); err != nil {
+			t.Errorf("New(%q): %v", spec, err)
+		}
+	}
+}
+
+func TestNilAndNonMatchingNeverInject(t *testing.T) {
+	var in *Injector
+	for i := 0; i < 10; i++ {
+		if err := in.Hit(nil, "anything"); err != nil {
+			t.Fatalf("nil injector injected: %v", err)
+		}
+	}
+	in = MustNew("fig9/:1:error")
+	if err := in.Hit(nil, "fig8/kafka"); err != nil {
+		t.Fatalf("non-matching site injected: %v", err)
+	}
+	if err := in.Hit(nil, "fig9/kafka"); err == nil {
+		t.Fatal("matching site's first hit did not inject")
+	}
+}
+
+func TestHitSelection(t *testing.T) {
+	cases := []struct {
+		hits string
+		want []bool // injection decision for hits 1..len
+	}{
+		{"2", []bool{false, true, false, false}},
+		{"2-3", []bool{false, true, true, false}},
+		{"3+", []bool{false, false, true, true}},
+	}
+	for _, c := range cases {
+		in := MustNew("*:" + c.hits + ":error")
+		for i, want := range c.want {
+			got := in.Hit(nil, "site") != nil
+			if got != want {
+				t.Errorf("hits=%q: hit %d injected=%v, want %v", c.hits, i+1, got, want)
+			}
+		}
+	}
+}
+
+func TestErrorCarriesCoordinates(t *testing.T) {
+	in := MustNew("*:1:error")
+	err := in.Hit(nil, "fig8/kafka")
+	var ierr *Error
+	if !errors.As(err, &ierr) {
+		t.Fatalf("err = %T, want *Error", err)
+	}
+	if ierr.Site != "fig8/kafka" || ierr.Hit != 1 || ierr.Mode != ModeError {
+		t.Errorf("Error = %+v", ierr)
+	}
+}
+
+func TestPanicMode(t *testing.T) {
+	in := MustNew("*:1:panic")
+	defer func() {
+		if _, ok := recover().(*Error); !ok {
+			t.Error("expected an *Error panic value")
+		}
+	}()
+	in.Hit(nil, "site")
+	t.Error("no panic")
+}
+
+func TestStallModeUnblocksOnCancel(t *testing.T) {
+	in := MustNew("*:1:stall")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := in.Hit(ctx, "site"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("stall err = %v, want context.Canceled", err)
+	}
+	// A never-cancellable context must not hang forever.
+	in = MustNew("*:1:stall")
+	if err := in.Hit(nil, "site"); err == nil {
+		t.Fatal("stall with nil ctx returned nil")
+	}
+}
+
+// TestRandomHitsDeterministic: the seeded-probability trigger must replay the
+// exact same injection pattern on every run — that is what makes a failing
+// chaos test reproducible.
+func TestRandomHitsDeterministic(t *testing.T) {
+	pattern := func() []bool {
+		in := MustNew("*:~0.5@42:error")
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = in.Hit(nil, "site") != nil
+		}
+		return out
+	}
+	a, b := pattern(), pattern()
+	injected := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("hit %d differs between identically-seeded injectors", i+1)
+		}
+		if a[i] {
+			injected++
+		}
+	}
+	if injected == 0 || injected == len(a) {
+		t.Errorf("p=0.5 injected %d/%d hits", injected, len(a))
+	}
+}
+
+func TestArmCounters(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	in := MustNew("*:2:error")
+	in.Arm(reg)
+	for i := 0; i < 3; i++ {
+		in.Hit(nil, "site")
+	}
+	if got := reg.Counter("faultinject_hits_total").Value(); got != 3 {
+		t.Errorf("hits = %d, want 3", got)
+	}
+	if got := reg.Counter("faultinject_injected_total").Value(); got != 1 {
+		t.Errorf("injected = %d, want 1", got)
+	}
+}

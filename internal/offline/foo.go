@@ -1,6 +1,8 @@
 package offline
 
 import (
+	"context"
+
 	"uopsim/internal/flow"
 	"uopsim/internal/parallel"
 	"uopsim/internal/trace"
@@ -92,7 +94,14 @@ type fooRequest struct {
 // flow.Graph and writes keep decisions at the disjoint trace positions of
 // its own requests — so the fan-out needs no locking and the resulting plan
 // is byte-identical at any worker count.
-func ComputeDecisions(pws []trace.PW, cfg uopcache.Config, model CostModel, foldVariants bool, segLimit, workers int) *Decisions {
+//
+// ctx (nil = never cancelled) makes a long solve abandonable: when it is
+// cancelled, segments that have not started solving are skipped so the call
+// returns quickly. The returned plan is then INCOMPLETE and must be
+// discarded — callers that hold a cancellable context are responsible for
+// checking ctx.Err() before using the plan (the experiment scheduler does
+// this centrally before merging or journaling any cell result).
+func ComputeDecisions(ctx context.Context, pws []trace.PW, cfg uopcache.Config, model CostModel, foldVariants bool, segLimit, workers int) *Decisions {
 	if segLimit <= 0 {
 		segLimit = DefaultSegmentLimit
 	}
@@ -146,7 +155,7 @@ func ComputeDecisions(pws []trace.PW, cfg uopcache.Config, model CostModel, fold
 			segs = append(segs, reqs[off:end])
 		}
 	}
-	parallel.ForEach(workers, len(segs), func(i int) {
+	parallel.ForEach(ctx, workers, len(segs), func(i int) {
 		solveSegment(segs[i], cfg.Ways, model, dec)
 	})
 	return dec

@@ -130,7 +130,7 @@ func TestDecisionsRespectCapacity(t *testing.T) {
 		s = append(s, pw(uint64(0x1000+rng.Intn(120)*16), 1+rng.Intn(24)))
 	}
 	for _, fold := range []bool{false, true} {
-		dec := ComputeDecisions(s, cfg, CostVC, fold, 0, 1)
+		dec := ComputeDecisions(nil, s, cfg, CostVC, fold, 0, 1)
 		// Recompute per-set residency over time.
 		type iv struct{ from, to, size int }
 		perSet := map[int][]iv{}
@@ -199,7 +199,7 @@ func TestDecisionsKeepHotLoop(t *testing.T) {
 	for i := 0; i < 20; i++ {
 		s = append(s, pw(0x1000, 4))
 	}
-	dec := ComputeDecisions(s, cfg, CostOHR, false, 0, 1)
+	dec := ComputeDecisions(nil, s, cfg, CostOHR, false, 0, 1)
 	for i := 0; i < len(s)-1; i++ {
 		if !dec.Keep[i] {
 			t.Errorf("position %d of a fitting loop not kept", i)

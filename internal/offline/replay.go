@@ -1,6 +1,8 @@
 package offline
 
 import (
+	"context"
+
 	"uopsim/internal/cache"
 	"uopsim/internal/telemetry"
 	"uopsim/internal/trace"
@@ -115,6 +117,11 @@ type Result struct {
 
 // Options configures an offline replay run.
 type Options struct {
+	// Ctx, when non-nil, cancels the plan solve: a cancelled context makes
+	// ComputeDecisions return early with an incomplete plan, so callers
+	// that set Ctx must discard the Result when Ctx.Err() != nil after the
+	// run. nil means never cancelled.
+	Ctx context.Context
 	// Features selects the FLACK extensions (zero = raw FOO).
 	Features Features
 	// SegmentLimit bounds per-set flow instances (0 = default).
@@ -154,7 +161,7 @@ func RunFOO(pws []trace.PW, cfg uopcache.Config, opts Options) Result {
 	if opts.Features.VarCost {
 		model = CostVC
 	}
-	dec := ComputeDecisions(pws, cfg, model, opts.Features.SelBypass, opts.SegmentLimit, opts.Workers)
+	dec := ComputeDecisions(opts.Ctx, pws, cfg, model, opts.Features.SelBypass, opts.SegmentLimit, opts.Workers)
 	return replayDecisions(pws, cfg, dec, opts)
 }
 

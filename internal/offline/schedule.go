@@ -1,6 +1,7 @@
 package offline
 
 import (
+	"context"
 	"sort"
 
 	"uopsim/internal/trace"
@@ -31,13 +32,15 @@ func NewBeladySchedule(pws []trace.PW) *SchedulePolicy {
 
 // NewFLACKSchedule builds a timing-compatible FOO/FLACK policy: decisions
 // are precomputed from the lookup sequence with the given features.
-// workers bounds the solver fan-out (0 = GOMAXPROCS, 1 = serial).
-func NewFLACKSchedule(pws []trace.PW, cfg uopcache.Config, feats Features, workers int) *SchedulePolicy {
+// workers bounds the solver fan-out (0 = GOMAXPROCS, 1 = serial). ctx
+// (nil = never cancelled) cancels the solve; callers must discard the
+// policy when ctx was cancelled, since its plan is then incomplete.
+func NewFLACKSchedule(ctx context.Context, pws []trace.PW, cfg uopcache.Config, feats Features, workers int) *SchedulePolicy {
 	model := CostOHR
 	if feats.VarCost {
 		model = CostVC
 	}
-	dec := ComputeDecisions(pws, cfg, model, feats.SelBypass, 0, workers)
+	dec := ComputeDecisions(ctx, pws, cfg, model, feats.SelBypass, 0, workers)
 	occ := make(map[uint64][]int32, len(pws)/4+1)
 	for i, p := range pws {
 		occ[p.Start] = append(occ[p.Start], int32(i))

@@ -42,7 +42,7 @@ func TestFLACKScheduleBypassesUnkept(t *testing.T) {
 		s = append(s, pw(uint64(0x1000+rng.Intn(60)*16), 1+rng.Intn(16)))
 	}
 	cfg := uopcache.Config{Entries: 8, Ways: 8, UopsPerEntry: 8, InsertDelay: 0}
-	sp := NewFLACKSchedule(s, cfg, FLACKFeatures(), 1)
+	sp := NewFLACKSchedule(nil, s, cfg, FLACKFeatures(), 1)
 	if sp.Name() != "flack" {
 		t.Errorf("name = %s", sp.Name())
 	}
@@ -111,7 +111,7 @@ func (p *testLRU) Victim(set int, residents []uopcache.Resident, _ trace.PW) uop
 func TestKeptNowLastDecisionWins(t *testing.T) {
 	// Window at positions 0 and 2; Keep[0]=true, Keep[2]=false.
 	s := seq([2]uint64{0x1000, 4}, [2]uint64{0x2000, 4}, [2]uint64{0x1000, 4})
-	sp := NewFLACKSchedule(s, tinyCfg(), FLACKFeatures(), 1)
+	sp := NewFLACKSchedule(nil, s, tinyCfg(), FLACKFeatures(), 1)
 	sp.keep = []bool{true, false, false}
 	if !sp.keptNow(0x1000, 0) {
 		t.Error("pos 0 should be kept")

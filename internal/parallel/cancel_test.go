@@ -1,0 +1,122 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// TestMapCancelledBeforeStart: a context that is already cancelled must
+// abandon every unit — nothing runs, and the context's error comes back.
+func TestMapCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int64
+		_, err := Map(ctx, workers, 50, func(i int) (int, error) {
+			ran.Add(1)
+			return i, nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if n := ran.Load(); n != 0 {
+			t.Errorf("workers=%d: %d units ran after cancellation", workers, n)
+		}
+	}
+}
+
+// TestMapCancelStopsQueueing: cancelling mid-sweep lets in-flight units
+// finish but abandons the queue — far fewer than n units run, and the
+// results computed before the cancellation are still in the output slice.
+func TestMapCancelStopsQueueing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	const n = 10_000
+	out, err := Map(ctx, 2, n, func(i int) (int, error) {
+		if ran.Add(1) == 10 {
+			cancel()
+		}
+		return i + 1, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got >= n {
+		t.Errorf("cancellation did not stop queueing: all %d units ran", got)
+	}
+	// Units that completed before the cancellation keep their results.
+	found := 0
+	for i, v := range out {
+		if v != 0 {
+			found++
+			if v != i+1 {
+				t.Fatalf("out[%d] = %d, want %d", i, v, i+1)
+			}
+		}
+	}
+	if found == 0 {
+		t.Error("no pre-cancellation results survived")
+	}
+}
+
+// TestForEachCancelReportsIncomplete: ForEach's only error is the
+// cancellation signal telling the caller the shared result is incomplete.
+func TestForEachCancelReportsIncomplete(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := ForEach(ctx, 4, 100, func(i int) {}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if err := ForEach(nil, 4, 10, func(i int) {}); err != nil {
+		t.Fatalf("nil ctx: err = %v", err)
+	}
+}
+
+// TestLimiterDoCancelledInQueue: a caller whose context dies while queued is
+// abandoned without its body ever running.
+func TestLimiterDoCancelledInQueue(t *testing.T) {
+	l := NewLimiter(1, nil)
+	hold := make(chan struct{})
+	started := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- l.Do(nil, func() { close(started); <-hold })
+	}()
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Bool
+	if err := l.Do(ctx, func() { ran.Store(true) }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued Do err = %v, want context.Canceled", err)
+	}
+	if ran.Load() {
+		t.Error("cancelled caller's body ran anyway")
+	}
+	close(hold)
+	if err := <-done; err != nil {
+		t.Fatalf("holder Do err = %v", err)
+	}
+}
+
+// TestMapLimitedCancelAbandonsQueued: with the limiter saturated, cancelling
+// the context abandons the queued units and surfaces the context error while
+// the running body finishes normally.
+func TestMapLimitedCancelAbandonsQueued(t *testing.T) {
+	l := NewLimiter(1, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	_, err := MapLimited(ctx, l, 100, func(i int) (int, error) {
+		if ran.Add(1) == 1 {
+			cancel()
+		}
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got >= 100 {
+		t.Errorf("all %d bodies ran despite cancellation", got)
+	}
+}

@@ -1,10 +1,11 @@
 // Package parallel is the simulator's only approved concurrency layer: a
 // bounded worker pool with index-ordered result collection, deterministic
-// first-error selection, panic propagation, and a shared cell limiter for
-// the experiment scheduler. Simulation packages may not spawn goroutines
-// directly (the simlint determinism analyzer enforces it); they fan
-// independent work out through this package so results merge in input order
-// and rendered output stays byte-identical at any worker count.
+// first-error selection, panic propagation, cooperative cancellation, and a
+// shared cell limiter for the experiment scheduler. Simulation packages may
+// not spawn goroutines directly (the simlint determinism analyzer enforces
+// it); they fan independent work out through this package so results merge
+// in input order and rendered output stays byte-identical at any worker
+// count.
 //
 // The determinism contract: callers pass an index-addressed unit of work
 // whose result depends only on its index (no shared mutable state, any
@@ -14,9 +15,19 @@
 // failure cancels units that have not started yet — the lowest-index error
 // among the units that ran is reported, which at one worker is always the
 // first error in input order.
+//
+// The cancellation contract: every entry point takes a context.Context
+// (nil means "never cancelled"). When the context is cancelled, units that
+// are already executing run to completion — a unit of simulation work is
+// never torn mid-flight — but units that have not started are abandoned,
+// and the call reports the context's error (test with errors.Is against
+// context.Canceled). Results computed before the cancellation are still in
+// the output slice; callers that observe a cancellation error must treat
+// the result set as incomplete.
 package parallel
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -59,6 +70,14 @@ func run(i int, fn func(i int) error) (err error) {
 	return fn(i)
 }
 
+// background normalizes a nil context to one that is never cancelled.
+func background(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
+}
+
 // state tracks cancellation and the winning (lowest-index) failure of one
 // Map/ForEach/MapLimited invocation.
 type state struct {
@@ -91,9 +110,12 @@ func (s *state) finish() error {
 // Map runs fn over indices [0, n) on a bounded pool of workers, collecting
 // results in index order. workers <= 0 selects GOMAXPROCS. The first error
 // (lowest index among units that ran) cancels units that have not started;
-// a worker panic is re-raised on the caller's goroutine. With one worker
-// (or n <= 1) everything runs inline on the caller, in index order.
-func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+// a worker panic is re-raised on the caller's goroutine. Cancelling ctx
+// abandons unstarted units (in-flight units finish) and surfaces ctx.Err().
+// With one worker (or n <= 1) everything runs inline on the caller, in
+// index order.
+func Map[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	ctx = background(ctx)
 	out := make([]T, n)
 	if n == 0 {
 		return out, nil
@@ -104,6 +126,9 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	}
 	if workers <= 1 || n <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return out, err
+			}
 			v, err := fn(i)
 			if err != nil {
 				return out, err
@@ -126,6 +151,10 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 				if i >= n || st.stop.Load() {
 					return
 				}
+				if err := ctx.Err(); err != nil {
+					st.record(i, err)
+					return
+				}
 				if err := run(i, func(i int) error {
 					v, err := fn(i)
 					if err == nil {
@@ -145,12 +174,16 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 
 // ForEach runs fn over indices [0, n) on a bounded pool, for work that
 // writes into disjoint regions of a shared result (e.g. per-segment solver
-// decisions): no result collection, no errors, panics re-raised.
-func ForEach(workers, n int, fn func(i int)) {
-	_, _ = Map(workers, n, func(i int) (struct{}, error) {
+// decisions): no result collection, panics re-raised. The only possible
+// error is a cancellation: when ctx is cancelled mid-sweep, unstarted
+// indices are skipped and ctx.Err() comes back, telling the caller the
+// shared result is incomplete.
+func ForEach(ctx context.Context, workers, n int, fn func(i int)) error {
+	_, err := Map(ctx, workers, n, func(i int) (struct{}, error) {
 		fn(i)
 		return struct{}{}, nil
 	})
+	return err
 }
 
 // Limiter is a counting semaphore shared by concurrently running experiment
@@ -188,14 +221,29 @@ func NewLimiter(workers int, reg *telemetry.Registry) *Limiter {
 func (l *Limiter) Cap() int { return l.width }
 
 // Do runs fn while holding one of the limiter's slots, blocking until a
-// slot frees up. The slot is released even if fn panics.
-func (l *Limiter) Do(fn func()) {
+// slot frees up. A queued caller whose ctx is cancelled before a slot
+// arrives is abandoned and gets ctx.Err() back without fn ever running;
+// once fn starts it always finishes (the slot is released even if fn
+// panics) and Do returns nil.
+func (l *Limiter) Do(ctx context.Context, fn func()) error {
+	ctx = background(ctx)
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if l.queueDepth != nil {
 		l.queueDepth.Set(float64(l.queued.Add(1)))
 	}
-	l.slots <- struct{}{}
-	if l.queueDepth != nil {
-		l.queueDepth.Set(float64(l.queued.Add(-1)))
+	dequeue := func() {
+		if l.queueDepth != nil {
+			l.queueDepth.Set(float64(l.queued.Add(-1)))
+		}
+	}
+	select {
+	case l.slots <- struct{}{}:
+		dequeue()
+	case <-ctx.Done():
+		dequeue()
+		return ctx.Err()
 	}
 	if l.activeWorkers != nil {
 		l.activeWorkers.Set(float64(l.active.Add(1)))
@@ -214,6 +262,7 @@ func (l *Limiter) Do(fn func()) {
 		<-l.slots
 	}()
 	fn()
+	return nil
 }
 
 // MapLimited is Map gated by a shared limiter instead of a private pool:
@@ -222,9 +271,12 @@ func (l *Limiter) Do(fn func()) {
 // number of heavy bodies across every concurrent MapLimited call stays at
 // the limiter's cap. Results land in index order; the lowest-index error
 // among units that ran wins and cancels unstarted units; panics re-raise on
-// the caller. A nil limiter or a cap of 1 runs everything inline, serially,
-// still holding the slot (if any) so concurrent callers interleave safely.
-func MapLimited[T any](l *Limiter, n int, fn func(i int) (T, error)) ([]T, error) {
+// the caller; cancelling ctx abandons queued units (bodies already running
+// finish) and surfaces ctx.Err(). A nil limiter or a cap of 1 runs
+// everything inline, serially, still holding the slot (if any) so
+// concurrent callers interleave safely.
+func MapLimited[T any](ctx context.Context, l *Limiter, n int, fn func(i int) (T, error)) ([]T, error) {
+	ctx = background(ctx)
 	out := make([]T, n)
 	if n == 0 {
 		return out, nil
@@ -244,8 +296,10 @@ func MapLimited[T any](l *Limiter, n int, fn func(i int) (T, error)) ([]T, error
 			var err error
 			do := func() { err = body(i) }
 			if l != nil {
-				l.Do(do)
-			} else {
+				if derr := l.Do(ctx, do); derr != nil {
+					err = derr
+				}
+			} else if err = ctx.Err(); err == nil {
 				do()
 			}
 			if err != nil {
@@ -263,7 +317,7 @@ func MapLimited[T any](l *Limiter, n int, fn func(i int) (T, error)) ([]T, error
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			l.Do(func() {
+			err := l.Do(ctx, func() {
 				if st.stop.Load() {
 					return
 				}
@@ -271,6 +325,9 @@ func MapLimited[T any](l *Limiter, n int, fn func(i int) (T, error)) ([]T, error
 					st.record(i, err)
 				}
 			})
+			if err != nil {
+				st.record(i, err)
+			}
 		}(i)
 	}
 	wg.Wait()

@@ -24,7 +24,7 @@ func TestWorkersResolution(t *testing.T) {
 
 func TestMapOrderedResults(t *testing.T) {
 	for _, workers := range []int{1, 2, 4, 16} {
-		out, err := Map(workers, 100, func(i int) (int, error) { return i * i, nil })
+		out, err := Map(nil, workers, 100, func(i int) (int, error) { return i * i, nil })
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -37,7 +37,7 @@ func TestMapOrderedResults(t *testing.T) {
 }
 
 func TestMapEmpty(t *testing.T) {
-	out, err := Map(4, 0, func(i int) (int, error) { return 0, errors.New("never") })
+	out, err := Map(nil, 4, 0, func(i int) (int, error) { return 0, errors.New("never") })
 	if err != nil || len(out) != 0 {
 		t.Fatalf("out=%v err=%v", out, err)
 	}
@@ -57,7 +57,7 @@ func TestMapLowestIndexErrorWins(t *testing.T) {
 		}
 	}
 	// Serial: the first failing index in input order.
-	if _, err := Map(1, 10, errAt(3, 7)); err == nil || err.Error() != "unit 3 failed" {
+	if _, err := Map(nil, 1, 10, errAt(3, 7)); err == nil || err.Error() != "unit 3 failed" {
 		t.Errorf("serial err = %v", err)
 	}
 	// Parallel: among the units that ran, the lowest failing index wins;
@@ -66,7 +66,7 @@ func TestMapLowestIndexErrorWins(t *testing.T) {
 	for i := range all {
 		all[i] = i
 	}
-	if _, err := Map(8, 32, errAt(all...)); err == nil || err.Error() != "unit 0 failed" {
+	if _, err := Map(nil, 8, 32, errAt(all...)); err == nil || err.Error() != "unit 0 failed" {
 		t.Errorf("parallel err = %v", err)
 	}
 }
@@ -74,7 +74,7 @@ func TestMapLowestIndexErrorWins(t *testing.T) {
 func TestMapErrorCancelsUnstartedUnits(t *testing.T) {
 	var ran atomic.Int64
 	boom := errors.New("boom")
-	_, err := Map(2, 10_000, func(i int) (int, error) {
+	_, err := Map(nil, 2, 10_000, func(i int) (int, error) {
 		ran.Add(1)
 		return 0, boom
 	})
@@ -106,7 +106,7 @@ func TestMapPanicPropagates(t *testing.T) {
 					t.Errorf("PanicError = %v", pe)
 				}
 			}()
-			Map(workers, 8, func(i int) (int, error) {
+			Map(nil, workers, 8, func(i int) (int, error) {
 				if i == 3 {
 					panic("kaboom")
 				}
@@ -119,7 +119,7 @@ func TestMapPanicPropagates(t *testing.T) {
 
 func TestForEachDisjointWrites(t *testing.T) {
 	out := make([]int, 500)
-	ForEach(8, len(out), func(i int) { out[i] = i + 1 })
+	ForEach(nil, 8, len(out), func(i int) { out[i] = i + 1 })
 	for i, v := range out {
 		if v != i+1 {
 			t.Fatalf("out[%d] = %d", i, v)
@@ -137,7 +137,7 @@ func TestMapLimitedSharedBudget(t *testing.T) {
 	done := make(chan error, 2)
 	for c := 0; c < 2; c++ {
 		go func() {
-			_, err := MapLimited(l, 20, func(i int) (int, error) {
+			_, err := MapLimited(nil, l, 20, func(i int) (int, error) {
 				a := active.Add(1)
 				for {
 					p := peak.Load()
@@ -162,7 +162,7 @@ func TestMapLimitedSharedBudget(t *testing.T) {
 }
 
 func TestMapLimitedNilAndSerial(t *testing.T) {
-	out, err := MapLimited[int](nil, 5, func(i int) (int, error) { return i * 2, nil })
+	out, err := MapLimited[int](nil, nil, 5, func(i int) (int, error) { return i * 2, nil })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +174,7 @@ func TestMapLimitedNilAndSerial(t *testing.T) {
 	// Cap-1 limiter: inline, stops at first error.
 	l := NewLimiter(1, nil)
 	var ran int
-	_, err = MapLimited(l, 5, func(i int) (int, error) {
+	_, err = MapLimited(nil, l, 5, func(i int) (int, error) {
 		ran++
 		if i == 2 {
 			return 0, errors.New("stop")
@@ -189,7 +189,7 @@ func TestMapLimitedNilAndSerial(t *testing.T) {
 func TestLimiterMetrics(t *testing.T) {
 	reg := telemetry.NewRegistry()
 	l := NewLimiter(2, reg)
-	if _, err := MapLimited(l, 6, func(i int) (int, error) { return i, nil }); err != nil {
+	if _, err := MapLimited(nil, l, 6, func(i int) (int, error) { return i, nil }); err != nil {
 		t.Fatal(err)
 	}
 	if got := reg.Counter("parallel_cells_total").Value(); got != 6 {
@@ -210,7 +210,7 @@ func TestMapLimitedPanicPropagates(t *testing.T) {
 			t.Error("expected *PanicError")
 		}
 	}()
-	MapLimited(l, 8, func(i int) (int, error) {
+	MapLimited(nil, l, 8, func(i int) (int, error) {
 		if i == 5 {
 			panic("cell crash")
 		}

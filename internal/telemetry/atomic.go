@@ -1,0 +1,46 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// AtomicWriteFile writes a file so a crash can never leave a torn artifact
+// at path: the content is streamed to a temporary file in the destination
+// directory (same filesystem, so the final step is a true rename), fsynced,
+// and renamed over path only once every byte is durably on disk. On any
+// failure the temporary file is removed and path is left untouched —
+// either the complete old artifact or the complete new one exists, never a
+// prefix of the new one.
+func AtomicWriteFile(path string, perm os.FileMode, write func(w io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("atomic write %s: %w", path, err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = write(tmp); err != nil {
+		return fmt.Errorf("atomic write %s: %w", path, err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("atomic write %s: sync: %w", path, err)
+	}
+	if err = tmp.Chmod(perm); err != nil {
+		return fmt.Errorf("atomic write %s: chmod: %w", path, err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("atomic write %s: close: %w", path, err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("atomic write %s: %w", path, err)
+	}
+	return nil
+}

@@ -23,6 +23,9 @@ type CLI struct {
 	// Sink is non-nil after Start when -events was given.
 	Sink *JSONLSink
 
+	// eventsFile streams to <EventsPath>.partial; Close fsyncs and renames
+	// it to EventsPath, so a crash leaves an obviously incomplete .partial
+	// file instead of a silently truncated trace.
 	eventsFile *os.File
 	server     *http.Server
 }
@@ -51,7 +54,7 @@ func (c *CLI) Start() error {
 		f.Close()
 	}
 	if c.EventsPath != "" {
-		f, err := os.Create(c.EventsPath)
+		f, err := os.Create(c.EventsPath + ".partial")
 		if err != nil {
 			return fmt.Errorf("events: %w", err)
 		}
@@ -69,9 +72,10 @@ func (c *CLI) Start() error {
 	return nil
 }
 
-// Close flushes the event sink and writes the metrics file. The pprof
-// server is left running until process exit (it serves no state of its own
-// beyond the registry, which stays valid).
+// Close flushes the event sink, publishes the completed event trace at its
+// final path, and writes the metrics file. The pprof server is left running
+// until process exit (it serves no state of its own beyond the registry,
+// which stays valid).
 func (c *CLI) Close() error {
 	var first error
 	if c.Sink != nil {
@@ -80,7 +84,14 @@ func (c *CLI) Close() error {
 		}
 	}
 	if c.eventsFile != nil {
-		if err := c.eventsFile.Close(); err != nil && first == nil {
+		err := c.eventsFile.Sync()
+		if cerr := c.eventsFile.Close(); err == nil {
+			err = cerr
+		}
+		if err == nil {
+			err = os.Rename(c.eventsFile.Name(), c.EventsPath)
+		}
+		if err != nil && first == nil {
 			first = fmt.Errorf("events: %w", err)
 		}
 	}

@@ -3,7 +3,6 @@ package telemetry
 import (
 	"encoding/json"
 	"io"
-	"os"
 	"runtime"
 	"runtime/debug"
 	"time"
@@ -48,6 +47,17 @@ type AppRun struct {
 	Error       string  `json:"error,omitempty"`
 }
 
+// CellFailure records one experiment cell that exhausted its retry budget:
+// which cell, how many attempts ran, the final error, and — when the
+// failure was a panic — the goroutine stack, so a crashed campaign's
+// manifest points at the unit of work instead of at the scheduler.
+type CellFailure struct {
+	Cell     string `json:"cell"`
+	Attempts int    `json:"attempts"`
+	Error    string `json:"error"`
+	Stack    string `json:"stack,omitempty"`
+}
+
 // FigureRun records one experiment (figure/table) of a sweep.
 type FigureRun struct {
 	ID          string   `json:"id"`
@@ -56,14 +66,34 @@ type FigureRun struct {
 	Rows        int      `json:"rows,omitempty"`
 	Apps        []AppRun `json:"apps,omitempty"`
 	Error       string   `json:"error,omitempty"`
+	// FailedCells lists the cells that failed after every retry; with
+	// graceful degradation enabled the figure still renders, with these
+	// cells marked missing.
+	FailedCells []CellFailure `json:"failed_cells,omitempty"`
 }
+
+// Run statuses recorded in RunManifest.Status.
+const (
+	// StatusOK: every experiment and artifact write succeeded.
+	StatusOK = "ok"
+	// StatusFailed: the run completed but at least one experiment, cell,
+	// claim check, or artifact write failed.
+	StatusFailed = "failed"
+	// StatusInterrupted: the run was cancelled (SIGINT/SIGTERM) and
+	// drained gracefully; completed figures are recorded, the rest were
+	// abandoned.
+	StatusInterrupted = "interrupted"
+)
 
 // RunManifest is the audit record written next to a run's outputs
 // (run.json): what ran, with which configuration and build, how long each
 // part took, and what failed.
 type RunManifest struct {
-	Tool        string         `json:"tool"`
-	Args        []string       `json:"args,omitempty"`
+	Tool string   `json:"tool"`
+	Args []string `json:"args,omitempty"`
+	// Status is one of StatusOK, StatusFailed, StatusInterrupted (empty
+	// in manifests from before the resilience layer).
+	Status      string         `json:"status,omitempty"`
 	Start       time.Time      `json:"start"`
 	End         time.Time      `json:"end"`
 	WallSeconds float64        `json:"wall_seconds"`
@@ -73,10 +103,10 @@ type RunManifest struct {
 	Blocks      int            `json:"blocks,omitempty"`
 	// Workers is the resolved concurrency budget the run used (1 = the
 	// serial schedule).
-	Workers     int            `json:"workers,omitempty"`
-	Apps        []string       `json:"apps,omitempty"`
-	Figures     []FigureRun    `json:"figures,omitempty"`
-	Failures    []string       `json:"failures,omitempty"`
+	Workers  int         `json:"workers,omitempty"`
+	Apps     []string    `json:"apps,omitempty"`
+	Figures  []FigureRun `json:"figures,omitempty"`
+	Failures []string    `json:"failures,omitempty"`
 }
 
 // NewRunManifest starts a manifest for the named tool, stamping start time
@@ -103,16 +133,10 @@ func (m *RunManifest) WriteJSON(w io.Writer) error {
 	return enc.Encode(m)
 }
 
-// WriteFile writes the manifest to path (conventionally run.json next to
-// the run's CSV/SVG output).
+// WriteFile atomically writes the manifest to path (conventionally
+// run.json next to the run's CSV/SVG output): a crashed or interrupted
+// process leaves either the previous manifest or the complete new one,
+// never a torn prefix.
 func (m *RunManifest) WriteFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	err = m.WriteJSON(f)
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	return err
+	return AtomicWriteFile(path, 0o644, m.WriteJSON)
 }

@@ -17,7 +17,6 @@ import (
 	"io"
 	"math"
 	"math/bits"
-	"os"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -266,23 +265,17 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	return enc.Encode(out)
 }
 
-// WriteFile runs the collection hooks and writes the registry to path:
-// JSON when the extension is .json, Prometheus text otherwise.
+// WriteFile runs the collection hooks and atomically writes the registry to
+// path: JSON when the extension is .json, Prometheus text otherwise. A
+// crash mid-write leaves the previous file intact rather than a torn one.
 func (r *Registry) WriteFile(path string) error {
 	r.Collect()
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if strings.EqualFold(filepath.Ext(path), ".json") {
-		err = r.WriteJSON(f)
-	} else {
-		err = r.WritePrometheus(f)
-	}
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	return err
+	return AtomicWriteFile(path, 0o644, func(w io.Writer) error {
+		if strings.EqualFold(filepath.Ext(path), ".json") {
+			return r.WriteJSON(w)
+		}
+		return r.WritePrometheus(w)
+	})
 }
 
 // errWriter is a sticky-error io.Writer so multi-write renderers propagate
