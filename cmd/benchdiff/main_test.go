@@ -1,0 +1,147 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: uopsim
+BenchmarkUopCacheLRU-8      	    5000	    240000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkPWFormation-8      	    2000	    600000 ns/op	  409600 B/op	      12 allocs/op
+BenchmarkFLACKSolve-8       	     100	  12000000 ns/op
+BenchmarkUopCacheLRU-8      	    6000	    230000 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	uopsim	42.0s
+`
+
+func TestParse(t *testing.T) {
+	snap, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(snap.Benchmarks), snap.Benchmarks)
+	}
+	lru, ok := snap.Benchmarks["BenchmarkUopCacheLRU"]
+	if !ok {
+		t.Fatal("GOMAXPROCS suffix not stripped")
+	}
+	// Repeated benchmark keeps the best (lowest) ns/op.
+	if lru.NsPerOp != 230000 {
+		t.Errorf("ns/op = %v, want best-of 230000", lru.NsPerOp)
+	}
+	if !lru.HasAllocs || lru.AllocsPerOp != 0 {
+		t.Errorf("allocs = %+v, want measured 0", lru)
+	}
+	pw := snap.Benchmarks["BenchmarkPWFormation"]
+	if pw.AllocsPerOp != 12 || pw.BytesPerOp != 409600 {
+		t.Errorf("PWFormation = %+v", pw)
+	}
+	solve := snap.Benchmarks["BenchmarkFLACKSolve"]
+	if solve.HasAllocs {
+		t.Error("no -benchmem columns but HasAllocs set")
+	}
+	if solve.NsPerOp != 12000000 {
+		t.Errorf("FLACKSolve ns/op = %v", solve.NsPerOp)
+	}
+}
+
+func snapOf(ns float64, allocs int64) Result {
+	return Result{N: 100, NsPerOp: ns, AllocsPerOp: allocs, HasAllocs: true}
+}
+
+func TestCompareThresholds(t *testing.T) {
+	base := &Snapshot{Benchmarks: map[string]Result{
+		"BenchmarkA": snapOf(1000, 0),
+		"BenchmarkB": snapOf(1000, 4),
+	}}
+	cases := []struct {
+		name        string
+		cur         map[string]Result
+		threshold   float64
+		allocsTh    int64
+		regressions int
+	}{
+		{"within-threshold", map[string]Result{
+			"BenchmarkA": snapOf(1200, 0), "BenchmarkB": snapOf(900, 4),
+		}, 30, 0, 0},
+		{"ns-regression", map[string]Result{
+			"BenchmarkA": snapOf(1400, 0), "BenchmarkB": snapOf(1000, 4),
+		}, 30, 0, 1},
+		{"alloc-regression", map[string]Result{
+			"BenchmarkA": snapOf(1000, 1), "BenchmarkB": snapOf(1000, 4),
+		}, 30, 0, 1},
+		{"alloc-within-allowance", map[string]Result{
+			"BenchmarkA": snapOf(1000, 1), "BenchmarkB": snapOf(1000, 4),
+		}, 30, 2, 0},
+		{"both-regress", map[string]Result{
+			"BenchmarkA": snapOf(2000, 3), "BenchmarkB": snapOf(5000, 40),
+		}, 30, 0, 4},
+		{"missing-is-not-regression", map[string]Result{
+			"BenchmarkA": snapOf(1000, 0),
+		}, 30, 0, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out bytes.Buffer
+			got := Compare(base, &Snapshot{Benchmarks: tc.cur}, tc.threshold, tc.allocsTh, &out)
+			if got != tc.regressions {
+				t.Errorf("regressions = %d, want %d\n%s", got, tc.regressions, out.String())
+			}
+		})
+	}
+}
+
+func TestRunMainEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "baseline.json")
+	curPath := filepath.Join(dir, "BENCH_test.json")
+
+	// Write the baseline from sample output.
+	var out, errOut bytes.Buffer
+	if code := runMain([]string{"-write", basePath}, strings.NewReader(sampleOutput), &out, &errOut); code != 0 {
+		t.Fatalf("write exit = %d: %s", code, errOut.String())
+	}
+
+	// Identical run: no regressions, and -write emits the dated snapshot.
+	out.Reset()
+	if code := runMain([]string{"-write", curPath, "-baseline", basePath},
+		strings.NewReader(sampleOutput), &out, &errOut); code != 0 {
+		t.Fatalf("compare exit = %d: %s\n%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "no regressions") {
+		t.Errorf("output = %q", out.String())
+	}
+
+	// A slowed-down run regresses.
+	slow := strings.ReplaceAll(sampleOutput, "240000 ns/op", "940000 ns/op")
+	slow = strings.ReplaceAll(slow, "230000 ns/op", "930000 ns/op")
+	out.Reset()
+	if code := runMain([]string{"-baseline", basePath, "-threshold", "30"},
+		strings.NewReader(slow), &out, &errOut); code != 1 {
+		t.Fatalf("regressed run exit = %d, want 1\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION BenchmarkUopCacheLRU") {
+		t.Errorf("output = %q", out.String())
+	}
+
+	// Comparing two snapshot files directly also works.
+	out.Reset()
+	if code := runMain([]string{"-baseline", basePath, "-current", curPath},
+		strings.NewReader(""), &out, &errOut); code != 0 {
+		t.Fatalf("file-vs-file exit = %d\n%s%s", code, out.String(), errOut.String())
+	}
+
+	// Bad invocations exit 2.
+	if code := runMain(nil, strings.NewReader(""), &out, &errOut); code != 2 {
+		t.Errorf("no-args exit = %d, want 2", code)
+	}
+	if code := runMain([]string{"-baseline", filepath.Join(dir, "nope.json")},
+		strings.NewReader(sampleOutput), &out, &errOut); code != 2 {
+		t.Errorf("missing-baseline exit = %d, want 2", code)
+	}
+}

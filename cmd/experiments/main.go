@@ -7,6 +7,8 @@
 //	experiments [-parallel N] [-quiet] [-manifest run.json] [-telemetry FILE]
 //	            [-events FILE] [-pprof ADDR] all
 //	experiments [-resume dir] [-retries N] [-strict] [-faultinject SPEC] all
+//	experiments [-inspect lru,furbys] [-inspect-window N] [-trace-out t.json]
+//	            [-serve ADDR] fig8
 //
 // -parallel N runs up to N heavy (experiment, app) cells concurrently
 // (0 = GOMAXPROCS); output is byte-identical at any worker count, and
@@ -27,6 +29,15 @@
 // marked-missing table entry recorded in the manifest; -strict restores
 // fail-fast behaviour. -faultinject SITE:HITS:MODE (see internal/faultinject)
 // injects deterministic cell failures for testing these paths.
+//
+// Introspection: -inspect POLICIES replays each app under the named policies
+// after the experiments finish, classifies every eviction (justified /
+// premature / FLACK-divergent), and writes attribution.csv,
+// attribution_rd.csv and attribution.svg next to the run's outputs (indexed
+// in the manifest). -trace-out FILE exports experiment/cell/singleflight
+// spans as Chrome trace-event JSON for Perfetto. -serve ADDR exposes the
+// live run dashboard at /debug/status (JSON) and /debug/status/html, plus
+// /metrics and pprof, while the campaign runs.
 package main
 
 import (
@@ -44,6 +55,7 @@ import (
 
 	"uopsim/internal/experiments"
 	"uopsim/internal/faultinject"
+	"uopsim/internal/inspect"
 	"uopsim/internal/parallel"
 	"uopsim/internal/plot"
 	"uopsim/internal/telemetry"
@@ -71,9 +83,21 @@ type options struct {
 	strict    bool
 	faultSpec string
 
-	obs   telemetry.CLI
-	fault *faultinject.Injector
-	ids   []string
+	inspectPolicies string
+	inspectWindow   int
+	traceOut        string
+
+	obs      telemetry.CLI
+	fault    *faultinject.Injector
+	ids      []string
+	policies []string
+}
+
+// behaviorNames are the policy names RunBehaviorByName accepts (-inspect
+// validates against them up front instead of failing mid-campaign).
+var behaviorNames = []string{
+	"lru", "random", "srrip", "drrip", "ship++", "ghrp", "mockingjay",
+	"thermometer", "furbys", "belady", "foo", "flack",
 }
 
 // usageError marks a bad invocation: reported with usage conventions and
@@ -105,6 +129,9 @@ func parseArgs(args []string, stderr io.Writer) (*options, error) {
 	fs.IntVar(&o.retries, "retries", 0, "extra attempts for a failed or panicking cell before it counts as failed")
 	fs.BoolVar(&o.strict, "strict", false, "fail an experiment on the first exhausted cell instead of degrading to a marked-missing entry")
 	fs.StringVar(&o.faultSpec, "faultinject", "", "inject cell faults: `SITE:HITS:MODE` (testing; see internal/faultinject)")
+	fs.StringVar(&o.inspectPolicies, "inspect", "", "run eviction attribution for the comma-separated `POLICIES` after the experiments (e.g. lru,srrip,furbys)")
+	fs.IntVar(&o.inspectWindow, "inspect-window", 0, "premature-eviction window in lookups for -inspect (0 = default 4096)")
+	fs.StringVar(&o.traceOut, "trace-out", "", "write a Chrome trace-event span trace to `FILE` (load in Perfetto or chrome://tracing)")
 	o.obs.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -145,6 +172,28 @@ func parseArgs(args []string, stderr io.Writer) (*options, error) {
 			return nil, usageError{err}
 		}
 		o.fault = inj
+	}
+	if o.inspectWindow < 0 {
+		return nil, usageError{fmt.Errorf("-inspect-window must be >= 0 (got %d)", o.inspectWindow)}
+	}
+	if o.inspectPolicies != "" {
+		known := make(map[string]bool, len(behaviorNames))
+		for _, n := range behaviorNames {
+			known[n] = true
+		}
+		for _, p := range strings.Split(o.inspectPolicies, ",") {
+			p = strings.TrimSpace(p)
+			if p == "" {
+				continue
+			}
+			if !known[p] {
+				return nil, usageError{fmt.Errorf("-inspect: unknown policy %q (known: %s)", p, strings.Join(behaviorNames, ","))}
+			}
+			o.policies = append(o.policies, p)
+		}
+		if len(o.policies) == 0 {
+			return nil, usageError{errors.New("-inspect: empty policy list")}
+		}
 	}
 	for _, dir := range []string{o.csvDir, o.svgDir} {
 		if dir == "" {
@@ -234,6 +283,13 @@ func run(o *options, args []string, stdout, stderr io.Writer) (interrupted bool,
 	if o.fault != nil {
 		o.fault.Arm(o.obs.Registry)
 	}
+	if o.traceOut != "" {
+		ectx.Spans = inspect.NewSpanLog()
+	}
+	// The live dashboard (-serve) polls the campaign state through this
+	// snapshot; installing it before RunMany means mid-campaign scrapes see
+	// cells and workers move in real time.
+	o.obs.SetStatus(func() any { return ectx.StatusSnapshot() })
 
 	workers := parallel.Workers(o.par)
 	man := telemetry.NewRunManifest("experiments", args)
@@ -351,6 +407,29 @@ func run(o *options, args []string, stdout, stderr io.Writer) (interrupted bool,
 		}
 	})
 	interrupted = sigCtx.Err() != nil
+
+	// Eviction attribution runs after the campaign so its replays don't
+	// compete with experiment cells for the worker budget.
+	if len(o.policies) > 0 && !interrupted {
+		if ierr := runInspect(o, ectx, man, stderr); ierr != nil {
+			fail("inspect: %v", ierr)
+		}
+		interrupted = sigCtx.Err() != nil
+	}
+	if o.traceOut != "" {
+		if werr := ectx.Spans.WriteFile(o.traceOut); werr != nil {
+			fail("trace: %v", werr)
+		} else {
+			if man.Inspect == nil {
+				man.Inspect = &telemetry.InspectArtifacts{}
+			}
+			man.Inspect.TraceJSON = o.traceOut
+			if !o.quiet {
+				fmt.Fprintf(stderr, "experiments: span trace (%d events) written to %s\n", ectx.Spans.Len(), o.traceOut)
+			}
+		}
+	}
+
 	if o.report != "" {
 		if werr := writeReport(o.report, allTables, allChecks); werr != nil {
 			fail("report: %v", werr)
@@ -395,6 +474,60 @@ func run(o *options, args []string, stdout, stderr io.Writer) (interrupted bool,
 		return false, fmt.Errorf("%d failure(s)", len(man.Failures))
 	}
 	return false, nil
+}
+
+// runInspect runs the eviction-attribution campaign and writes its
+// artifacts (attribution.csv, attribution_rd.csv, attribution.svg) next to
+// the run's other outputs, indexing them in the manifest.
+func runInspect(o *options, ectx *experiments.Context, man *telemetry.RunManifest, stderr io.Writer) error {
+	rows, err := experiments.RunAttribution(ectx, experiments.AttributionOptions{
+		Policies: o.policies,
+		Window:   o.inspectWindow,
+	})
+	if err != nil {
+		return err
+	}
+	dir := o.csvDir
+	if dir == "" {
+		dir = o.svgDir
+	}
+	if dir == "" {
+		dir = "."
+	}
+	ins := &telemetry.InspectArtifacts{}
+	ins.Evictions, ins.Justified, ins.Premature, ins.Divergent = inspect.Totals(rows)
+	csvPath := filepath.Join(dir, "attribution.csv")
+	if werr := telemetry.AtomicWriteFile(csvPath, 0o644, func(w io.Writer) error {
+		return inspect.WriteCSV(w, rows)
+	}); werr != nil {
+		return werr
+	}
+	ins.AttributionCSV = csvPath
+	rdPath := filepath.Join(dir, "attribution_rd.csv")
+	if werr := telemetry.AtomicWriteFile(rdPath, 0o644, func(w io.Writer) error {
+		return inspect.WriteRDCSV(w, rows)
+	}); werr != nil {
+		return werr
+	}
+	ins.ReuseDistCSV = rdPath
+	svgDir := o.svgDir
+	if svgDir == "" {
+		svgDir = dir
+	}
+	svgPath := filepath.Join(svgDir, "attribution.svg")
+	svg := inspect.FractionSVG("Eviction attribution by class", rows)
+	if werr := telemetry.AtomicWriteFile(svgPath, 0o644, func(w io.Writer) error {
+		_, werr := io.WriteString(w, svg)
+		return werr
+	}); werr != nil {
+		return werr
+	}
+	ins.AttributionSVG = svgPath
+	man.Inspect = ins
+	if !o.quiet {
+		fmt.Fprintln(stderr, "experiments: inspect —", inspect.Summary(rows))
+	}
+	return nil
 }
 
 // buildLine renders the manifest's build identification (go version, VCS

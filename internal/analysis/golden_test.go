@@ -112,6 +112,10 @@ func TestRegistryExperimentsGolden(t *testing.T) { runGolden(t, Registry, "regis
 
 func TestTelemetryGolden(t *testing.T) { runGolden(t, Telemetry, "telemetryfix") }
 
+// TestTelemetryInspectGolden covers the introspection metric families
+// (inspect_*, trace_*) added with the decision-level introspection layer.
+func TestTelemetryInspectGolden(t *testing.T) { runGolden(t, Telemetry, "telemetryinspect") }
+
 func TestExhaustiveGolden(t *testing.T) { runGolden(t, Exhaustive, "exhaustive") }
 
 // TestIgnoreDirectives exercises the suppression contract end to end: valid

@@ -10,7 +10,9 @@ import (
 // metricNamePattern is the exposition contract: every metric belongs to one
 // of the simulator's subsystem families, so Prometheus scrapes and the
 // Stats-reconciliation tests can enumerate what they expect.
-var metricNamePattern = regexp.MustCompile(`^(uopcache|frontend|policy|offline|parallel|faultinject)_[a-z0-9_]+$`)
+// The inspect and trace families belong to the decision-level introspection
+// layer (internal/inspect): attribution roll-ups and span-trace health.
+var metricNamePattern = regexp.MustCompile(`^(uopcache|frontend|policy|offline|parallel|faultinject|inspect|trace)_[a-z0-9_]+$`)
 
 // Telemetry enforces that metric names handed to the telemetry registry
 // (Registry.Counter / Gauge / Histogram methods of a package named
@@ -20,7 +22,7 @@ var metricNamePattern = regexp.MustCompile(`^(uopcache|frontend|policy|offline|p
 // Stats-reconciliation tests assert against.
 var Telemetry = &Analyzer{
 	Name: "telemetry",
-	Doc:  "metric names must be compile-time constants matching ^(uopcache|frontend|policy|offline|parallel|faultinject)_[a-z0-9_]+$",
+	Doc:  "metric names must be compile-time constants matching ^(uopcache|frontend|policy|offline|parallel|faultinject|inspect|trace)_[a-z0-9_]+$",
 	Run:  runTelemetry,
 }
 

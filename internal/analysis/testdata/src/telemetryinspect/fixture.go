@@ -1,0 +1,27 @@
+// Package telemetry is a telemetry-analyzer fixture for the introspection
+// metric families: inspect_* (eviction attribution roll-ups) and trace_*
+// (span-trace health) are legal prefixes; near-misses are not.
+package telemetry
+
+type Counter struct{}
+
+func (c *Counter) Add(n uint64) {}
+
+type Registry struct{}
+
+func (r *Registry) Counter(name string) *Counter   { return nil }
+func (r *Registry) Gauge(name string) *Counter     { return nil }
+func (r *Registry) Histogram(name string) *Counter { return nil }
+
+const spanCount = "trace_spans_total"
+
+func use(r *Registry) {
+	r.Counter("inspect_evictions_total")
+	r.Counter("inspect_justified_total")
+	r.Counter("inspect_premature_total")
+	r.Counter("inspect_divergent_total")
+	r.Histogram(spanCount)             // constants propagate: allowed
+	r.Gauge("inspection_queue")        // want "does not match"
+	r.Counter("Inspect_Evictions")     // want "does not match"
+	r.Counter("tracer_spans_dropped")  // want "does not match"
+}

@@ -38,6 +38,7 @@ import (
 
 	"uopsim/internal/core"
 	"uopsim/internal/faultinject"
+	"uopsim/internal/inspect"
 	"uopsim/internal/offline"
 	"uopsim/internal/parallel"
 	"uopsim/internal/profiles"
@@ -169,6 +170,10 @@ type Context struct {
 	// tests (and -faultinject) use to make the Nth cell fail, panic, or
 	// stall. nil = no injection.
 	Fault *faultinject.Injector
+	// Spans, when non-nil, records experiment/cell/singleflight wall-clock
+	// spans for the Chrome-trace export (-trace-out). A nil log is inert,
+	// so the harness threads it unconditionally.
+	Spans *inspect.SpanLog
 
 	// id scopes progress lines and timing records to one experiment.
 	id     string
@@ -213,6 +218,89 @@ type ctxSched struct {
 	// lets journal keys written by an interrupted parallel run match a
 	// serial resume.
 	seqs map[string]int
+	// status is the live campaign state the /debug/status dashboard polls.
+	status statusCounters
+}
+
+// statusCounters is the mutable part of a StatusSnapshot (guarded by
+// ctxSched.mu).
+type statusCounters struct {
+	expTotal, expDone                                 int
+	running                                           map[string]bool
+	cellsDone, cellsFailed, cellsRetried, cellsRestored int
+	attribution                                       *AttributionStatus
+}
+
+// AttributionStatus is the attribution roll-up shown on the live dashboard
+// while (and after) RunAttribution executes.
+type AttributionStatus struct {
+	Evictions uint64 `json:"evictions"`
+	Justified uint64 `json:"justified"`
+	Premature uint64 `json:"premature"`
+	Divergent uint64 `json:"divergent"`
+}
+
+// StatusSnapshot is the live run-status document served at /debug/status.
+type StatusSnapshot struct {
+	ExperimentsTotal int      `json:"experiments_total"`
+	ExperimentsDone  int      `json:"experiments_done"`
+	Running          []string `json:"running,omitempty"`
+	CellsDone        int      `json:"cells_done"`
+	CellsFailed      int      `json:"cells_failed"`
+	CellsRetried     int      `json:"cells_retried"`
+	CellsRestored    int      `json:"cells_restored"`
+	// WorkersActive and QueueDepth mirror the shared cell limiter.
+	WorkersActive int `json:"workers_active"`
+	WorkersCap    int `json:"workers_cap"`
+	QueueDepth    int `json:"queue_depth"`
+	// Attribution appears once RunAttribution has classified evictions.
+	Attribution *AttributionStatus `json:"attribution,omitempty"`
+}
+
+// StatusSnapshot assembles the current campaign state; safe for concurrent
+// use — wire it into telemetry.ServeStatus (or CLI.SetStatus) for the live
+// dashboard.
+func (c *Context) StatusSnapshot() StatusSnapshot {
+	c.sched.mu.Lock()
+	st := c.sched.status
+	var running []string
+	for id := range st.running {
+		running = append(running, id)
+	}
+	var attr *AttributionStatus
+	if st.attribution != nil {
+		a := *st.attribution
+		attr = &a
+	}
+	lim := c.sched.cells
+	c.sched.mu.Unlock()
+	sort.Strings(running)
+	s := StatusSnapshot{
+		ExperimentsTotal: st.expTotal,
+		ExperimentsDone:  st.expDone,
+		Running:          running,
+		CellsDone:        st.cellsDone,
+		CellsFailed:      st.cellsFailed,
+		CellsRetried:     st.cellsRetried,
+		CellsRestored:    st.cellsRestored,
+		Attribution:      attr,
+	}
+	if lim != nil {
+		s.WorkersActive = lim.Active()
+		s.WorkersCap = lim.Cap()
+		s.QueueDepth = lim.Queued()
+	}
+	return s
+}
+
+// statusUpdate mutates the live status under the scheduler lock.
+func (c *Context) statusUpdate(fn func(*statusCounters)) {
+	c.sched.mu.Lock()
+	if c.sched.status.running == nil {
+		c.sched.status.running = make(map[string]bool)
+	}
+	fn(&c.sched.status)
+	c.sched.mu.Unlock()
 }
 
 // cellFailureRec tags a manifest failure record with its deterministic sort
@@ -242,18 +330,32 @@ type flight[T any] struct {
 // under concurrent callers — the fix for the duplicate-compute window where
 // N parallel cells would each redo trace generation or FLACK profiling.
 // Errors are cached too (they are deterministic: unknown app, bad config).
-func once[T any](c *ctxCaches, m map[string]*flight[T], key string, compute func() (T, error)) (T, error) {
-	c.mu.Lock()
+//
+// With span tracing on, the computing caller records a "compute" span and
+// every caller that actually blocks records a "wait" span — which is how
+// singleflight stalls become visible in the Perfetto view.
+func once[T any](c *Context, m map[string]*flight[T], key string, compute func() (T, error)) (T, error) {
+	cc := c.caches
+	cc.mu.Lock()
 	if f, ok := m[key]; ok {
-		c.mu.Unlock()
+		cc.mu.Unlock()
+		select {
+		case <-f.done: // already complete: a plain cache hit, no span
+			return f.val, f.err
+		default:
+		}
+		sp := c.Spans.Begin("singleflight", key).Arg("state", "wait")
 		<-f.done
+		sp.End()
 		return f.val, f.err
 	}
 	f := &flight[T]{done: make(chan struct{})}
 	m[key] = f
-	c.mu.Unlock()
+	cc.mu.Unlock()
 	defer close(f.done)
+	sp := c.Spans.Begin("singleflight", key).Arg("state", "compute")
 	f.val, f.err = compute()
+	sp.End()
 	return f.val, f.err
 }
 
@@ -424,11 +526,14 @@ func cells[T any](c *Context, labels []string, fn func(i int) (T, error)) ([]T, 
 // failure even under degradation).
 func runCell[T any](c *Context, seq, i int, label, geo string, fn func(i int) (T, error)) (v T, runErr, report error) {
 	site := c.id + "/" + label
+	sp := c.Spans.Begin("cell", site)
 	var key string
 	if c.Journal != nil {
 		key = fmt.Sprintf("%s|%d|%d|%s|%s", c.id, seq, i, label, geo)
 		if raw, ok := c.Journal.Lookup(key); ok {
 			if err := json.Unmarshal(raw, &v); err == nil {
+				c.statusUpdate(func(s *statusCounters) { s.cellsDone++; s.cellsRestored++ })
+				sp.Arg("restored", "true").End()
 				return v, nil, nil
 			}
 			// A corrupt or shape-mismatched entry is not fatal — the
@@ -446,9 +551,13 @@ func runCell[T any](c *Context, seq, i int, label, geo string, fn func(i int) (T
 	tried := 0
 	for a := 0; a < attempts; a++ {
 		if err := c.ctx().Err(); err != nil {
+			sp.Arg("cancelled", "true").End()
 			return v, err, err
 		}
 		tried++
+		if tried > 1 {
+			c.statusUpdate(func(s *statusCounters) { s.cellsRetried++ })
+		}
 		var stack string
 		v, lastErr, stack = attemptCell(c, site, i, fn)
 		if stack != "" {
@@ -460,6 +569,7 @@ func runCell[T any](c *Context, seq, i int, label, geo string, fn func(i int) (T
 			// result could be incomplete. Discard it, never journal
 			// it, and surface the cancellation.
 			var zero T
+			sp.Arg("cancelled", "true").Arg("attempts", itoa(tried)).End()
 			return zero, err, err
 		}
 		if lastErr == nil {
@@ -468,17 +578,24 @@ func runCell[T any](c *Context, seq, i int, label, geo string, fn func(i int) (T
 					c.Journal.Append(key, raw)
 				}
 			}
+			c.statusUpdate(func(s *statusCounters) { s.cellsDone++ })
+			sp.Arg("attempts", itoa(tried)).End()
 			return v, nil, nil
 		}
 	}
 	fail := telemetry.CellFailure{Cell: site, Attempts: tried, Error: lastErr.Error(), Stack: lastStack}
 	c.recordFailure(seq, i, fail)
+	c.statusUpdate(func(s *statusCounters) { s.cellsFailed++ })
+	sp.Arg("failed", "true").Arg("attempts", itoa(tried)).End()
 	if c.Degrade {
 		var zero T
 		return zero, nil, lastErr
 	}
 	return v, lastErr, lastErr
 }
+
+// itoa is a strconv.Itoa stand-in for the small counters in span args.
+func itoa(n int) string { return fmt.Sprintf("%d", n) }
 
 // attemptCell runs one attempt of a cell body with the fault-injection hook
 // applied and any panic converted into an error carrying the goroutine
@@ -551,7 +668,7 @@ var (
 // Concurrent callers of the same key share one generation.
 func (c *Context) Trace(app string, input int) ([]trace.Block, []trace.PW, error) {
 	key := fmt.Sprintf("%s/%d/%d", app, input, c.Blocks)
-	tp, err := once(c.caches, c.caches.traces, key, func() (tracePair, error) {
+	tp, err := once(c, c.caches.traces, key, func() (tracePair, error) {
 		blocks, pws, err := traceFor(app, c.Blocks, input)
 		return tracePair{blocks: blocks, pws: pws}, err
 	})
@@ -563,7 +680,7 @@ func (c *Context) Trace(app string, input int) ([]trace.Block, []trace.PW, error
 // same key invoke CollectObserved exactly once.
 func (c *Context) Profile(app string, input int, src profiles.Source) (*profiles.Profile, error) {
 	key := fmt.Sprintf("%s/%d/%v/%d/%d/%d", app, input, src, c.Blocks, c.Cfg.UopCache.Entries, c.Cfg.UopCache.Ways)
-	return once(c.caches, c.caches.profs, key, func() (*profiles.Profile, error) {
+	return once(c, c.caches.profs, key, func() (*profiles.Profile, error) {
 		_, pws, err := c.Trace(app, input)
 		if err != nil {
 			return nil, err
@@ -603,6 +720,7 @@ type RunResult struct {
 // Err = c.Ctx.Err() so the driver can mark the run interrupted.
 func RunMany(c *Context, ids []string, emit func(RunResult)) []RunResult {
 	out := make([]RunResult, len(ids))
+	c.statusUpdate(func(s *statusCounters) { s.expTotal += len(ids) })
 	workers := 1
 	if parallel.Workers(c.Workers) > 1 {
 		workers = len(ids)
@@ -627,7 +745,9 @@ func RunMany(c *Context, ids []string, emit func(RunResult)) []RunResult {
 		return struct{}{}, nil
 	})
 	// A cancellation abandons queued experiments; fill their slots so the
-	// manifest shows every requested id with why it did not run.
+	// manifest shows every requested id with why it did not run. Cells that
+	// DID run (and fail) before the interrupt still belong in the manifest,
+	// so the fill carries the per-experiment timings and failures too.
 	mu.Lock()
 	for i := range out {
 		if !finished[i] {
@@ -635,7 +755,7 @@ func RunMany(c *Context, ids []string, emit func(RunResult)) []RunResult {
 			if err == nil {
 				err = context.Canceled
 			}
-			out[i] = RunResult{ID: ids[i], Err: err}
+			out[i] = RunResult{ID: ids[i], Err: err, Apps: c.Timings(ids[i]), Failed: c.Failures(ids[i])}
 			finished[i] = true
 		}
 	}
@@ -652,10 +772,14 @@ func (c *Context) runOne(id string) RunResult {
 		r.Err = fmt.Errorf("unknown experiment %q", id)
 		return r
 	}
+	c.statusUpdate(func(s *statusCounters) { s.running[id] = true })
+	sp := c.Spans.Begin("experiment", id)
 	//simlint:ignore determinism wall-clock bookkeeping for the manifest only
 	start := time.Now()
 	r.Table, r.Err = runContained(run, c.scoped(id))
 	r.WallSeconds = time.Since(start).Seconds()
+	sp.End()
+	c.statusUpdate(func(s *statusCounters) { delete(s.running, id); s.expDone++ })
 	r.Apps = c.Timings(id)
 	r.Failed = c.Failures(id)
 	if r.Table != nil {

@@ -16,7 +16,7 @@ import (
 // lruBaseline runs (cached) the LRU baseline on an app's PW trace;
 // concurrent cells needing the same baseline share one run.
 func (c *Context) lruBaseline(app string) (uopcache.Stats, error) {
-	return once(c.caches, c.caches.bases, app, func() (uopcache.Stats, error) {
+	return once(c, c.caches.bases, app, func() (uopcache.Stats, error) {
 		_, pws, err := c.Trace(app, 0)
 		if err != nil {
 			return uopcache.Stats{}, err

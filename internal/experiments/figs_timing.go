@@ -12,7 +12,7 @@ import (
 // sharing the context's cached profile for profile-guided policies.
 // Concurrent cells needing the same (app, policy) timing share one run.
 func (c *Context) timingByName(app, name string) (core.TimingResult, error) {
-	return once(c.caches, c.caches.times, app+"/"+name, func() (core.TimingResult, error) {
+	return once(c, c.caches.times, app+"/"+name, func() (core.TimingResult, error) {
 		blocks, pws, err := c.Trace(app, 0)
 		if err != nil {
 			return core.TimingResult{}, err

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"uopsim/internal/faultinject"
+	"uopsim/internal/telemetry"
 )
 
 // renderCtx runs ids through RunMany on the given context and returns the
@@ -210,5 +211,66 @@ func TestCancelledCampaignDrains(t *testing.T) {
 	}
 	if len(emitted) != len(ids) {
 		t.Fatalf("emitted %d of %d results", len(emitted), len(ids))
+	}
+}
+
+// TestInterruptFlushesFailedCells is the S-series manifest contract: a
+// campaign interrupted by cancellation (the SIGINT path in cmd/experiments)
+// must still surface every failed cell that occurred before the interrupt —
+// in the RunResult of the experiment that owned it AND in a manifest built
+// the way the driver builds one, alongside Status = interrupted.
+func TestInterruptFlushesFailedCells(t *testing.T) {
+	sigCtx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	ctx := smallCtx()
+	ctx.Workers = 1
+	ctx.Ctx = sigCtx
+	ctx.Degrade = true
+	ctx.Fault = faultinject.MustNew("fig8/kafka:1+:error")
+
+	man := telemetry.NewRunManifest("experiments", nil)
+	ids := []string{"fig8", "tab2"}
+	emit := func(r RunResult) {
+		man.Figures = append(man.Figures, telemetry.FigureRun{
+			ID: r.ID, WallSeconds: r.WallSeconds, Apps: r.Apps, FailedCells: r.Failed,
+		})
+		if r.Err != nil {
+			man.Failures = append(man.Failures, r.ID+": "+r.Err.Error())
+		}
+		if r.ID == "fig8" {
+			// Simulate SIGINT arriving right after fig8 finished: tab2 is
+			// still queued and must be abandoned.
+			cancel()
+		}
+	}
+	out := RunMany(ctx, ids, emit)
+
+	if len(out[0].Failed) == 0 {
+		t.Fatal("fig8 recorded no failed cells despite the injected fault")
+	}
+	if out[0].Failed[0].Cell != "fig8/kafka" {
+		t.Errorf("failed cell = %q, want fig8/kafka", out[0].Failed[0].Cell)
+	}
+	if out[1].Err == nil || !errors.Is(out[1].Err, context.Canceled) {
+		t.Errorf("abandoned tab2 err = %v, want context.Canceled", out[1].Err)
+	}
+
+	man.Status = telemetry.StatusInterrupted
+	man.Finish()
+	var buf bytes.Buffer
+	if err := man.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	doc := buf.String()
+	if !strings.Contains(doc, `"status": "interrupted"`) {
+		t.Errorf("manifest missing interrupted status:\n%s", doc)
+	}
+	if !strings.Contains(doc, `"failed_cells"`) || !strings.Contains(doc, "fig8/kafka") {
+		t.Errorf("interrupted manifest does not flush failed_cells:\n%s", doc)
+	}
+	// Every requested id appears, including the abandoned one.
+	if !strings.Contains(doc, `"id": "tab2"`) {
+		t.Errorf("abandoned experiment missing from manifest:\n%s", doc)
 	}
 }

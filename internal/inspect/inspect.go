@@ -1,0 +1,279 @@
+// Package inspect is the decision-level introspection layer: it explains WHY
+// the simulator did what it did, where package telemetry only counts WHAT
+// happened. Three pillars:
+//
+//   - eviction attribution (this file): every eviction the cache emits is
+//     recorded with its victim, the inserting window, the policy's stated
+//     reason and losing score, then reconciled against the lookup trace and
+//     classified as justified (the victim was never re-referenced),
+//     premature (re-referenced within a configurable window), or divergent
+//     (an offline keep-plan wanted the victim kept);
+//   - span tracing (spans.go): wall-clock spans of experiment, cell and
+//     solve work exported as Chrome trace-event JSON for Perfetto;
+//   - the live dashboard is served by telemetry.ServeStatus, fed from
+//     snapshots assembled by the experiment harness.
+//
+// Everything here is OFF the simulation hot path: the collector attaches
+// through the cache's existing event-sink seam, which the hot path guards
+// with a nil check, so a run without -inspect pays nothing.
+package inspect
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+
+	"uopsim/internal/telemetry"
+	"uopsim/internal/trace"
+)
+
+// EvictionRecord is one eviction as the cache reported it.
+type EvictionRecord struct {
+	// Seq is the cache's lookup clock when the eviction fired. The clock
+	// increments at the START of lookup i (0-based), so an eviction at
+	// Seq s happened after lookup s-1 completed: the victim's earliest
+	// possible re-reference is trace position s.
+	Seq uint64
+	// Set is the cache set index.
+	Set int
+	// VictimKey is the evicted window's start address; VictimUops its
+	// cost; VictimAge the lookups since it was last useful.
+	VictimKey  uint64
+	VictimUops int
+	VictimAge  uint64
+	// IncomingKey is the window whose insertion forced the eviction (zero
+	// for eager/offline evictions).
+	IncomingKey uint64
+	// Reason and Score are the policy's stated grounds (see the Reason*
+	// vocabularies in packages policy and offline).
+	Reason string
+	Score  float64
+	// Policy names the deciding policy.
+	Policy string
+}
+
+// Collector is a telemetry.EventSink that captures eviction events for
+// attribution, forwarding everything to an optional next sink so it can sit
+// in front of a JSONL trace. It is safe for concurrent use, though each
+// simulated cache is single-threaded; separate runs use separate collectors.
+type Collector struct {
+	// Next, when non-nil, receives every event unchanged.
+	Next telemetry.EventSink
+
+	mu   sync.Mutex
+	recs []EvictionRecord
+}
+
+// NewCollector returns an empty eviction collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Emit implements telemetry.EventSink.
+func (c *Collector) Emit(ev telemetry.Event) {
+	if ev.Kind == telemetry.EventEvict {
+		c.mu.Lock()
+		c.recs = append(c.recs, EvictionRecord{
+			Seq: ev.Seq, Set: ev.Set,
+			VictimKey: ev.VictimKey, VictimUops: ev.VictimUops, VictimAge: ev.VictimAge,
+			IncomingKey: ev.IncomingKey, Reason: ev.Reason, Score: ev.Score,
+			Policy: ev.Policy,
+		})
+		c.mu.Unlock()
+	}
+	if c.Next != nil {
+		c.Next.Emit(ev)
+	}
+}
+
+// Records returns the captured evictions in emission order.
+func (c *Collector) Records() []EvictionRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]EvictionRecord, len(c.recs))
+	copy(out, c.recs)
+	return out
+}
+
+// Len returns the number of captured evictions.
+func (c *Collector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.recs)
+}
+
+// Classification buckets for one eviction. The three classes partition the
+// eviction set exactly: divergent takes precedence (an offline plan
+// disagreed), then premature (re-referenced within the window), then
+// justified (everything else — in particular, never re-referenced).
+const (
+	ClassJustified = "justified"
+	ClassPremature = "premature"
+	ClassDivergent = "divergent"
+)
+
+// RDBuckets is the number of log2 reuse-distance buckets (bucket i holds
+// distances with bit length i, like telemetry.Histogram).
+const RDBuckets = 65
+
+// DefaultWindow is the default premature-classification window in lookups:
+// a victim re-referenced within this many lookups of its eviction counts as
+// prematurely evicted.
+const DefaultWindow = 4096
+
+// Options configures attribution.
+type Options struct {
+	// Window is the premature threshold in lookups (<= 0 selects
+	// DefaultWindow; use a huge value to make any re-reference premature).
+	Window int
+	// Keep, when non-nil, is an offline keep-plan indexed by trace
+	// position (offline.Decisions.Keep): evictions whose victim's
+	// current interval the plan kept are classified divergent.
+	Keep []bool
+}
+
+// Attribution aggregates the classified evictions of one (app, policy) run.
+type Attribution struct {
+	App    string `json:"app,omitempty"`
+	Policy string `json:"policy"`
+	// Window is the premature threshold the classification used.
+	Window int `json:"window"`
+	// Total = Justified + Premature + Divergent, always — the partition
+	// is exact so Total reconciles with uopcache_evictions_total.
+	Total     uint64 `json:"total"`
+	Justified uint64 `json:"justified"`
+	Premature uint64 `json:"premature"`
+	Divergent uint64 `json:"divergent"`
+	// ReuseDist histograms next-use distance at eviction (log2 buckets);
+	// never-re-referenced victims are not observed here.
+	ReuseDist [RDBuckets]uint64 `json:"reuse_dist"`
+	// Reasons tallies the policies' stated decision reasons.
+	Reasons map[string]uint64 `json:"reasons,omitempty"`
+}
+
+// Frac returns the (justified, premature, divergent) fractions.
+func (a Attribution) Frac() (j, p, d float64) {
+	if a.Total == 0 {
+		return 0, 0, 0
+	}
+	t := float64(a.Total)
+	return float64(a.Justified) / t, float64(a.Premature) / t, float64(a.Divergent) / t
+}
+
+// rdBucket maps a reuse distance to its log2 bucket.
+func rdBucket(d uint64) int { return bits.Len64(d) }
+
+// Attribute reconciles captured evictions against the lookup trace. pws is
+// the exact PW sequence the run replayed; opts.Keep (optional) is an offline
+// keep-plan over the same positions.
+func Attribute(recs []EvictionRecord, pws []trace.PW, opts Options) Attribution {
+	window := opts.Window
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	a := Attribution{Window: window, Reasons: make(map[string]uint64)}
+	// Occurrence index: window start -> sorted trace positions.
+	occ := make(map[uint64][]int32, len(pws)/4+1)
+	for i, p := range pws {
+		occ[p.Start] = append(occ[p.Start], int32(i))
+	}
+	for _, r := range recs {
+		if a.Policy == "" {
+			a.Policy = r.Policy
+		}
+		a.Total++
+		if r.Reason != "" {
+			a.Reasons[r.Reason]++
+		}
+		pos := int(r.Seq) // earliest possible re-reference position
+		uses := occ[r.VictimKey]
+		// First use at or after pos.
+		n := sort.Search(len(uses), func(i int) bool { return int(uses[i]) >= pos })
+		if n < len(uses) {
+			a.ReuseDist[rdBucket(uint64(int(uses[n])-pos))]++
+		}
+		if opts.Keep != nil {
+			// The victim's current interval at eviction time starts at
+			// its last use strictly before pos.
+			if last := n - 1; last >= 0 {
+				if k := int(uses[last]); k < len(opts.Keep) && opts.Keep[k] {
+					a.Divergent++
+					continue
+				}
+			}
+		}
+		if n < len(uses) && int(uses[n])-pos < window {
+			a.Premature++
+			continue
+		}
+		a.Justified++
+	}
+	return a
+}
+
+// CSVHeader is the attribution CSV schema (documented in EXPERIMENTS.md).
+const CSVHeader = "app,policy,window,evictions,justified,premature,divergent,justified_frac,premature_frac,divergent_frac"
+
+// WriteCSV renders attribution rows in the stable schema above.
+func WriteCSV(w io.Writer, rows []Attribution) error {
+	if _, err := fmt.Fprintln(w, CSVHeader); err != nil {
+		return err
+	}
+	for _, a := range rows {
+		j, p, d := a.Frac()
+		if _, err := fmt.Fprintf(w, "%s,%s,%d,%d,%d,%d,%d,%.4f,%.4f,%.4f\n",
+			a.App, a.Policy, a.Window, a.Total, a.Justified, a.Premature, a.Divergent, j, p, d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RDCSVHeader is the reuse-distance-at-eviction CSV schema: one row per
+// non-empty log2 bucket (bucket b covers distances [2^(b-1), 2^b)).
+const RDCSVHeader = "app,policy,bucket_log2,count"
+
+// WriteRDCSV renders the reuse-distance histograms.
+func WriteRDCSV(w io.Writer, rows []Attribution) error {
+	if _, err := fmt.Fprintln(w, RDCSVHeader); err != nil {
+		return err
+	}
+	for _, a := range rows {
+		for b, n := range a.ReuseDist {
+			if n == 0 {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s,%s,%d,%d\n", a.App, a.Policy, b, n); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Summary is a one-line roll-up of attribution rows (for logs and the
+// dashboard).
+func Summary(rows []Attribution) string {
+	var t, j, p, d uint64
+	for _, a := range rows {
+		t += a.Total
+		j += a.Justified
+		p += a.Premature
+		d += a.Divergent
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d evictions: %d justified, %d premature, %d divergent", t, j, p, d)
+	return sb.String()
+}
+
+// Totals sums attribution rows into aggregate counters (inspect_* metrics).
+func Totals(rows []Attribution) (total, justified, premature, divergent uint64) {
+	for _, a := range rows {
+		total += a.Total
+		justified += a.Justified
+		premature += a.Premature
+		divergent += a.Divergent
+	}
+	return
+}

@@ -1,0 +1,31 @@
+package inspect
+
+import (
+	"uopsim/internal/plot"
+)
+
+// FractionSVG renders the attribution rows as a grouped bar chart: one group
+// per row (labelled app or app/policy), three bars per group — the
+// justified/premature/divergent fractions of that run's evictions.
+func FractionSVG(title string, rows []Attribution) string {
+	groups := make([]string, len(rows))
+	just := make([]float64, len(rows))
+	prem := make([]float64, len(rows))
+	div := make([]float64, len(rows))
+	for i, a := range rows {
+		label := a.App
+		if label == "" {
+			label = a.Policy
+		} else if a.Policy != "" {
+			label = a.App + "/" + a.Policy
+		}
+		groups[i] = label
+		just[i], prem[i], div[i] = a.Frac()
+	}
+	series := []plot.Series{
+		{Name: ClassJustified, Values: just},
+		{Name: ClassPremature, Values: prem},
+		{Name: ClassDivergent, Values: div},
+	}
+	return plot.BarSVG(title, "fraction of evictions", groups, series)
+}

@@ -1,0 +1,186 @@
+package inspect
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"uopsim/internal/telemetry"
+)
+
+// SpanLog records wall-clock spans (experiment → cell → solve/replay work)
+// and exports them in the Chrome trace-event format, loadable in Perfetto or
+// chrome://tracing. A nil *SpanLog is a valid no-op log, so callers thread
+// it unconditionally and pay nothing when -trace-out is off.
+//
+// Spans are laid out on numbered lanes (trace "threads"): when a span ends
+// it takes the lowest-numbered lane that was free for its whole duration, so
+// concurrent cells render stacked — the visual width of the lane block IS
+// the worker utilization.
+type SpanLog struct {
+	mu     sync.Mutex
+	t0     time.Time
+	events []traceEvent
+	lanes  []int64 // per-lane busy-until time (µs since t0)
+}
+
+// traceEvent is one Chrome trace-event record ("X" = complete span, "i" =
+// instant, "M" = metadata).
+type traceEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	Ts   int64             `json:"ts"`
+	Dur  int64             `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// traceFile is the top-level Chrome trace JSON object.
+type traceFile struct {
+	TraceEvents []traceEvent `json:"traceEvents"`
+}
+
+// NewSpanLog returns an empty span log anchored at the current time.
+func NewSpanLog() *SpanLog { return &SpanLog{t0: time.Now()} }
+
+// Span is one in-flight span; End completes it. A nil *Span (from a nil
+// log) is valid and inert.
+type Span struct {
+	l     *SpanLog
+	cat   string
+	name  string
+	start time.Time
+	args  map[string]string
+}
+
+// Begin starts a span of the given category and name. Safe on a nil log.
+func (l *SpanLog) Begin(cat, name string) *Span {
+	if l == nil {
+		return nil
+	}
+	return &Span{l: l, cat: cat, name: name, start: time.Now()}
+}
+
+// Arg attaches a key/value annotation to the span; chainable and nil-safe.
+func (s *Span) Arg(k, v string) *Span {
+	if s == nil {
+		return nil
+	}
+	if s.args == nil {
+		s.args = make(map[string]string)
+	}
+	s.args[k] = v
+	return s
+}
+
+// End completes the span, assigning it the lowest free lane.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	l := s.l
+	end := time.Now()
+	ts := s.start.Sub(l.t0).Microseconds()
+	dur := end.Sub(s.start).Microseconds()
+	if dur < 1 {
+		dur = 1 // Perfetto drops zero-width complete events
+	}
+	l.mu.Lock()
+	lane := -1
+	for i, busyUntil := range l.lanes {
+		if busyUntil <= ts {
+			lane = i
+			break
+		}
+	}
+	if lane < 0 {
+		lane = len(l.lanes)
+		l.lanes = append(l.lanes, 0)
+	}
+	l.lanes[lane] = ts + dur
+	l.events = append(l.events, traceEvent{
+		Name: s.name, Cat: s.cat, Ph: "X", Ts: ts, Dur: dur,
+		Pid: 1, Tid: lane + 1, Args: s.args,
+	})
+	l.mu.Unlock()
+}
+
+// Instant records a zero-duration marker (rendered as an arrow in Perfetto).
+func (l *SpanLog) Instant(cat, name string) {
+	if l == nil {
+		return
+	}
+	ts := time.Since(l.t0).Microseconds()
+	l.mu.Lock()
+	l.events = append(l.events, traceEvent{
+		Name: name, Cat: cat, Ph: "i", Ts: ts, Pid: 1, Tid: 0,
+	})
+	l.mu.Unlock()
+}
+
+// Len returns the number of recorded events. Safe on a nil log.
+func (l *SpanLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// WriteJSON emits the Chrome trace-event JSON. Events are sorted by
+// timestamp so output is stable for a given set of spans.
+func (l *SpanLog) WriteJSON(w io.Writer) error {
+	if l == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[]}`)
+		return err
+	}
+	l.mu.Lock()
+	evs := make([]traceEvent, len(l.events))
+	copy(evs, l.events)
+	lanes := len(l.lanes)
+	l.mu.Unlock()
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Ts < evs[j].Ts })
+	out := make([]traceEvent, 0, len(evs)+lanes+2)
+	out = append(out, traceEvent{
+		Name: "process_name", Ph: "M", Pid: 1,
+		Args: map[string]string{"name": "uopsim"},
+	})
+	out = append(out, traceEvent{
+		Name: "thread_name", Ph: "M", Pid: 1, Tid: 0,
+		Args: map[string]string{"name": "markers"},
+	})
+	for i := 0; i < lanes; i++ {
+		out = append(out, traceEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: i + 1,
+			Args: map[string]string{"name": "lane " + itoa(i+1)},
+		})
+	}
+	out = append(out, evs...)
+	enc := json.NewEncoder(w)
+	return enc.Encode(traceFile{TraceEvents: out})
+}
+
+// WriteFile writes the trace JSON atomically (no torn artifact on crash).
+func (l *SpanLog) WriteFile(path string) error {
+	return telemetry.AtomicWriteFile(path, 0o644, l.WriteJSON)
+}
+
+// itoa avoids strconv for the tiny lane numbers (and keeps imports lean).
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -5,6 +5,24 @@ import (
 	"uopsim/internal/uopcache"
 )
 
+// Decision reason vocabulary for the offline policies (constant strings so
+// stamping a Decision never allocates; the online vocabulary lives in
+// package policy).
+const (
+	// ReasonFurthestNextUse: Belady's rule — the victim's next lookup is
+	// furthest in the future.
+	ReasonFurthestNextUse = "furthest_next_use"
+	// ReasonUnkeptArrival: a FOO/FLACK plan does not keep the incoming
+	// window's current interval, so it is bypassed under pressure.
+	ReasonUnkeptArrival = "plan_unkept_arrival"
+	// ReasonUnkeptFurthest: the victim's current interval is unkept by the
+	// plan (furthest next use among unkept residents).
+	ReasonUnkeptFurthest = "plan_unkept_furthest"
+	// ReasonKeptFurthest: every resident was kept by the plan, so the
+	// furthest-next-use resident goes (plan/capacity disagreement).
+	ReasonKeptFurthest = "plan_kept_furthest"
+)
+
 // Belady implements Belady's MIN algorithm adapted to the micro-op cache's
 // whole-PW granularity: at insertion time (the paper's fix for asynchronous
 // lookup/insertion) it evicts the resident window whose next lookup lies
@@ -42,5 +60,5 @@ func (p *Belady) Victim(_ int, residents []uopcache.Resident, _ trace.PW) uopcac
 			best, bestNext = r.Key, n
 		}
 	}
-	return uopcache.Decision{VictimKey: best}
+	return uopcache.Decision{VictimKey: best, Reason: ReasonFurthestNextUse, Score: float64(bestNext)}
 }

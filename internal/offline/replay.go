@@ -86,7 +86,7 @@ func (p *replayPolicy) Victim(_ int, residents []uopcache.Resident, incoming tra
 	// Under pressure, an unkept arrival is bypassed rather than evicting
 	// anything.
 	if !p.curKeep[incoming.Start] {
-		return uopcache.Decision{Bypass: true}
+		return uopcache.Decision{Bypass: true, Reason: ReasonUnkeptArrival}
 	}
 	var bestUnkept, bestAny uint64
 	unkeptNext, anyNext := -1, -1
@@ -102,9 +102,9 @@ func (p *replayPolicy) Victim(_ int, residents []uopcache.Resident, incoming tra
 		}
 	}
 	if unkeptNext >= 0 {
-		return uopcache.Decision{VictimKey: bestUnkept}
+		return uopcache.Decision{VictimKey: bestUnkept, Reason: ReasonUnkeptFurthest, Score: float64(unkeptNext)}
 	}
-	return uopcache.Decision{VictimKey: bestAny}
+	return uopcache.Decision{VictimKey: bestAny, Reason: ReasonKeptFurthest, Score: float64(anyNext)}
 }
 
 // Result bundles replay statistics with the per-lookup outcomes FURBYS's

@@ -87,7 +87,7 @@ func (p *SchedulePolicy) Victim(_ int, residents []uopcache.Resident, incoming t
 	}
 	p.o.Advance(pos)
 	if p.keep != nil && !p.keptNow(incoming.Start, pos) {
-		return uopcache.Decision{Bypass: true}
+		return uopcache.Decision{Bypass: true, Reason: ReasonUnkeptArrival}
 	}
 	var bestUnkept, bestAny uint64
 	unkeptNext, anyNext := -1, -1
@@ -103,7 +103,10 @@ func (p *SchedulePolicy) Victim(_ int, residents []uopcache.Resident, incoming t
 		}
 	}
 	if unkeptNext >= 0 {
-		return uopcache.Decision{VictimKey: bestUnkept}
+		return uopcache.Decision{VictimKey: bestUnkept, Reason: ReasonUnkeptFurthest, Score: float64(unkeptNext)}
 	}
-	return uopcache.Decision{VictimKey: bestAny}
+	if p.keep != nil {
+		return uopcache.Decision{VictimKey: bestAny, Reason: ReasonKeptFurthest, Score: float64(anyNext)}
+	}
+	return uopcache.Decision{VictimKey: bestAny, Reason: ReasonFurthestNextUse, Score: float64(anyNext)}
 }

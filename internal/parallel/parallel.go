@@ -220,6 +220,13 @@ func NewLimiter(workers int, reg *telemetry.Registry) *Limiter {
 // Cap returns the limiter's concurrency width.
 func (l *Limiter) Cap() int { return l.width }
 
+// Active returns the number of cell bodies currently holding a slot; the
+// live dashboard polls it for per-worker occupancy.
+func (l *Limiter) Active() int { return int(l.active.Load()) }
+
+// Queued returns the number of callers waiting for a slot.
+func (l *Limiter) Queued() int { return int(l.queued.Load()) }
+
 // Do runs fn while holding one of the limiter's slots, blocking until a
 // slot frees up. A queued caller whose ctx is cancelled before a slot
 // arrives is abandoned and gets ctx.Err() back without fn ever running;
@@ -230,12 +237,14 @@ func (l *Limiter) Do(ctx context.Context, fn func()) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	depth := l.queued.Add(1)
 	if l.queueDepth != nil {
-		l.queueDepth.Set(float64(l.queued.Add(1)))
+		l.queueDepth.Set(float64(depth))
 	}
 	dequeue := func() {
+		depth := l.queued.Add(-1)
 		if l.queueDepth != nil {
-			l.queueDepth.Set(float64(l.queued.Add(-1)))
+			l.queueDepth.Set(float64(depth))
 		}
 	}
 	select {
@@ -245,8 +254,9 @@ func (l *Limiter) Do(ctx context.Context, fn func()) error {
 		dequeue()
 		return ctx.Err()
 	}
+	act := l.active.Add(1)
 	if l.activeWorkers != nil {
-		l.activeWorkers.Set(float64(l.active.Add(1)))
+		l.activeWorkers.Set(float64(act))
 	}
 	start := time.Now()
 	defer func() {
@@ -256,8 +266,9 @@ func (l *Limiter) Do(ctx context.Context, fn func()) error {
 		if l.cellsTotal != nil {
 			l.cellsTotal.Inc()
 		}
+		act := l.active.Add(-1)
 		if l.activeWorkers != nil {
-			l.activeWorkers.Set(float64(l.active.Add(-1)))
+			l.activeWorkers.Set(float64(act))
 		}
 		<-l.slots
 	}()

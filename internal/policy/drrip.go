@@ -109,7 +109,7 @@ func (p *DRRIP) Victim(set int, residents []uopcache.Resident, _ trace.PW) uopca
 			}
 		}
 		if found {
-			return uopcache.Decision{VictimKey: best}
+			return uopcache.Decision{VictimKey: best, Reason: ReasonRRPVDistant, Score: float64(p.rrpv[key{set, best}])}
 		}
 		for _, r := range residents {
 			p.rrpv[key{set, r.Key}]++

@@ -239,7 +239,7 @@ func (p *FURBYS) Victim(set int, residents []uopcache.Resident, incoming trace.P
 	if p.cfg.BypassEnabled && p.weightOf(incoming.Start) < minW-p.cfg.K {
 		if !p.recordBypass(set, incoming.Start) {
 			p.Stats.Bypasses++
-			return uopcache.Decision{Bypass: true}
+			return uopcache.Decision{Bypass: true, Reason: ReasonBypass, Score: float64(p.weightOf(incoming.Start))}
 		}
 	}
 	// Local miss-pitfall handling: if a previous decision flagged this
@@ -249,7 +249,7 @@ func (p *FURBYS) Victim(set int, residents []uopcache.Resident, incoming trace.P
 		v := p.srripVictim(set, residents)
 		p.Stats.VictimBySRRIP++
 		p.recordEviction(set, v)
-		return uopcache.Decision{VictimKey: v}
+		return uopcache.Decision{VictimKey: v, Reason: ReasonRRPVDistant, Score: float64(p.rrpv[key{set, v}])}
 	}
 	// Normal FURBYS decision; a repeated eviction of the same window arms
 	// the SRRIP fallback for the next decision in this set.
@@ -257,5 +257,5 @@ func (p *FURBYS) Victim(set int, residents []uopcache.Resident, incoming trace.P
 		p.srripNext[set] = true
 	}
 	p.Stats.VictimByWeight++
-	return uopcache.Decision{VictimKey: minKey}
+	return uopcache.Decision{VictimKey: minKey, Reason: ReasonMinWeight, Score: float64(minW)}
 }

@@ -133,7 +133,7 @@ func (p *GHRP) OnEvict(set int, pc uint64) {
 //simlint:hotpath
 func (p *GHRP) Victim(set int, residents []uopcache.Resident, incoming trace.PW) uopcache.Decision {
 	if p.Bypass && p.predictDead(p.signature(incoming.Start)) {
-		return uopcache.Decision{Bypass: true}
+		return uopcache.Decision{Bypass: true, Reason: ReasonPredictedDead}
 	}
 	var deadBest uint64
 	foundDead := false
@@ -146,7 +146,7 @@ func (p *GHRP) Victim(set int, residents []uopcache.Resident, incoming trace.PW)
 		}
 	}
 	if foundDead {
-		return uopcache.Decision{VictimKey: deadBest}
+		return uopcache.Decision{VictimKey: deadBest, Reason: ReasonPredictedDead, Score: float64(p.rec.of(set, deadBest))}
 	}
 	best := residents[0].Key
 	for _, r := range residents[1:] {
@@ -154,5 +154,5 @@ func (p *GHRP) Victim(set int, residents []uopcache.Resident, incoming trace.PW)
 			best = r.Key
 		}
 	}
-	return uopcache.Decision{VictimKey: best}
+	return uopcache.Decision{VictimKey: best, Reason: ReasonLRUOldest, Score: float64(p.rec.of(set, best))}
 }

@@ -140,8 +140,8 @@ func (p *Mockingjay) Victim(set int, residents []uopcache.Resident, incoming tra
 	}
 	if p.BypassFactor > 0 && worstETR > 0 {
 		if in := p.predictRD(incoming.Start); in > p.BypassFactor*worstETR && in >= p.InfiniteRD {
-			return uopcache.Decision{Bypass: true}
+			return uopcache.Decision{Bypass: true, Reason: ReasonBypass, Score: in}
 		}
 	}
-	return uopcache.Decision{VictimKey: worst.Key}
+	return uopcache.Decision{VictimKey: worst.Key, Reason: ReasonETRFurthest, Score: worstETR}
 }

@@ -13,6 +13,33 @@ import (
 	"uopsim/internal/uopcache"
 )
 
+// Decision reason vocabulary. Each policy stamps its Victim decisions with
+// one of these constant strings (plus a policy-specific losing score) so the
+// introspection layer can attribute evictions without re-deriving policy
+// state. Constants, not fmt: the hot path must not allocate.
+const (
+	// ReasonLRUOldest: victim had the smallest recency stamp.
+	ReasonLRUOldest = "lru_oldest"
+	// ReasonRandom: victim drawn by the salted-hash pseudo-random pick.
+	ReasonRandom = "random_draw"
+	// ReasonRRPVDistant: victim was at the distant re-reference value
+	// (RRIP family: SRRIP, SHiP++, DRRIP).
+	ReasonRRPVDistant = "rrpv_distant"
+	// ReasonPredictedDead: a reuse predictor classified the victim dead
+	// (GHRP dead-block prediction).
+	ReasonPredictedDead = "predicted_dead"
+	// ReasonETRFurthest: victim had the largest estimated time remaining
+	// (Mockingjay).
+	ReasonETRFurthest = "etr_furthest"
+	// ReasonColdestClass: victim was in the coldest profile temperature
+	// class (Thermometer).
+	ReasonColdestClass = "coldest_class"
+	// ReasonMinWeight: victim had the smallest profile weight (FURBYS).
+	ReasonMinWeight = "min_weight"
+	// ReasonBypass: the incoming window was declined instead of evicting.
+	ReasonBypass = "bypass_incoming"
+)
+
 // key identifies a resident window within the whole cache.
 type key struct {
 	set int
@@ -80,7 +107,7 @@ func (p *LRU) Victim(set int, residents []uopcache.Resident, _ trace.PW) uopcach
 			best = r.Key
 		}
 	}
-	return uopcache.Decision{VictimKey: best}
+	return uopcache.Decision{VictimKey: best, Reason: ReasonLRUOldest, Score: float64(p.rec.of(set, best))}
 }
 
 // ---------------------------------------------------------------------------
@@ -134,7 +161,7 @@ func (p *Random) Victim(set int, residents []uopcache.Resident, _ trace.PW) uopc
 			best, bestH = r.Key, h
 		}
 	}
-	return uopcache.Decision{VictimKey: best}
+	return uopcache.Decision{VictimKey: best, Reason: ReasonRandom, Score: float64(bestH)}
 }
 
 func mix(x uint64) uint64 {

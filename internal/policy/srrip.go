@@ -61,7 +61,7 @@ func (p *SRRIP) Victim(set int, residents []uopcache.Resident, _ trace.PW) uopca
 			}
 		}
 		if found {
-			return uopcache.Decision{VictimKey: best}
+			return uopcache.Decision{VictimKey: best, Reason: ReasonRRPVDistant, Score: float64(p.rrpv[key{set, best}])}
 		}
 		for _, r := range residents {
 			p.rrpv[key{set, r.Key}]++
@@ -170,7 +170,7 @@ func (p *SHiPPP) Victim(set int, residents []uopcache.Resident, _ trace.PW) uopc
 			}
 		}
 		if found {
-			return uopcache.Decision{VictimKey: best}
+			return uopcache.Decision{VictimKey: best, Reason: ReasonRRPVDistant, Score: float64(p.rrpv[key{set, best}])}
 		}
 		for _, r := range residents {
 			p.rrpv[key{set, r.Key}]++

@@ -74,5 +74,5 @@ func (p *Thermometer) Victim(set int, residents []uopcache.Resident, _ trace.PW)
 			best = r.Key
 		}
 	}
-	return uopcache.Decision{VictimKey: best}
+	return uopcache.Decision{VictimKey: best, Reason: ReasonColdestClass, Score: float64(bestClass)}
 }

@@ -5,20 +5,23 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"sync"
 )
 
 // CLI bundles the standard observability flags every binary exposes
-// (-telemetry, -events, -sample, -pprof) and owns the resources they
-// resolve to: a metrics registry, a JSONL event sink, and the pprof/metrics
-// HTTP server. Mains call RegisterFlags before flag.Parse, Start after, and
-// Close on the way out.
+// (-telemetry, -events, -sample, -pprof, -serve) and owns the resources
+// they resolve to: a metrics registry, a JSONL event sink, and the
+// pprof/metrics/status HTTP server. Mains call RegisterFlags before
+// flag.Parse, Start after, and Close on the way out.
 type CLI struct {
 	MetricsPath string
 	EventsPath  string
 	Sample      int
 	PprofAddr   string
+	ServeAddr   string
 
-	// Registry is non-nil after Start when -telemetry or -pprof was given.
+	// Registry is non-nil after Start when -telemetry, -pprof or -serve
+	// was given.
 	Registry *Registry
 	// Sink is non-nil after Start when -events was given.
 	Sink *JSONLSink
@@ -28,6 +31,11 @@ type CLI struct {
 	// file instead of a silently truncated trace.
 	eventsFile *os.File
 	server     *http.Server
+
+	// status is the /debug/status document source, settable after Start
+	// (drivers build their run state after parsing flags).
+	statusMu sync.Mutex
+	status   StatusFunc
 }
 
 // RegisterFlags declares the observability flags on fs.
@@ -36,11 +44,40 @@ func (c *CLI) RegisterFlags(fs *flag.FlagSet) {
 	fs.StringVar(&c.EventsPath, "events", "", "write a JSONL trace of cache decisions to `FILE`")
 	fs.IntVar(&c.Sample, "sample", 1, "emit every `N`th event to -events")
 	fs.StringVar(&c.PprofAddr, "pprof", "", "serve net/http/pprof, /metrics and /healthz on `ADDR` (e.g. localhost:6060)")
+	fs.StringVar(&c.ServeAddr, "serve", "", "serve the live run dashboard (/debug/status, plus pprof and /metrics) on `ADDR`")
+}
+
+// SetStatus installs (or replaces) the /debug/status document source. Safe
+// to call at any time, including before Start and from concurrent scrapes.
+func (c *CLI) SetStatus(fn StatusFunc) {
+	c.statusMu.Lock()
+	c.status = fn
+	c.statusMu.Unlock()
+}
+
+// statusDoc snapshots the current status document.
+func (c *CLI) statusDoc() any {
+	c.statusMu.Lock()
+	fn := c.status
+	c.statusMu.Unlock()
+	if fn == nil {
+		return struct{}{}
+	}
+	return fn()
+}
+
+// ServerAddr returns the bound address of the HTTP server, if one is
+// running ("" otherwise); useful when -serve was given port 0.
+func (c *CLI) ServerAddr() string {
+	if c.server == nil {
+		return ""
+	}
+	return c.server.Addr
 }
 
 // Start opens the sinks and the HTTP server the parsed flags ask for.
 func (c *CLI) Start() error {
-	if c.MetricsPath != "" || c.PprofAddr != "" {
+	if c.MetricsPath != "" || c.PprofAddr != "" || c.ServeAddr != "" {
 		c.Registry = NewRegistry()
 	}
 	if c.MetricsPath != "" {
@@ -61,13 +98,17 @@ func (c *CLI) Start() error {
 		c.eventsFile = f
 		c.Sink = NewJSONLSink(f, c.Sample)
 	}
-	if c.PprofAddr != "" {
-		srv, err := Serve(c.PprofAddr, c.Registry)
+	addr := c.ServeAddr
+	if addr == "" {
+		addr = c.PprofAddr
+	}
+	if addr != "" {
+		srv, err := ServeStatus(addr, c.Registry, c.statusDoc)
 		if err != nil {
-			return fmt.Errorf("pprof: %w", err)
+			return fmt.Errorf("serve: %w", err)
 		}
 		c.server = srv
-		fmt.Fprintf(os.Stderr, "pprof/metrics listening on http://%s\n", c.PprofAddr)
+		fmt.Fprintf(os.Stderr, "pprof/metrics/status listening on http://%s\n", srv.Addr)
 	}
 	return nil
 }

@@ -55,6 +55,19 @@ type Event struct {
 	VictimKey  uint64 `json:"victim_key,omitempty"`
 	VictimUops int    `json:"victim_uops,omitempty"`
 	VictimAge  uint64 `json:"victim_age,omitempty"`
+	// IncomingKey is the start address of the window whose insertion
+	// forced an eviction (zero for eager/offline evictions with no
+	// incoming window).
+	IncomingKey uint64 `json:"incoming_key,omitempty"`
+	// Reason is the policy's stated grounds for an eviction or bypass
+	// decision (a small closed vocabulary per policy, e.g. "lru_oldest",
+	// "rrpv_distant", "etr_furthest"); empty for policies predating the
+	// introspection layer.
+	Reason string `json:"reason,omitempty"`
+	// Score is the policy-internal ranking value the victim lost with
+	// (stamp, RRPV, ETR, weight, ...); its unit is policy-specific and
+	// only comparable within one policy.
+	Score float64 `json:"score,omitempty"`
 	// Policy names the replacement policy that made the decision.
 	Policy string `json:"policy,omitempty"`
 }

@@ -107,6 +107,23 @@ type RunManifest struct {
 	Apps     []string    `json:"apps,omitempty"`
 	Figures  []FigureRun `json:"figures,omitempty"`
 	Failures []string    `json:"failures,omitempty"`
+	// Inspect records the introspection artifacts (-inspect / -trace-out)
+	// so a manifest fully indexes the run's outputs.
+	Inspect *InspectArtifacts `json:"inspect,omitempty"`
+}
+
+// InspectArtifacts indexes the decision-level introspection outputs of a
+// run: the eviction-attribution tables and plot, the Chrome span trace, and
+// the attribution roll-up for quick triage without opening the CSVs.
+type InspectArtifacts struct {
+	AttributionCSV string `json:"attribution_csv,omitempty"`
+	ReuseDistCSV   string `json:"reuse_dist_csv,omitempty"`
+	AttributionSVG string `json:"attribution_svg,omitempty"`
+	TraceJSON      string `json:"trace_json,omitempty"`
+	Evictions      uint64 `json:"evictions,omitempty"`
+	Justified      uint64 `json:"justified,omitempty"`
+	Premature      uint64 `json:"premature,omitempty"`
+	Divergent      uint64 `json:"divergent,omitempty"`
 }
 
 // NewRunManifest starts a manifest for the named tool, stamping start time

@@ -1,0 +1,167 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// startServer spins up ServeStatus on an ephemeral port and tears it down
+// with the test.
+func startServer(t *testing.T, reg *Registry, status StatusFunc) string {
+	t.Helper()
+	srv, err := ServeStatus("127.0.0.1:0", reg, status)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return "http://" + srv.Addr
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServeHandlers(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("uopcache_hits_total").Add(42)
+	base := startServer(t, reg, func() any {
+		return map[string]any{"cells_done": 7, "running": []string{"fig8"}}
+	})
+
+	if code, body := get(t, base+"/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Errorf("healthz = %d %q", code, body)
+	}
+	if code, body := get(t, base+"/metrics"); code != 200 || !strings.Contains(body, "uopcache_hits_total 42") {
+		t.Errorf("metrics = %d %q", code, body)
+	}
+	code, body := get(t, base+"/debug/status")
+	if code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	var doc struct {
+		CellsDone int      `json:"cells_done"`
+		Running   []string `json:"running"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("status not JSON: %v\n%s", err, body)
+	}
+	if doc.CellsDone != 7 || len(doc.Running) != 1 || doc.Running[0] != "fig8" {
+		t.Errorf("status doc = %+v", doc)
+	}
+	if code, body := get(t, base+"/debug/status/html"); code != 200 ||
+		!strings.Contains(body, "<html") || !strings.Contains(body, "/debug/status") {
+		t.Errorf("status html = %d %.120q", code, body)
+	}
+}
+
+func TestServeNilRegistryAndStatus(t *testing.T) {
+	base := startServer(t, nil, nil)
+	if code, _ := get(t, base+"/metrics"); code != 200 {
+		t.Errorf("nil-registry metrics = %d", code)
+	}
+	code, body := get(t, base+"/debug/status")
+	if code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("nil-status body not JSON: %v", err)
+	}
+	if len(doc) != 0 {
+		t.Errorf("nil status served %v, want empty object", doc)
+	}
+}
+
+// TestConcurrentScrapeDuringRun hammers /metrics and /debug/status while a
+// simulated run mutates the registry and the status document — the data-race
+// check for the live dashboard (run under -race in CI).
+func TestConcurrentScrapeDuringRun(t *testing.T) {
+	reg := NewRegistry()
+	hits := reg.Counter("uopcache_hits_total")
+	var mu sync.Mutex
+	done := 0
+	base := startServer(t, reg, func() any {
+		mu.Lock()
+		defer mu.Unlock()
+		return map[string]int{"cells_done": done}
+	})
+
+	stop := make(chan struct{})
+	var mutator sync.WaitGroup
+	mutator.Add(1)
+	go func() { // the "run": mutates counters and status
+		defer mutator.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			hits.Inc()
+			mu.Lock()
+			done++
+			mu.Unlock()
+		}
+	}()
+	var scrapers sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		scrapers.Add(1)
+		go func() {
+			defer scrapers.Done()
+			for j := 0; j < 25; j++ {
+				if code, _ := get(t, base+"/metrics"); code != 200 {
+					t.Errorf("metrics scrape = %d", code)
+					return
+				}
+				if code, body := get(t, base+"/debug/status"); code != 200 ||
+					!strings.Contains(body, "cells_done") {
+					t.Errorf("status scrape = %d %q", code, body)
+					return
+				}
+			}
+		}()
+	}
+	// The mutator keeps running until every scrape finished, so scrapes
+	// always race live updates.
+	scrapers.Wait()
+	close(stop)
+	mutator.Wait()
+	if hits.Value() == 0 {
+		t.Error("mutator never ran")
+	}
+}
+
+func TestServeGracefulShutdown(t *testing.T) {
+	srv, err := ServeStatus("127.0.0.1:0", NewRegistry(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + srv.Addr
+	if code, _ := get(t, base+"/healthz"); code != 200 {
+		t.Fatalf("pre-shutdown healthz = %d", code)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Error("server still accepting connections after Shutdown")
+	}
+}

@@ -98,7 +98,23 @@ type Decision struct {
 	Bypass bool
 	// VictimKey names the resident PW to evict when not bypassing.
 	VictimKey uint64
+	// Reason states the grounds for the choice using a small, constant
+	// per-policy vocabulary (e.g. ReasonLRUOldest). Constant strings keep
+	// the hot path allocation-free; empty means "not stated".
+	Reason string
+	// Score is the ranking value the victim lost with (stamp, RRPV, ETR,
+	// weight, ...). Units are policy-specific.
+	Score float64
 }
+
+// Decision reason vocabulary shared across policies. Policies with richer
+// internal state define additional constants next to their implementation;
+// all are plain constant strings so stamping a Decision never allocates.
+const (
+	// ReasonForced marks eager evictions commanded by an offline plan or
+	// an external invalidation, not chosen by the online policy.
+	ReasonForced = "forced"
+)
 
 // Policy selects victims and observes cache events. Implementations keep
 // whatever per-PW metadata they need, keyed by (set, key).
@@ -292,7 +308,7 @@ func (c *Cache) EvictKey(start uint64) bool {
 		return false
 	}
 	c.Stats.Evictions++
-	c.observeEviction(set, r)
+	c.observeEviction(set, r, 0, Decision{VictimKey: start, Reason: ReasonForced})
 	c.removeResident(set, start, true)
 	return true
 }
@@ -307,7 +323,10 @@ func lastTouch(r *Resident) uint64 {
 
 // observeEviction mirrors a Stats.Evictions increment into the metrics and
 // event trace; call it BEFORE removeResident so victim details are intact.
-func (c *Cache) observeEviction(set int, r *Resident) {
+// incoming is the start address of the window whose insertion forced the
+// eviction (zero when eager/offline); d carries the policy's stated reason
+// and losing score for attribution.
+func (c *Cache) observeEviction(set int, r *Resident, incoming uint64, d Decision) {
 	if c.m != nil {
 		c.m.evictions.Inc()
 		c.m.victimCostUops.Observe(uint64(r.Uops))
@@ -317,6 +336,7 @@ func (c *Cache) observeEviction(set int, r *Resident) {
 		c.sink.Emit(telemetry.Event{
 			Seq: c.clock, Kind: telemetry.EventEvict, Set: set, Key: r.Key,
 			VictimKey: r.Key, VictimUops: r.Uops, VictimAge: c.clock - lastTouch(r),
+			IncomingKey: incoming, Reason: d.Reason, Score: d.Score,
 			Policy: c.polName,
 		})
 	}
@@ -533,7 +553,7 @@ func (c *Cache) Insert(pw trace.PW) InsertOutcome {
 				c.policy.Name(), d.VictimKey, set))
 		}
 		c.Stats.Evictions++
-		c.observeEviction(set, victim)
+		c.observeEviction(set, victim, pw.Start, d)
 		c.removeResident(set, d.VictimKey, true)
 	}
 	lines := pw.Lines
