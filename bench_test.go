@@ -13,6 +13,7 @@ package uopsim
 import (
 	"testing"
 
+	"uopsim/internal/analysis"
 	"uopsim/internal/core"
 	"uopsim/internal/experiments"
 	"uopsim/internal/offline"
@@ -206,6 +207,24 @@ func BenchmarkProfileCollect(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		prof := profiles.Collect(pws, cfg, profiles.SourceFLACK)
 		prof.Weights(cfg, 3)
+	}
+}
+
+// BenchmarkSimlintModule times one full static-analysis pass (all eight
+// analyzers) over the already-loaded module, call graph prebuilt — the
+// steady-state cost CI pays on every simlint run after type-checking.
+func BenchmarkSimlintModule(b *testing.B) {
+	prog, err := analysis.Load(".", "uopsim/...")
+	if err != nil {
+		b.Fatalf("Load(uopsim/...): %v", err)
+	}
+	prog.CallGraph()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if diags := analysis.Run(prog, analysis.All()); len(diags) != 0 {
+			b.Fatalf("module is not simlint-clean: %d findings", len(diags))
+		}
 	}
 }
 

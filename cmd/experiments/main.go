@@ -330,7 +330,6 @@ func run(o *options, args []string, stdout, stderr io.Writer) (interrupted bool,
 		if jerr != nil {
 			fail("checkpoint: %v", jerr)
 		} else {
-			defer journal.Close()
 			ectx.Journal = journal
 			if !o.quiet && journal.Restored() > 0 {
 				fmt.Fprintf(stderr, "experiments: resuming — %d cell(s) restored from %s\n",
@@ -345,7 +344,6 @@ func run(o *options, args []string, stdout, stderr io.Writer) (interrupted bool,
 		if ferr != nil {
 			return false, ferr
 		}
-		defer f.Close()
 		md = f
 	}
 
@@ -442,6 +440,19 @@ func run(o *options, args []string, stdout, stderr io.Writer) (interrupted bool,
 		if jerr := ectx.Journal.Err(); jerr != nil {
 			fail("checkpoint: %v", jerr)
 		}
+		if cerr := ectx.Journal.Close(); cerr != nil {
+			fail("checkpoint close: %v", cerr)
+		}
+		ectx.Journal = nil
+	}
+	// Close the markdown file before the manifest is finalized: the close
+	// error is the last chance to notice a failed flush, and it belongs in
+	// the manifest's failure log like any other lost output.
+	if md != nil {
+		if cerr := md.Close(); cerr != nil {
+			fail("%s: close: %v", o.mdFile, cerr)
+		}
+		md = nil
 	}
 
 	switch {

@@ -4,12 +4,15 @@
 //
 // Usage:
 //
-//	simlint [-list] [-analyzers name,name] [packages]
+//	simlint [-list] [-analyzers name,name] [-format text|sarif] [-out file] [packages]
 //
 // With no packages, ./... is analyzed. Diagnostics print as
 // file:line:col: [analyzer] message, and any finding makes the exit status
 // non-zero, so CI can run `go run ./cmd/simlint ./...` as a blocking job
-// beside vet and race. Suppress a finding inline with
+// beside vet and race. -format sarif emits a SARIF 2.1.0 log instead (rule
+// catalogue, findings, and in-source suppressions with their justifications);
+// -out writes either format to a file, which keeps the SARIF artifact intact
+// even when findings also fail the job. Suppress a finding inline with
 // `//simlint:ignore <analyzer> <reason>` — see ANALYSIS.md.
 package main
 
@@ -63,14 +66,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("simlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		list  = fs.Bool("list", false, "list analyzers and exit")
-		names = fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+		list   = fs.Bool("list", false, "list analyzers and exit")
+		names  = fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+		format = fs.String("format", "text", "output format: text or sarif")
+		out    = fs.String("out", "", "write output to this file instead of stdout")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return err
 		}
 		return usageError{err}
+	}
+	if *format != "text" && *format != "sarif" {
+		return usageError{fmt.Errorf("unknown format %q (text or sarif)", *format)}
 	}
 
 	if *list {
@@ -96,7 +104,42 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return usageError{err}
 	}
-	diags := analysis.Run(prog, analyzers)
+	res := analysis.RunAll(prog, analyzers)
+	if err := emit(stdout, *format, *out, analyzers, res); err != nil {
+		return err
+	}
+	if len(res.Diagnostics) > 0 {
+		return findingsError{findings: len(res.Diagnostics), packages: len(prog.Packages)}
+	}
+	return nil
+}
+
+// emit renders the run in the requested format, to outFile when set (created
+// fresh, close error surfaced — the artifact must be durable) or to stdout.
+func emit(stdout io.Writer, format, outFile string, analyzers []*analysis.Analyzer, res analysis.Result) error {
+	render := func(w io.Writer) error {
+		if format == "sarif" {
+			return analysis.WriteSARIF(w, ".", analyzers, res)
+		}
+		return writeText(w, res.Diagnostics)
+	}
+	if outFile == "" {
+		return render(stdout)
+	}
+	f, err := os.Create(outFile)
+	if err != nil {
+		return err
+	}
+	werr := render(f)
+	if cerr := f.Close(); werr == nil && cerr != nil {
+		werr = fmt.Errorf("%s: %w", outFile, cerr)
+	}
+	return werr
+}
+
+// writeText prints the classic one-line-per-finding form, with paths
+// relativized to the working directory when possible.
+func writeText(w io.Writer, diags []analysis.Diagnostic) error {
 	cwd, _ := os.Getwd()
 	for _, d := range diags {
 		file := d.Pos.Filename
@@ -105,10 +148,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 				file = rel
 			}
 		}
-		fmt.Fprintf(stdout, "%s:%d:%d: [%s] %s\n", file, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
-	}
-	if len(diags) > 0 {
-		return findingsError{findings: len(diags), packages: len(prog.Packages)}
+		if _, err := fmt.Fprintf(w, "%s:%d:%d: [%s] %s\n", file, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message); err != nil {
+			return err
+		}
 	}
 	return nil
 }

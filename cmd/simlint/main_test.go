@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestListAnalyzers pins the catalogue the CLI advertises: all eight
+// analyzers, one line each.
+func TestListAnalyzers(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := runMain([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list exited %d: %s", code, stderr.String())
+	}
+	for _, name := range []string{
+		"determinism", "hotpath", "registry", "telemetry",
+		"exhaustive", "lockcheck", "ctxflow", "errsink",
+	} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output is missing analyzer %s:\n%s", name, stdout.String())
+		}
+	}
+}
+
+// TestBadFormat is a usage error (exit 2), not a finding (exit 1).
+func TestBadFormat(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := runMain([]string{"-format", "yaml"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("-format yaml exited %d, want 2: %s", code, stderr.String())
+	}
+}
+
+// TestSARIFOutput runs the real pipeline over this (clean) package and
+// checks the emitted log parses as SARIF 2.1.0 with the rule catalogue
+// present even when there are zero findings.
+func TestSARIFOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks a package")
+	}
+	var stdout, stderr bytes.Buffer
+	if code := runMain([]string{"-format", "sarif", "."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exited %d: %s", code, stderr.String())
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []any `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &log); err != nil {
+		t.Fatalf("stdout is not JSON: %v\n%s", err, stdout.String())
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 || log.Runs[0].Tool.Driver.Name != "simlint" {
+		t.Errorf("unexpected SARIF envelope: %+v", log)
+	}
+	if got := len(log.Runs[0].Tool.Driver.Rules); got != 9 { // 8 analyzers + simlint pseudo-rule
+		t.Errorf("rule catalogue has %d entries, want 9", got)
+	}
+	if len(log.Runs[0].Results) != 0 {
+		t.Errorf("expected a clean run, got %d results", len(log.Runs[0].Results))
+	}
+}
+
+// TestOutFile proves -out lands the artifact on disk instead of stdout.
+func TestOutFile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks a package")
+	}
+	path := filepath.Join(t.TempDir(), "simlint.sarif")
+	var stdout, stderr bytes.Buffer
+	if code := runMain([]string{"-format", "sarif", "-out", path, "."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exited %d: %s", code, stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("stdout should be empty with -out, got %q", stdout.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("artifact not written: %v", err)
+	}
+	var log map[string]any
+	if err := json.Unmarshal(data, &log); err != nil {
+		t.Fatalf("artifact is not JSON: %v", err)
+	}
+	if log["version"] != "2.1.0" {
+		t.Errorf("artifact version = %v, want 2.1.0", log["version"])
+	}
+}

@@ -56,6 +56,7 @@ type Program struct {
 
 	byPath    map[string]*Package
 	funcDecls map[*types.Func]*ast.FuncDecl
+	callgraph *CallGraph
 }
 
 // Lookup returns the loaded package with the given import path, if any.
@@ -96,11 +97,37 @@ type Analyzer struct {
 	Run func(*Pass)
 }
 
+// SuppressedDiagnostic is a finding silenced by an in-source
+// //simlint:ignore directive, kept so SARIF output can record the
+// suppression (kind "inSource") with its mandatory justification.
+type SuppressedDiagnostic struct {
+	Diagnostic
+	// Justification is the directive's reason text.
+	Justification string
+}
+
+// Result is one full analysis run: the surviving diagnostics (including
+// directive problems and stale-suppression findings from the pseudo-analyzer
+// "simlint") and the findings that in-source directives suppressed.
+type Result struct {
+	Diagnostics []Diagnostic
+	Suppressed  []SuppressedDiagnostic
+}
+
 // Run executes the analyzers over the program and returns their diagnostics
 // with inline suppressions applied, sorted by position. Malformed or unknown
 // suppression directives are reported as diagnostics of the pseudo-analyzer
 // "simlint".
 func Run(prog *Program, analyzers []*Analyzer) []Diagnostic {
+	return RunAll(prog, analyzers).Diagnostics
+}
+
+// RunAll is Run plus the suppression record: every diagnostic an ignore
+// directive absorbed is returned under Suppressed with the directive's
+// justification. A well-formed directive that absorbs nothing — for an
+// analyzer that actually ran — is itself reported, so the suppression
+// inventory cannot rot as the code it once justified changes underneath it.
+func RunAll(prog *Program, analyzers []*Analyzer) Result {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{Prog: prog, analyzer: a}
@@ -108,42 +135,76 @@ func Run(prog *Program, analyzers []*Analyzer) []Diagnostic {
 		a.Run(pass)
 	}
 	dirs, problems := collectDirectives(prog, analyzers)
+	var res Result
 	kept := problems
 	for _, d := range diags {
-		if !dirs.suppresses(d) {
+		if dir := dirs.suppressor(d); dir != nil {
+			dir.hits++
+			res.Suppressed = append(res.Suppressed, SuppressedDiagnostic{Diagnostic: d, Justification: dir.reason})
+		} else {
 			kept = append(kept, d)
 		}
 	}
-	sort.Slice(kept, func(i, j int) bool {
-		a, b := kept[i], kept[j]
-		if a.Pos.Filename != b.Pos.Filename {
-			return a.Pos.Filename < b.Pos.Filename
+	for _, dir := range dirs.ordered {
+		if dir.hits == 0 {
+			kept = append(kept, Diagnostic{
+				Pos:      dir.pos,
+				Analyzer: "simlint",
+				Message:  fmt.Sprintf("ignore directive for %q suppresses nothing; delete the stale suppression", dir.analyzer),
+			})
 		}
-		if a.Pos.Line != b.Pos.Line {
-			return a.Pos.Line < b.Pos.Line
-		}
-		if a.Pos.Column != b.Pos.Column {
-			return a.Pos.Column < b.Pos.Column
-		}
-		return a.Message < b.Message
+	}
+	sortDiagnostics(kept)
+	sort.Slice(res.Suppressed, func(i, j int) bool {
+		return diagnosticLess(res.Suppressed[i].Diagnostic, res.Suppressed[j].Diagnostic)
 	})
-	return kept
+	res.Diagnostics = kept
+	return res
 }
 
-// ignoreDirective is one parsed //simlint:ignore comment.
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool { return diagnosticLess(ds[i], ds[j]) })
+}
+
+func diagnosticLess(a, b Diagnostic) bool {
+	if a.Pos.Filename != b.Pos.Filename {
+		return a.Pos.Filename < b.Pos.Filename
+	}
+	if a.Pos.Line != b.Pos.Line {
+		return a.Pos.Line < b.Pos.Line
+	}
+	if a.Pos.Column != b.Pos.Column {
+		return a.Pos.Column < b.Pos.Column
+	}
+	return a.Message < b.Message
+}
+
+// ignoreDirective is one parsed, well-formed //simlint:ignore comment. hits
+// counts the diagnostics it suppressed in this run; zero hits for an
+// analyzer that ran means the directive is stale.
 type ignoreDirective struct {
 	analyzer string
-	line     int // the comment's own line
+	reason   string
+	pos      token.Position // the comment's own position
+	hits     int
 }
 
-// directiveIndex maps filename -> analyzer -> set of lines carrying an
-// ignore. A directive suppresses its own line and the line below it, so a
-// trailing comment and a comment-above both work.
-type directiveIndex map[string]map[string]map[int]bool
+// directiveIndex holds the run's directives: byLine maps
+// filename -> analyzer -> comment line -> directive, and ordered preserves
+// collection order for the stale-suppression sweep. A directive suppresses
+// its own line and the line below it, so a trailing comment and a
+// comment-above both work.
+type directiveIndex struct {
+	byLine  map[string]map[string]map[int]*ignoreDirective
+	ordered []*ignoreDirective
+}
 
-func (idx directiveIndex) suppresses(d Diagnostic) bool {
-	lines := idx[d.Pos.Filename][d.Analyzer]
-	return lines[d.Pos.Line] || lines[d.Pos.Line-1]
+func (idx *directiveIndex) suppressor(d Diagnostic) *ignoreDirective {
+	lines := idx.byLine[d.Pos.Filename][d.Analyzer]
+	if dir := lines[d.Pos.Line]; dir != nil {
+		return dir
+	}
+	return lines[d.Pos.Line-1]
 }
 
 const (
@@ -154,12 +215,12 @@ const (
 // collectDirectives parses every //simlint:ignore comment in the program,
 // returning the suppression index and diagnostics for malformed directives
 // (missing analyzer, missing reason, or an analyzer name no one registered).
-func collectDirectives(prog *Program, analyzers []*Analyzer) (directiveIndex, []Diagnostic) {
+func collectDirectives(prog *Program, analyzers []*Analyzer) (*directiveIndex, []Diagnostic) {
 	known := map[string]bool{}
 	for _, a := range analyzers {
 		known[a.Name] = true
 	}
-	idx := directiveIndex{}
+	idx := &directiveIndex{byLine: map[string]map[string]map[int]*ignoreDirective{}}
 	var problems []Diagnostic
 	problem := func(pos token.Position, format string, args ...any) {
 		problems = append(problems, Diagnostic{Pos: pos, Analyzer: "simlint", Message: fmt.Sprintf(format, args...)})
@@ -187,13 +248,23 @@ func collectDirectives(prog *Program, analyzers []*Analyzer) (directiveIndex, []
 						problem(pos, "ignore directive for %q gives no reason; the reason is mandatory", name)
 						continue
 					}
-					if idx[pos.Filename] == nil {
-						idx[pos.Filename] = map[string]map[int]bool{}
+					if !known[name] {
+						// A "simlint" directive: the pseudo-analyzer's own
+						// findings (directive problems, stale suppressions)
+						// are deliberately unsuppressable, so don't index or
+						// stale-check it — just reject it outright.
+						problem(pos, "ignore directive for %q is ineffective: simlint's own findings cannot be suppressed", name)
+						continue
 					}
-					if idx[pos.Filename][name] == nil {
-						idx[pos.Filename][name] = map[int]bool{}
+					dir := &ignoreDirective{analyzer: name, reason: strings.Join(fields[1:], " "), pos: pos}
+					if idx.byLine[pos.Filename] == nil {
+						idx.byLine[pos.Filename] = map[string]map[int]*ignoreDirective{}
 					}
-					idx[pos.Filename][name][pos.Line] = true
+					if idx.byLine[pos.Filename][name] == nil {
+						idx.byLine[pos.Filename][name] = map[int]*ignoreDirective{}
+					}
+					idx.byLine[pos.Filename][name][pos.Line] = dir
+					idx.ordered = append(idx.ordered, dir)
 				}
 			}
 		}

@@ -8,6 +8,9 @@ func All() []*Analyzer {
 		Registry,
 		Telemetry,
 		Exhaustive,
+		Lockcheck,
+		Ctxflow,
+		Errsink,
 	}
 }
 

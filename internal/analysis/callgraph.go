@@ -1,0 +1,289 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CallKind classifies how a call edge was resolved.
+type CallKind int
+
+const (
+	// CallStatic is a direct call to a named function or a method on a
+	// concrete receiver — the target is exact.
+	CallStatic CallKind = iota
+	// CallInterface is a call through an interface method, resolved to
+	// every in-module named type whose method set satisfies the interface —
+	// the target set is an over-approximation bounded to this module.
+	CallInterface
+	// CallFuncValue is a call through a local variable that was assigned a
+	// named function somewhere in the same function — a may-alias set.
+	CallFuncValue
+)
+
+func (k CallKind) String() string {
+	switch k {
+	case CallStatic:
+		return "static"
+	case CallInterface:
+		return "interface"
+	case CallFuncValue:
+		return "funcvalue"
+	}
+	return "unknown"
+}
+
+// CallEdge is one resolved call site: Caller invokes Callee at Site.
+type CallEdge struct {
+	Caller *types.Func
+	Callee *types.Func
+	Kind   CallKind
+	Site   *ast.CallExpr
+}
+
+// CallGraph is the module-wide call graph every interprocedural analyzer
+// shares. Nodes are the functions declared in module source; outgoing edges
+// are recorded in source order, so any traversal that respects edge order is
+// deterministic. Three resolution strategies contribute edges, in decreasing
+// order of precision: static calls, interface calls bounded to in-module
+// implementations, and function values flowing through local assignments.
+type CallGraph struct {
+	prog *Program
+
+	// Funcs lists every module function with a body, in load order
+	// (package, file, declaration).
+	Funcs []*types.Func
+	// Edges maps each caller to its outgoing edges in source order.
+	// Calls inside function literals are attributed to the enclosing
+	// declared function (the literal executes, at the latest, through a
+	// value created there).
+	Edges map[*types.Func][]CallEdge
+}
+
+// CallGraph returns the program's call graph, building it on first use.
+func (p *Program) CallGraph() *CallGraph {
+	if p.callgraph == nil {
+		p.callgraph = buildCallGraph(p)
+	}
+	return p.callgraph
+}
+
+// Callees returns fn's outgoing edges in source order.
+func (g *CallGraph) Callees(fn *types.Func) []CallEdge { return g.Edges[fn] }
+
+// NumNodes and NumEdges size the graph for the construction smoke test.
+func (g *CallGraph) NumNodes() int { return len(g.Funcs) }
+func (g *CallGraph) NumEdges() int {
+	n := 0
+	for _, es := range g.Edges {
+		n += len(es)
+	}
+	return n
+}
+
+func buildCallGraph(prog *Program) *CallGraph {
+	g := &CallGraph{prog: prog, Edges: map[*types.Func][]CallEdge{}}
+	impls := moduleNamedTypes(prog)
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn := prog.funcFor(fd)
+				if fn == nil {
+					continue
+				}
+				g.Funcs = append(g.Funcs, fn)
+				g.Edges[fn] = collectEdges(prog, fn, fd.Body, impls)
+			}
+		}
+	}
+	return g
+}
+
+// moduleNamedTypes collects every named (non-interface) type declared at
+// package scope in a module package, in deterministic order: packages in
+// load order, names in the sorted order types.Scope guarantees. These are
+// the candidate implementations for interface-call resolution.
+func moduleNamedTypes(prog *Program) []*types.Named {
+	var out []*types.Named
+	for _, pkg := range prog.Packages {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			if _, isIface := named.Underlying().(*types.Interface); isIface {
+				continue
+			}
+			out = append(out, named)
+		}
+	}
+	return out
+}
+
+// collectEdges resolves every call expression in body, in source order.
+func collectEdges(prog *Program, caller *types.Func, body *ast.BlockStmt, impls []*types.Named) []CallEdge {
+	info := prog.Info
+	funcVals := localFuncValues(info, body)
+	var out []CallEdge
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := resolveCallee(info, call); fn != nil {
+			out = append(out, CallEdge{Caller: caller, Callee: fn, Kind: CallStatic, Site: call})
+			return true
+		}
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.SelectorExpr:
+			if sel, ok := info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+				if iface, ok := sel.Recv().Underlying().(*types.Interface); ok {
+					for _, callee := range resolveInterfaceCall(iface, fun.Sel.Name, impls) {
+						out = append(out, CallEdge{Caller: caller, Callee: callee, Kind: CallInterface, Site: call})
+					}
+				}
+			}
+		case *ast.Ident:
+			if obj := info.ObjectOf(fun); obj != nil {
+				for _, callee := range funcVals[obj] {
+					out = append(out, CallEdge{Caller: caller, Callee: callee, Kind: CallFuncValue, Site: call})
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// resolveInterfaceCall returns the concrete methods a call to iface.name may
+// dispatch to, considering every in-module named type (by value and by
+// pointer receiver). The returned order follows impls, which is load-order
+// deterministic.
+func resolveInterfaceCall(iface *types.Interface, name string, impls []*types.Named) []*types.Func {
+	var out []*types.Func
+	seen := map[*types.Func]bool{}
+	for _, named := range impls {
+		var recv types.Type = named
+		if !types.Implements(recv, iface) {
+			recv = types.NewPointer(named)
+			if !types.Implements(recv, iface) {
+				continue
+			}
+		}
+		obj, _, _ := types.LookupFieldOrMethod(recv, true, nil, name)
+		if fn, ok := obj.(*types.Func); ok && !seen[fn] {
+			seen[fn] = true
+			out = append(out, fn)
+		}
+	}
+	return out
+}
+
+// localFuncValues tracks named functions flowing into local variables
+// through assignment (flow-insensitive): after `f := pkg.Helper` or
+// `var f = pkg.Helper`, a call `f()` gets may-edges to every function ever
+// assigned to f in this body.
+func localFuncValues(info *types.Info, body *ast.BlockStmt) map[types.Object][]*types.Func {
+	out := map[types.Object][]*types.Func{}
+	record := func(lhs, rhs ast.Expr) {
+		fn := resolveFuncValue(info, rhs)
+		if fn == nil {
+			return
+		}
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := info.ObjectOf(id)
+		if obj == nil {
+			return
+		}
+		for _, have := range out[obj] {
+			if have == fn {
+				return
+			}
+		}
+		out[obj] = append(out[obj], fn)
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					record(n.Lhs[i], n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			for i := range n.Names {
+				if i < len(n.Values) {
+					record(n.Names[i], n.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// resolveFuncValue resolves an expression used as a value to the named
+// function it denotes: a bare identifier, a package-qualified function, or a
+// bound method value.
+func resolveFuncValue(info *types.Info, e ast.Expr) *types.Func {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[e].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok {
+			if sel.Kind() == types.MethodVal {
+				if fn, ok := sel.Obj().(*types.Func); ok {
+					return fn
+				}
+			}
+			return nil
+		}
+		if fn, ok := info.Uses[e.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// resolveCallee returns the concrete function a call statically targets, or
+// nil for builtins, conversions, function values, and interface methods.
+func resolveCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if sel.Kind() != types.MethodVal {
+				return nil
+			}
+			if _, ok := sel.Recv().Underlying().(*types.Interface); ok {
+				return nil // dynamic dispatch
+			}
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+			return nil
+		}
+		// Package-qualified call: pkg.Func.
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}

@@ -1,0 +1,165 @@
+package analysis
+
+import (
+	"go/types"
+	"testing"
+)
+
+// cgFixture loads the cgraph fixture once per test and returns its graph.
+func cgFixture(t *testing.T) *CallGraph {
+	t.Helper()
+	return loadFixture(t, "cgraph").CallGraph()
+}
+
+// cgFunc finds the unique graph node with the given name.
+func cgFunc(t *testing.T, g *CallGraph, name string) *types.Func {
+	t.Helper()
+	var found *types.Func
+	for _, f := range g.Funcs {
+		if f.Name() != name {
+			continue
+		}
+		if found != nil {
+			t.Fatalf("two graph nodes named %s", name)
+		}
+		found = f
+	}
+	if found == nil {
+		t.Fatalf("no graph node named %s", name)
+	}
+	return found
+}
+
+// edgeNames projects fn's outgoing edges of one kind onto callee names,
+// preserving source order.
+func edgeNames(g *CallGraph, fn *types.Func, kind CallKind) []string {
+	var out []string
+	for _, e := range g.Callees(fn) {
+		if e.Kind == kind {
+			out = append(out, e.Callee.Name())
+		}
+	}
+	return out
+}
+
+func sameStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCallGraphInterfaceResolution proves an interface call fans out to
+// every in-module implementation — value and pointer receiver alike — in
+// deterministic (load) order, and to nothing else.
+func TestCallGraphInterfaceResolution(t *testing.T) {
+	g := cgFixture(t)
+	via := cgFunc(t, g, "viaInterface")
+
+	edges := g.Callees(via)
+	if len(edges) != 2 {
+		t.Fatalf("viaInterface has %d edges, want 2: %v", len(edges), edges)
+	}
+	var recvs []string
+	for _, e := range edges {
+		if e.Kind != CallInterface {
+			t.Errorf("edge to %s has kind %s, want interface", e.Callee.Name(), e.Kind)
+		}
+		if e.Callee.Name() != "Greet" {
+			t.Errorf("edge resolves to %s, want Greet", e.Callee.Name())
+		}
+		if e.Caller != via || e.Site == nil {
+			t.Errorf("edge to %s lacks caller/site attribution", e.Callee.Name())
+		}
+		sig := e.Callee.Type().(*types.Signature)
+		named := sig.Recv().Type()
+		if p, ok := named.(*types.Pointer); ok {
+			named = p.Elem()
+		}
+		recvs = append(recvs, named.(*types.Named).Obj().Name())
+	}
+	if want := []string{"english", "welsh"}; !sameStrings(recvs, want) {
+		t.Errorf("Greet receivers = %v, want %v (load order, silent excluded)", recvs, want)
+	}
+}
+
+// TestCallGraphFuncValueFlow proves a call through a local variable gets
+// may-edges to every named function assigned to it in the body, in
+// assignment order, with no spurious static edge.
+func TestCallGraphFuncValueFlow(t *testing.T) {
+	g := cgFixture(t)
+	via := cgFunc(t, g, "viaValue")
+
+	if got := edgeNames(g, via, CallStatic); len(got) != 0 {
+		t.Errorf("viaValue has static edges %v, want none", got)
+	}
+	if got, want := edgeNames(g, via, CallFuncValue), []string{"helper", "other"}; !sameStrings(got, want) {
+		t.Errorf("viaValue funcvalue edges = %v, want %v", got, want)
+	}
+}
+
+// TestCallGraphRecursion proves cycles are represented (self loop, mutual
+// pair) and that a traversal with a visited set terminates on them.
+func TestCallGraphRecursion(t *testing.T) {
+	g := cgFixture(t)
+	even, odd, self := cgFunc(t, g, "even"), cgFunc(t, g, "odd"), cgFunc(t, g, "self")
+
+	if got, want := edgeNames(g, even, CallStatic), []string{"odd"}; !sameStrings(got, want) {
+		t.Errorf("even calls %v, want %v", got, want)
+	}
+	if got, want := edgeNames(g, odd, CallStatic), []string{"even"}; !sameStrings(got, want) {
+		t.Errorf("odd calls %v, want %v", got, want)
+	}
+	if got, want := edgeNames(g, self, CallStatic), []string{"self"}; !sameStrings(got, want) {
+		t.Errorf("self calls %v, want %v", got, want)
+	}
+
+	// BFS from even must terminate and reach exactly the cycle.
+	seen := map[*types.Func]bool{even: true}
+	queue := []*types.Func{even}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, e := range g.Callees(cur) {
+			if !seen[e.Callee] {
+				seen[e.Callee] = true
+				queue = append(queue, e.Callee)
+			}
+		}
+		if len(seen) > g.NumNodes() {
+			t.Fatalf("traversal escaped the graph: %d nodes seen", len(seen))
+		}
+	}
+	if len(seen) != 2 || !seen[odd] {
+		t.Errorf("reachable from even: %d nodes, want exactly {even, odd}", len(seen))
+	}
+}
+
+// TestCallGraphModuleSmoke builds the graph over the whole module and pins
+// its size to a broad band: a collapse to near-zero means resolution broke,
+// a blow-up means edges are being duplicated. Update the bounds when the
+// module grows past them.
+func TestCallGraphModuleSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	prog, err := Load(".", "uopsim/...")
+	if err != nil {
+		t.Fatalf("Load(uopsim/...): %v", err)
+	}
+	g := prog.CallGraph()
+	if n := g.NumNodes(); n < 400 || n > 5000 {
+		t.Errorf("module graph has %d nodes, want 400..5000", n)
+	}
+	if n := g.NumEdges(); n < 800 || n > 50000 {
+		t.Errorf("module graph has %d edges, want 800..50000", n)
+	}
+	if g.NumEdges() < g.NumNodes() {
+		t.Errorf("fewer edges (%d) than nodes (%d): resolution looks broken", g.NumEdges(), g.NumNodes())
+	}
+}

@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Ctxflow enforces cancellation plumbing. PR 4 made every long-running
+// layer context-aware precisely so a SIGINT drains the whole campaign; a
+// single function that mints its own context quietly severs that chain for
+// everything below it. Two rules:
+//
+//  1. context.Background() and context.TODO() are forbidden outside cmd/
+//     packages (package main) — only an entry point owns a root context.
+//     The two sanctioned interior uses, the nil-means-never-cancelled
+//     normalization seams in internal/parallel and internal/experiments,
+//     carry suppressions with reasons.
+//  2. A function that receives a context.Context must thread it onward: a
+//     call argument in context position that is nil (or, in a cmd package,
+//     a fresh Background()/TODO()) drops the caller's context on the floor
+//     and is flagged.
+//
+// Tests are never analyzed (the loader skips _test.go files), so
+// context.Background() in tests stays fine.
+var Ctxflow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "context.Background/TODO only in cmd/; a received ctx must be threaded into every context-accepting call",
+	Run:  runCtxflow,
+}
+
+func runCtxflow(pass *Pass) {
+	info := pass.Prog.Info
+	for _, pkg := range pass.Prog.Packages {
+		isCmd := pkg.Name == "main" || strings.Contains(pkg.Path, "/cmd/")
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				hasCtx := funcHasContextParam(info, fd)
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if name := contextRootCall(info, call); name != "" && !isCmd {
+						pass.Reportf(call.Pos(), "context.%s outside a cmd/ package severs the cancellation chain; accept a ctx parameter instead", name)
+					}
+					if hasCtx {
+						checkContextArgs(pass, info, call, isCmd)
+					}
+					return true
+				})
+			}
+		}
+	}
+}
+
+// contextRootCall returns "Background" or "TODO" if the call mints a root
+// context.
+func contextRootCall(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return ""
+	}
+	if fn.Name() == "Background" || fn.Name() == "TODO" {
+		return fn.Name()
+	}
+	return ""
+}
+
+// checkContextArgs flags arguments in context position that discard the
+// context the enclosing function received.
+func checkContextArgs(pass *Pass, info *types.Info, call *ast.CallExpr, isCmd bool) {
+	sig, ok := typeAsSignature(info, call.Fun)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		if i >= sig.Params().Len() {
+			break // variadic tail can't be a context
+		}
+		if !isContextType(sig.Params().At(i).Type()) {
+			continue
+		}
+		if isNilExpr(info, arg) {
+			pass.Reportf(arg.Pos(), "nil context passed while the enclosing function has a ctx parameter; thread it through")
+		}
+		if isCmd {
+			if inner, isCall := ast.Unparen(arg).(*ast.CallExpr); isCall {
+				if name := contextRootCall(info, inner); name != "" {
+					pass.Reportf(arg.Pos(), "fresh context.%s passed while the enclosing function has a ctx parameter; thread it through", name)
+				}
+			}
+		}
+	}
+}
+
+func funcHasContextParam(info *types.Info, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		if tv, ok := info.Types[field.Type]; ok && isContextType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

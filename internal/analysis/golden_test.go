@@ -118,6 +118,15 @@ func TestTelemetryInspectGolden(t *testing.T) { runGolden(t, Telemetry, "telemet
 
 func TestExhaustiveGolden(t *testing.T) { runGolden(t, Exhaustive, "exhaustive") }
 
+func TestLockcheckGolden(t *testing.T) { runGolden(t, Lockcheck, "lockcheck") }
+
+// TestCtxflowGolden loads the library fixture and the main-package fixture
+// together: the same rules produce findings in one and stay silent (except
+// for the fresh-ctx-shadowing rule) in the other.
+func TestCtxflowGolden(t *testing.T) { runGolden(t, Ctxflow, "ctxflow", "ctxflowcmd") }
+
+func TestErrsinkGolden(t *testing.T) { runGolden(t, Errsink, "errsink") }
+
 // TestIgnoreDirectives exercises the suppression contract end to end: valid
 // directives (above the line and trailing) suppress, malformed ones do not
 // and are themselves reported as "simlint" diagnostics.
@@ -162,6 +171,41 @@ func TestIgnoreDirectives(t *testing.T) {
 	// the malformed ones in c and d do not.
 	if len(determinism) != 2 {
 		t.Errorf("got %d unsuppressed determinism findings, want 2 (c and d): %v", len(determinism), determinism)
+	}
+}
+
+// TestStaleSuppression covers the rot guard: a well-formed directive that
+// absorbs no finding is itself reported, and absorbed findings surface in
+// Result.Suppressed with the directive's justification.
+func TestStaleSuppression(t *testing.T) {
+	prog := loadFixture(t, "staleignore")
+	res := RunAll(prog, All())
+
+	wantStale := map[int]bool{16: false, 20: false}
+	for _, d := range res.Diagnostics {
+		if d.Analyzer != "simlint" || !strings.Contains(d.Message, "suppresses nothing") {
+			t.Errorf("unexpected diagnostic: %s", d)
+			continue
+		}
+		seen, tracked := wantStale[d.Pos.Line]
+		if !tracked || seen {
+			t.Errorf("stale finding at unexpected line %d: %s", d.Pos.Line, d)
+			continue
+		}
+		wantStale[d.Pos.Line] = true
+	}
+	for line, seen := range wantStale {
+		if !seen {
+			t.Errorf("no stale-suppression finding at line %d", line)
+		}
+	}
+
+	if len(res.Suppressed) != 1 {
+		t.Fatalf("got %d suppressed findings, want 1: %v", len(res.Suppressed), res.Suppressed)
+	}
+	s := res.Suppressed[0]
+	if s.Analyzer != "determinism" || s.Justification != "wall-clock used only for log timestamps" {
+		t.Errorf("suppressed finding = %q justification %q; want determinism / the directive reason", s.Analyzer, s.Justification)
 	}
 }
 

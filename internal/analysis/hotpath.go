@@ -27,12 +27,13 @@ import (
 //     (boxing), except in panic arguments (a dying run may allocate);
 //   - function literals (closure creation allocates).
 //
-// Calls through interfaces cannot be resolved statically and are not
-// followed; every Policy implementation is expected to carry its own marker,
-// which is what the satellite annotations do. Marked callees are skipped —
-// they are checked in their own right. `make` itself is deliberately allowed:
-// capacity-managed allocation is the approved pattern, unbounded growth is
-// the anti-pattern.
+// Reachability comes from the shared module call graph (callgraph.go),
+// following only its static edges: interface calls are deliberately not
+// followed — every Policy implementation is expected to carry its own
+// marker, which is what the satellite annotations do. Marked callees are
+// skipped — they are checked in their own right. `make` itself is
+// deliberately allowed: capacity-managed allocation is the approved pattern,
+// unbounded growth is the anti-pattern.
 var Hotpath = &Analyzer{
 	Name: "hotpath",
 	Doc:  "forbid allocating constructs in //simlint:hotpath functions and everything they statically call",
@@ -41,8 +42,9 @@ var Hotpath = &Analyzer{
 
 func runHotpath(pass *Pass) {
 	prog := pass.Prog
+	graph := prog.CallGraph()
 
-	// Roots: every function carrying the marker.
+	// Roots: every function carrying the marker, in graph (load) order.
 	type rootedFn struct {
 		fn   *types.Func
 		decl *ast.FuncDecl
@@ -50,25 +52,17 @@ func runHotpath(pass *Pass) {
 	}
 	var queue []rootedFn
 	marked := map[*types.Func]bool{}
-	for _, pkg := range prog.Packages {
-		for _, file := range pkg.Files {
-			for _, decl := range file.Decls {
-				fd, ok := decl.(*ast.FuncDecl)
-				if !ok || fd.Body == nil || !isHotpathMarked(fd) {
-					continue
-				}
-				fn := prog.funcFor(fd)
-				if fn == nil {
-					continue
-				}
-				marked[fn] = true
-				queue = append(queue, rootedFn{fn: fn, decl: fd})
-			}
+	for _, fn := range graph.Funcs {
+		fd := prog.declOf(fn)
+		if fd == nil || fd.Body == nil || !isHotpathMarked(fd) {
+			continue
 		}
+		marked[fn] = true
+		queue = append(queue, rootedFn{fn: fn, decl: fd})
 	}
 
-	// BFS over static call edges; each reachable function is checked once,
-	// attributed to the first marked entry point that reached it.
+	// BFS over the graph's static edges; each reachable function is checked
+	// once, attributed to the first marked entry point that reached it.
 	seen := map[*types.Func]bool{}
 	for len(queue) > 0 {
 		cur := queue[0]
@@ -84,7 +78,11 @@ func runHotpath(pass *Pass) {
 		}
 		checkHotBody(pass, cur.decl, cur.fn, cur.via)
 
-		for _, callee := range staticCallees(prog, cur.decl.Body) {
+		for _, edge := range graph.Callees(cur.fn) {
+			if edge.Kind != CallStatic {
+				continue // interface dispatch: satellite markers cover it
+			}
+			callee := edge.Callee
 			if marked[callee] || seen[callee] {
 				continue
 			}
@@ -106,53 +104,6 @@ func funcDisplayName(fn *types.Func) string {
 		return fn.Pkg().Name() + "." + fn.Name()
 	}
 	return fn.Name()
-}
-
-// staticCallees resolves every call in body that names a concrete function:
-// package-level functions and methods on concrete receivers. Interface
-// methods and function values are unresolvable and skipped.
-func staticCallees(prog *Program, body *ast.BlockStmt) []*types.Func {
-	var out []*types.Func
-	ast.Inspect(body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		if fn := resolveCallee(prog.Info, call); fn != nil {
-			out = append(out, fn)
-		}
-		return true
-	})
-	return out
-}
-
-// resolveCallee returns the concrete function a call statically targets, or
-// nil for builtins, conversions, function values, and interface methods.
-func resolveCallee(info *types.Info, call *ast.CallExpr) *types.Func {
-	switch fun := ast.Unparen(call.Fun).(type) {
-	case *ast.Ident:
-		if fn, ok := info.Uses[fun].(*types.Func); ok {
-			return fn
-		}
-	case *ast.SelectorExpr:
-		if sel, ok := info.Selections[fun]; ok {
-			if sel.Kind() != types.MethodVal {
-				return nil
-			}
-			if _, ok := sel.Recv().Underlying().(*types.Interface); ok {
-				return nil // dynamic dispatch
-			}
-			if fn, ok := sel.Obj().(*types.Func); ok {
-				return fn
-			}
-			return nil
-		}
-		// Package-qualified call: pkg.Func.
-		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
-			return fn
-		}
-	}
-	return nil
 }
 
 // checkHotBody applies the allocation rules to one function on the hot path.

@@ -1,0 +1,162 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// SARIF 2.1.0 rendering of an analysis run. The emitted log carries the full
+// rule catalogue (one reportingDescriptor per analyzer, plus the "simlint"
+// pseudo-rule for directive problems), every surviving diagnostic as an
+// "error"-level result, and every directive-absorbed finding as a result with
+// an inSource suppression holding the directive's justification — so a SARIF
+// consumer sees not just what fired but what was silenced and why.
+
+const sarifSchema = "https://json.schemastore.org/sarif-2.1.0.json"
+
+// sarifSrcRoot is the uriBaseId all repo-relative artifact URIs hang off.
+const sarifSrcRoot = "SRCROOT"
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool               sarifTool                        `json:"tool"`
+	OriginalURIBaseIDs map[string]sarifArtifactLocation `json:"originalUriBaseIds,omitempty"`
+	Results            []sarifResult                    `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifArtifactLocation struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId,omitempty"`
+}
+
+type sarifResult struct {
+	RuleID       string             `json:"ruleId"`
+	RuleIndex    int                `json:"ruleIndex"`
+	Level        string             `json:"level"`
+	Message      sarifMessage       `json:"message"`
+	Locations    []sarifLocation    `json:"locations,omitempty"`
+	Suppressions []sarifSuppression `json:"suppressions,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           *sarifRegion          `json:"region,omitempty"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+type sarifSuppression struct {
+	Kind          string `json:"kind"`
+	Justification string `json:"justification,omitempty"`
+}
+
+// WriteSARIF renders res as a SARIF 2.1.0 log. root anchors the SRCROOT uri
+// base; diagnostics inside it get repo-relative URIs, anything outside keeps
+// an absolute file URI. analyzers supplies the rule catalogue (the "simlint"
+// pseudo-rule is always appended).
+func WriteSARIF(w io.Writer, root string, analyzers []*Analyzer, res Result) error {
+	absRoot, err := filepath.Abs(root)
+	if err != nil {
+		return fmt.Errorf("sarif: resolve root %q: %w", root, err)
+	}
+
+	var rules []sarifRule
+	index := map[string]int{}
+	addRule := func(id, doc string) {
+		if _, ok := index[id]; ok {
+			return
+		}
+		index[id] = len(rules)
+		rules = append(rules, sarifRule{ID: id, ShortDescription: sarifMessage{Text: doc}})
+	}
+	for _, a := range analyzers {
+		addRule(a.Name, a.Doc)
+	}
+	addRule("simlint", "problems with simlint's own suppression directives: malformed, unknown, or stale //simlint:ignore comments")
+
+	result := func(d Diagnostic) sarifResult {
+		if _, ok := index[d.Analyzer]; !ok {
+			addRule(d.Analyzer, "(analyzer outside the configured catalogue)")
+		}
+		r := sarifResult{
+			RuleID:    d.Analyzer,
+			RuleIndex: index[d.Analyzer],
+			Level:     "error",
+			Message:   sarifMessage{Text: d.Message},
+		}
+		if d.Pos.Filename != "" {
+			loc := sarifArtifactLocation{URI: "file://" + filepath.ToSlash(d.Pos.Filename)}
+			if rel, rerr := filepath.Rel(absRoot, d.Pos.Filename); rerr == nil && !strings.HasPrefix(rel, "..") {
+				loc = sarifArtifactLocation{URI: filepath.ToSlash(rel), URIBaseID: sarifSrcRoot}
+			}
+			var region *sarifRegion
+			if d.Pos.Line > 0 {
+				region = &sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column}
+			}
+			r.Locations = []sarifLocation{{PhysicalLocation: sarifPhysicalLocation{
+				ArtifactLocation: loc,
+				Region:           region,
+			}}}
+		}
+		return r
+	}
+
+	results := make([]sarifResult, 0, len(res.Diagnostics)+len(res.Suppressed))
+	for _, d := range res.Diagnostics {
+		results = append(results, result(d))
+	}
+	for _, s := range res.Suppressed {
+		r := result(s.Diagnostic)
+		r.Suppressions = []sarifSuppression{{Kind: "inSource", Justification: s.Justification}}
+		results = append(results, r)
+	}
+
+	log := sarifLog{
+		Schema:  sarifSchema,
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{Name: "simlint", Rules: rules}},
+			OriginalURIBaseIDs: map[string]sarifArtifactLocation{
+				sarifSrcRoot: {URI: "file://" + filepath.ToSlash(absRoot) + "/"},
+			},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.SetEscapeHTML(false)
+	return enc.Encode(log)
+}

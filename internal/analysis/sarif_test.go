@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// field walks nested JSON objects, failing the test when a step is missing
+// or not an object.
+func field(t *testing.T, v any, path ...string) any {
+	t.Helper()
+	for _, p := range path {
+		obj, ok := v.(map[string]any)
+		if !ok {
+			t.Fatalf("SARIF: %q is not an object (looking for %v)", v, path)
+		}
+		v, ok = obj[p]
+		if !ok {
+			t.Fatalf("SARIF: missing required property %q (of %v)", p, path)
+		}
+	}
+	return v
+}
+
+// TestWriteSARIF validates the emitted log against the SARIF 2.1.0 shape:
+// every property the schema requires is present and typed correctly, rule
+// indices are consistent with the rule array, URIs are SRCROOT-relative, and
+// directive-absorbed findings carry their inSource suppression.
+func TestWriteSARIF(t *testing.T) {
+	prog := loadFixture(t, "staleignore")
+	res := RunAll(prog, All())
+	if len(res.Diagnostics) == 0 || len(res.Suppressed) == 0 {
+		t.Fatalf("fixture must yield both active (%d) and suppressed (%d) findings", len(res.Diagnostics), len(res.Suppressed))
+	}
+
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, ".", All(), res); err != nil {
+		t.Fatalf("WriteSARIF: %v", err)
+	}
+	var log map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+
+	if v := field(t, log, "version"); v != "2.1.0" {
+		t.Errorf("version = %v, want 2.1.0", v)
+	}
+	if s := field(t, log, "$schema").(string); !strings.Contains(s, "sarif-2.1.0") {
+		t.Errorf("$schema = %q, want a sarif-2.1.0 schema reference", s)
+	}
+	runs := field(t, log, "runs").([]any)
+	if len(runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(runs))
+	}
+	run := runs[0]
+
+	if name := field(t, run, "tool", "driver", "name"); name != "simlint" {
+		t.Errorf("driver name = %v, want simlint", name)
+	}
+	srcroot := field(t, run, "originalUriBaseIds", "SRCROOT", "uri").(string)
+	if !strings.HasPrefix(srcroot, "file://") || !strings.HasSuffix(srcroot, "/") {
+		t.Errorf("SRCROOT uri = %q, want an absolute file URI ending in /", srcroot)
+	}
+
+	rules := field(t, run, "tool", "driver", "rules").([]any)
+	ruleIDs := make([]string, len(rules))
+	for i, r := range rules {
+		ruleIDs[i] = field(t, r, "id").(string)
+		if doc := field(t, r, "shortDescription", "text").(string); doc == "" {
+			t.Errorf("rule %s has an empty shortDescription", ruleIDs[i])
+		}
+	}
+	for _, a := range All() {
+		found := false
+		for _, id := range ruleIDs {
+			if id == a.Name {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("rule catalogue %v is missing analyzer %s", ruleIDs, a.Name)
+		}
+	}
+	if ruleIDs[len(ruleIDs)-1] != "simlint" {
+		t.Errorf("rule catalogue %v must end with the simlint pseudo-rule", ruleIDs)
+	}
+
+	results := field(t, run, "results").([]any)
+	if want := len(res.Diagnostics) + len(res.Suppressed); len(results) != want {
+		t.Fatalf("got %d results, want %d (active + suppressed)", len(results), want)
+	}
+	suppressed := 0
+	for _, r := range results {
+		id := field(t, r, "ruleId").(string)
+		idx := int(field(t, r, "ruleIndex").(float64))
+		if idx < 0 || idx >= len(ruleIDs) || ruleIDs[idx] != id {
+			t.Errorf("result ruleIndex %d inconsistent with ruleId %q", idx, id)
+		}
+		if lvl := field(t, r, "level"); lvl != "error" {
+			t.Errorf("result level = %v, want error", lvl)
+		}
+		if msg := field(t, r, "message", "text").(string); msg == "" {
+			t.Error("result has an empty message")
+		}
+		locs := field(t, r, "locations").([]any)
+		if len(locs) != 1 {
+			t.Fatalf("result has %d locations, want 1", len(locs))
+		}
+		art := field(t, locs[0], "physicalLocation", "artifactLocation")
+		if uri := field(t, art, "uri").(string); strings.HasPrefix(uri, "/") || strings.HasPrefix(uri, "file://") {
+			t.Errorf("in-repo artifact uri %q should be SRCROOT-relative", uri)
+		}
+		if base := field(t, art, "uriBaseId"); base != "SRCROOT" {
+			t.Errorf("artifact uriBaseId = %v, want SRCROOT", base)
+		}
+		if line := field(t, locs[0], "physicalLocation", "region", "startLine").(float64); line < 1 {
+			t.Errorf("region startLine = %v, want >= 1", line)
+		}
+		if sup, ok := r.(map[string]any)["suppressions"]; ok {
+			suppressed++
+			sups := sup.([]any)
+			if len(sups) != 1 {
+				t.Fatalf("result has %d suppressions, want 1", len(sups))
+			}
+			if kind := field(t, sups[0], "kind"); kind != "inSource" {
+				t.Errorf("suppression kind = %v, want inSource", kind)
+			}
+			if j := field(t, sups[0], "justification").(string); j != "wall-clock used only for log timestamps" {
+				t.Errorf("suppression justification = %q, want the directive reason", j)
+			}
+		}
+	}
+	if suppressed != len(res.Suppressed) {
+		t.Errorf("%d results carry suppressions, want %d", suppressed, len(res.Suppressed))
+	}
+}

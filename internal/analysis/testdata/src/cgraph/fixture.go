@@ -1,0 +1,55 @@
+// Package cgfix is the call-graph fixture: one interface with two
+// implementations (value and pointer receiver) plus a non-implementation,
+// a function value flowing through a local, and recursion both direct and
+// mutual.
+package cgfix
+
+type greeter interface{ Greet() string }
+
+type english struct{}
+
+func (english) Greet() string { return "hello" }
+
+type welsh struct{}
+
+func (*welsh) Greet() string { return "helo" }
+
+// silent satisfies nothing; it must not appear as a Greet target.
+type silent struct{}
+
+func (silent) Quiet() string { return "" }
+
+func viaInterface(g greeter) string { return g.Greet() }
+
+func helper() string { return "h" }
+
+func other() string { return "o" }
+
+func viaValue(n int) string {
+	f := helper
+	if n > 0 {
+		f = other
+	}
+	return f()
+}
+
+func even(n int) bool {
+	if n == 0 {
+		return true
+	}
+	return odd(n - 1)
+}
+
+func odd(n int) bool {
+	if n == 0 {
+		return false
+	}
+	return even(n - 1)
+}
+
+func self(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return self(n - 1)
+}

@@ -1,0 +1,37 @@
+// Package ctxfix is the ctxflow fixture for library code: fresh root
+// contexts are forbidden, and a function holding a ctx parameter must
+// thread it into the context-accepting calls it makes.
+package ctxfix
+
+import "context"
+
+func mint() context.Context {
+	return context.Background() // want "context.Background outside a cmd/ package severs the cancellation chain"
+}
+
+func todo() context.Context {
+	return context.TODO() // want "context.TODO outside a cmd/ package severs the cancellation chain"
+}
+
+func needsCtx(ctx context.Context, n int) error {
+	_ = n
+	return ctx.Err()
+}
+
+func threadsOK(ctx context.Context) error {
+	return needsCtx(ctx, 1)
+}
+
+func drops(ctx context.Context) error {
+	return needsCtx(nil, 1) // want "nil context passed while the enclosing function has a ctx parameter"
+}
+
+// noCtxParam has nothing to thread: the nil-means-default seam belongs to
+// the callee, so the analyzer stays silent.
+func noCtxParam() error {
+	return needsCtx(nil, 1)
+}
+
+func sanctioned() context.Context {
+	return context.Background() //simlint:ignore ctxflow fixture-sanctioned root context
+}

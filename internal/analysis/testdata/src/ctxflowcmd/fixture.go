@@ -1,0 +1,19 @@
+// Command ctxflowcmd is the ctxflow fixture for the cmd exemption: a main
+// package may mint root contexts, but a function that already holds a ctx
+// parameter must not shadow it with a fresh one.
+package main
+
+import "context"
+
+func root() context.Context {
+	return context.Background() // a cmd package owns the process lifetime
+}
+
+func shadows(ctx context.Context, f func(context.Context) error) error {
+	_ = ctx
+	return f(context.Background()) // want "fresh context.Background passed while the enclosing function has a ctx parameter"
+}
+
+func main() {
+	_ = shadows(root(), func(ctx context.Context) error { return ctx.Err() })
+}

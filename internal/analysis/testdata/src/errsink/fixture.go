@@ -1,0 +1,86 @@
+// Package errfix is the errsink fixture: discarded errors on the
+// durability surface (named writers, write-path Close, writer-parameter
+// prints) are findings; cleanup-path and read-path discards are not.
+package errfix
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// AtomicWriteFile mimics the module's durability entry point; its own
+// cleanup-path Close is exempt because the write error is already on its
+// way out.
+func AtomicWriteFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func persist(path string) {
+	AtomicWriteFile(path, func(w io.Writer) error { return nil }) // want "error from errfix.AtomicWriteFile discarded; the durability surface must be checked"
+}
+
+type journal struct{ f *os.File }
+
+func (j *journal) Append(line string) error {
+	_, err := j.f.WriteString(line)
+	return err
+}
+
+func (j *journal) Flush() error { return j.f.Sync() }
+
+func useJournal(j *journal) {
+	j.Append("x") // want "error from \\*journal.Append discarded; the durability surface must be checked"
+	_ = j.Flush() // want "error from \\*journal.Flush discarded; the durability surface must be checked"
+	if err := j.Append("y"); err != nil {
+		_ = err
+	}
+}
+
+func writeThenClose(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		return
+	}
+	fmt.Fprintln(f, "data")
+	f.Close() // want "error from Close discarded on a write path: the final flush error is lost"
+}
+
+func readThenClose(path string) []byte {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil
+	}
+	defer f.Close()
+	buf := make([]byte, 16)
+	f.Read(buf)
+	return buf
+}
+
+type sink struct{ f *os.File }
+
+func (s *sink) Close() error { return s.f.Close() }
+
+func dropModuleClose(s *sink) {
+	s.Close() // want "error from \\*sink.Close discarded; a module Close returning error does so deliberately"
+}
+
+// render is a durability writer (io.Writer parameter, error result): an
+// unchecked print loses the write error the signature promises to report.
+func render(w io.Writer, rows []string) error {
+	fmt.Fprintln(w, "header") // want "write error to the w parameter discarded inside a durability writer; use the sticky errWriter pattern"
+	for _, r := range rows {
+		if _, err := fmt.Fprintln(w, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}

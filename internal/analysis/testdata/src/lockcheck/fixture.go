@@ -1,0 +1,193 @@
+// Package lockfix is the lockcheck fixture: release-on-every-path,
+// blocking-while-held (direct and transitive), lock ordering, and the
+// approved patterns that must stay silent.
+package lockfix
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+type store struct {
+	mu sync.Mutex
+	n  int
+}
+
+type registry struct {
+	mu sync.Mutex
+	v  int
+}
+
+// --- rule 1: a lock acquired must be released on every path ---
+
+func missingOnReturn(s *store) {
+	s.mu.Lock()
+	if s.n > 0 {
+		return // want "mutex lockfix.store.mu is still held at this return"
+	}
+	s.mu.Unlock()
+}
+
+func heldAtExit(s *store) {
+	s.mu.Lock()
+	s.n++
+} // want "mutex lockfix.store.mu is still held at function exit"
+
+func heldAtPanic(s *store) {
+	s.mu.Lock()
+	if s.n < 0 {
+		panic("negative") // want "mutex lockfix.store.mu is still held at this panic"
+	}
+	s.mu.Unlock()
+}
+
+func deferOK(s *store) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+}
+
+func branchUnlockOK(s *store) int {
+	s.mu.Lock()
+	if s.n == 0 {
+		s.mu.Unlock()
+		return 0
+	}
+	n := s.n
+	s.mu.Unlock()
+	return n
+}
+
+func closureDeferOK(s *store) {
+	s.mu.Lock()
+	defer func() { s.mu.Unlock() }()
+	s.n++
+}
+
+func loopImbalance(s *store, xs []int) {
+	for _, x := range xs { // want "loop body changes which mutexes are held between iterations"
+		s.mu.Lock()
+		s.n += x
+	}
+	s.mu.Unlock()
+}
+
+// --- rule 2: nothing potentially blocking while a lock is held ---
+
+func sendWhileHeld(s *store, ch chan int) {
+	s.mu.Lock()
+	ch <- s.n // want "potentially blocking channel send while holding lockfix.store.mu"
+	s.mu.Unlock()
+}
+
+func recvWhileHeld(s *store, ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n = <-ch // want "potentially blocking channel receive while holding lockfix.store.mu"
+}
+
+func recvAfterUnlockOK(s *store, ch chan int) int {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	return <-ch
+}
+
+func selectWhileHeld(s *store, ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want "potentially blocking select with no default while holding lockfix.store.mu"
+	case v := <-ch:
+		s.n = v
+	}
+}
+
+func selectDefaultOK(s *store, ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case v := <-ch:
+		s.n = v
+	default:
+	}
+}
+
+func waitWhileHeld(s *store, wg *sync.WaitGroup) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	wg.Wait() // want "potentially blocking sync WaitGroup.Wait while holding lockfix.store.mu"
+}
+
+func sleepWhileHeld(s *store) {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want "potentially blocking time.Sleep while holding lockfix.store.mu"
+	s.mu.Unlock()
+}
+
+func fileIOWhileHeld(s *store, f *os.File) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return f.Sync() // want "potentially blocking os.File.Sync .file I/O. while holding lockfix.store.mu"
+}
+
+// blocksTransitively is clean on its own — the receive runs lock-free.
+func blocksTransitively(ch chan int) int { return <-ch }
+
+func callBlockerWhileHeld(s *store, ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n = blocksTransitively(ch) // want "call to lockfix.blocksTransitively while holding lockfix.store.mu may block: channel receive"
+}
+
+func callBlockerAfterUnlockOK(s *store, ch chan int) int {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	return blocksTransitively(ch)
+}
+
+// closures are not walked: they run on their creator's schedule, not here.
+func closureNotWalkedOK(s *store, ch chan int) func() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return func() { <-ch }
+}
+
+// --- rule 3: lock ordering ---
+
+func lockAB(s *store, r *registry) {
+	s.mu.Lock()
+	r.mu.Lock() // want "lock-order inversion: lockfix.registry.mu acquired while holding lockfix.store.mu"
+	r.v++
+	r.mu.Unlock()
+	s.mu.Unlock()
+}
+
+func lockBA(s *store, r *registry) {
+	r.mu.Lock()
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	r.mu.Unlock()
+}
+
+func relock(s *store) {
+	s.mu.Lock()
+	s.mu.Lock() // want "mutex lockfix.store.mu acquired while already held: self-deadlock"
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// touch is clean on its own; calling it with store.mu held is the deadlock.
+func touch(s *store) {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+}
+
+func lockThenCallSelf(s *store) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	touch(s) // want "call to lockfix.touch while holding lockfix.store.mu acquires it again: self-deadlock"
+}

@@ -1,0 +1,21 @@
+// Package workload is the stale-suppression fixture: live() carries a
+// directive that absorbs a real finding and stays silent; the directives in
+// stale() (line 16) and above alsoStale() (line 20) absorb nothing, so each
+// is itself a finding — the suppression inventory must not rot. The
+// TestStaleSuppression assertions are keyed to those line numbers.
+package workload
+
+import "time"
+
+func live() int64 {
+	//simlint:ignore determinism wall-clock used only for log timestamps
+	return time.Now().UnixNano()
+}
+
+func stale() int64 {
+	//simlint:ignore determinism this code stopped using the wall clock long ago
+	return 42
+}
+
+//simlint:ignore determinism nothing below ever violated the rule
+func alsoStale() {}

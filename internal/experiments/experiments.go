@@ -186,7 +186,7 @@ func (c *Context) ctx() context.Context {
 	if c.Ctx != nil {
 		return c.Ctx
 	}
-	return context.Background()
+	return context.Background() //simlint:ignore ctxflow the documented nil-means-never-cancelled normalization seam for Context.Ctx
 }
 
 // ctxCaches holds the per-geometry singleflight result caches. The mutex

@@ -205,29 +205,33 @@ func kneeOf(t *Table, _ int) string {
 // WriteReport renders the paper-vs-measured summary plus every table as
 // markdown — the generated core of EXPERIMENTS.md.
 func WriteReport(w io.Writer, tables []*Table, checks []CheckResult) error {
-	fmt.Fprintln(w, "## Paper vs. measured — headline comparisons")
-	fmt.Fprintln(w)
-	fmt.Fprintln(w, "| experiment | metric | paper | measured |")
-	fmt.Fprintln(w, "| --- | --- | --- | --- |")
+	ew := &errWriter{w: w}
+	fmt.Fprintln(ew, "## Paper vs. measured — headline comparisons")
+	fmt.Fprintln(ew)
+	fmt.Fprintln(ew, "| experiment | metric | paper | measured |")
+	fmt.Fprintln(ew, "| --- | --- | --- | --- |")
 	for _, t := range tables {
 		for _, s := range summarize(t) {
-			fmt.Fprintf(w, "| %s | %s | %s | %s |\n", s.Experiment, s.Metric, s.Paper, s.Measured)
+			fmt.Fprintf(ew, "| %s | %s | %s | %s |\n", s.Experiment, s.Metric, s.Paper, s.Measured)
 		}
 	}
-	fmt.Fprintln(w)
-	fmt.Fprintln(w, "## Shape checks")
-	fmt.Fprintln(w)
+	fmt.Fprintln(ew)
+	fmt.Fprintln(ew, "## Shape checks")
+	fmt.Fprintln(ew)
 	pass, fail := 0, 0
 	for _, c := range checks {
 		pass += len(c.Passed)
 		fail += len(c.Failed)
 		for _, f := range c.Failed {
-			fmt.Fprintf(w, "- **FAIL** `%s`: %s\n", c.Experiment, f)
+			fmt.Fprintf(ew, "- **FAIL** `%s`: %s\n", c.Experiment, f)
 		}
 	}
-	fmt.Fprintf(w, "\n%d claims checked, %d passed, %d failed.\n\n", pass+fail, pass, fail)
-	fmt.Fprintln(w, "## Full tables")
-	fmt.Fprintln(w)
+	fmt.Fprintf(ew, "\n%d claims checked, %d passed, %d failed.\n\n", pass+fail, pass, fail)
+	fmt.Fprintln(ew, "## Full tables")
+	fmt.Fprintln(ew)
+	if ew.err != nil {
+		return ew.err
+	}
 	for _, t := range tables {
 		if err := t.Markdown(w); err != nil {
 			return err

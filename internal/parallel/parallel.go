@@ -73,7 +73,7 @@ func run(i int, fn func(i int) error) (err error) {
 // background normalizes a nil context to one that is never cancelled.
 func background(ctx context.Context) context.Context {
 	if ctx == nil {
-		return context.Background()
+		return context.Background() //simlint:ignore ctxflow the documented nil-means-never-cancelled normalization seam for the pool entry points
 	}
 	return ctx
 }

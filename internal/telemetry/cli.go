@@ -88,7 +88,9 @@ func (c *CLI) Start() error {
 		if err != nil {
 			return fmt.Errorf("telemetry: %w", err)
 		}
-		f.Close()
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("telemetry: %w", err)
+		}
 	}
 	if c.EventsPath != "" {
 		f, err := os.Create(c.EventsPath + ".partial")

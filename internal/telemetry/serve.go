@@ -52,7 +52,9 @@ func ServeStatus(addr string, reg *Registry, status StatusFunc) (*http.Server, e
 			return
 		}
 		reg.Collect()
-		_ = reg.WritePrometheus(w)
+		if err := reg.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
 	})
 	mux.HandleFunc("/debug/status", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
