@@ -154,6 +154,47 @@ func BenchmarkUopCacheFURBYS(b *testing.B) {
 	}
 }
 
+// BenchmarkPolicyLookup measures the steady-state per-replay cost of each
+// replacement policy: a kafka PW trace replayed through a cache built on
+// that policy, after one untimed warm-up replay fills the sets. Hits drive
+// OnHit, misses drive Victim/OnEvict/OnInsert, so the numbers cover exactly
+// the per-slot metadata paths (dense stamp/RRPV/signature arrays instead of
+// per-key maps) that the slot-handle Policy interface exists for.
+func BenchmarkPolicyLookup(b *testing.B) {
+	pws := benchTracePWs(b, "kafka", 20000)
+	cfg := uopcache.DefaultConfig()
+	prof := profiles.Collect(pws, cfg, profiles.SourceFLACK)
+	weights := prof.Weights(cfg, 3)
+	cases := []struct {
+		name string
+		mk   func() uopcache.Policy
+	}{
+		{"lru", func() uopcache.Policy { return policy.NewLRU() }},
+		{"random", func() uopcache.Policy { return policy.NewRandom(1) }},
+		{"srrip", func() uopcache.Policy { return policy.NewSRRIP() }},
+		{"shippp", func() uopcache.Policy { return policy.NewSHiPPP() }},
+		{"drrip", func() uopcache.Policy { return policy.NewDRRIP() }},
+		{"ghrp", func() uopcache.Policy { return policy.NewGHRP() }},
+		{"mockingjay", func() uopcache.Policy { return policy.NewMockingjay() }},
+		{"thermometer", func() uopcache.Policy { return policy.NewThermometer(nil) }},
+		{"furbys", func() uopcache.Policy {
+			return policy.NewFURBYS(policy.DefaultFURBYSConfig(), weights)
+		}},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			c := uopcache.New(cfg, tc.mk())
+			beh := uopcache.NewBehavior(c, nil)
+			beh.Run(pws) // warm to steady state before timing
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				beh.Run(pws)
+			}
+		})
+	}
+}
+
 func BenchmarkFLACKSolve(b *testing.B) {
 	pws := benchTracePWs(b, "kafka", 20000)
 	cfg := uopcache.DefaultConfig()

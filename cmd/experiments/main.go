@@ -55,6 +55,7 @@ import (
 
 	"uopsim/internal/experiments"
 	"uopsim/internal/faultinject"
+	"uopsim/internal/flow"
 	"uopsim/internal/inspect"
 	"uopsim/internal/parallel"
 	"uopsim/internal/plot"
@@ -257,6 +258,10 @@ func run(o *options, args []string, stdout, stderr io.Writer) (interrupted bool,
 	if err := o.obs.Start(); err != nil {
 		return false, err
 	}
+	if o.obs.Registry != nil {
+		flow.RegisterMetrics(o.obs.Registry)
+	}
+	hw := telemetry.StartHeapWatermark(0)
 
 	// SIGINT/SIGTERM cancels the campaign context: cells in flight finish,
 	// queued work is abandoned, and everything below the RunMany call —
@@ -463,6 +468,7 @@ func run(o *options, args []string, stdout, stderr io.Writer) (interrupted bool,
 	default:
 		man.Status = telemetry.StatusOK
 	}
+	man.PeakHeapAlloc = hw.Stop()
 	man.Finish()
 	if path := manifestPath(o.manifest, o.csvDir, o.svgDir); path != "" {
 		if werr := man.WriteFile(path); werr != nil {

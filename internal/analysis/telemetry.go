@@ -12,7 +12,7 @@ import (
 // Stats-reconciliation tests can enumerate what they expect.
 // The inspect and trace families belong to the decision-level introspection
 // layer (internal/inspect): attribution roll-ups and span-trace health.
-var metricNamePattern = regexp.MustCompile(`^(uopcache|frontend|policy|offline|parallel|faultinject|inspect|trace)_[a-z0-9_]+$`)
+var metricNamePattern = regexp.MustCompile(`^(uopcache|frontend|policy|offline|flow|parallel|faultinject|inspect|trace)_[a-z0-9_]+$`)
 
 // Telemetry enforces that metric names handed to the telemetry registry
 // (Registry.Counter / Gauge / Histogram methods of a package named
@@ -22,7 +22,7 @@ var metricNamePattern = regexp.MustCompile(`^(uopcache|frontend|policy|offline|p
 // Stats-reconciliation tests assert against.
 var Telemetry = &Analyzer{
 	Name: "telemetry",
-	Doc:  "metric names must be compile-time constants matching ^(uopcache|frontend|policy|offline|parallel|faultinject|inspect|trace)_[a-z0-9_]+$",
+	Doc:  "metric names must be compile-time constants matching ^(uopcache|frontend|policy|offline|flow|parallel|faultinject|inspect|trace)_[a-z0-9_]+$",
 	Run:  runTelemetry,
 }
 

@@ -274,7 +274,7 @@ func RunTimingObserved(blocks []trace.Block, cfg Config, pol uopcache.Policy, te
 	uc := uopcache.New(cfg.UopCache, pol)
 	tel.attach(uc)
 	if sp, ok := base.(*offline.SchedulePolicy); ok {
-		sp.Bind(func() int { return int(uc.Stats.Lookups) })
+		sp.BindPos(func() int { return int(uc.Stats.Lookups) })
 	}
 	return runTiming(blocks, cfg, bp, uc, tel)
 }

@@ -3,12 +3,22 @@
 // FLACK offline replacement policies to solve their interval-caching
 // formulation (Berger et al., "Practical Bounds on Optimal Caching with
 // Variable Object Sizes").
+//
+// The Dijkstra scratch state (potentials, distances, parent arcs, visited
+// marks, and the binary heap) lives in a reusable Solver arena: allocated
+// once, grown to the largest graph seen, and invalidated by epoch stamping
+// instead of O(n) clears between augmenting paths. FOO solves thousands of
+// per-(set, segment) instances per experiment, so the arena turns the
+// solver's allocation profile from per-instance to per-worker.
 package flow
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
+
+	"uopsim/internal/telemetry"
 )
 
 // Graph is a directed flow network with integer capacities and costs.
@@ -25,16 +35,32 @@ type Graph struct {
 }
 
 // NewGraph creates a graph with n nodes.
-func NewGraph(n int) *Graph {
-	head := make([]int32, n)
+func NewGraph(n int) *Graph { return NewGraphCap(n, 0) }
+
+// NewGraphCap creates a graph with n nodes, pre-sizing the arc storage for
+// edgeCap logical edges (2*edgeCap arcs) so builders that know their exact
+// edge count never grow a slice mid-build. The node index keeps two spare
+// head slots for SolveSupplies' super source and sink.
+func NewGraphCap(n, edgeCap int) *Graph {
+	head := make([]int32, n, n+2)
 	for i := range head {
 		head[i] = -1
 	}
-	return &Graph{n: n, headA: head}
+	g := &Graph{n: n, headA: head}
+	if edgeCap > 0 {
+		g.to = make([]int32, 0, 2*edgeCap)
+		g.next = make([]int32, 0, 2*edgeCap)
+		g.cap = make([]int64, 0, 2*edgeCap)
+		g.cost = make([]int64, 0, 2*edgeCap)
+	}
+	return g
 }
 
 // NumNodes returns the node count.
 func (g *Graph) NumNodes() int { return g.n }
+
+// NumEdges returns the logical edge count.
+func (g *Graph) NumEdges() int { return len(g.to) / 2 }
 
 // AddEdge adds a directed edge u→v with the given capacity and per-unit
 // cost, returning its edge id (for Flow queries). Cost must be
@@ -74,82 +100,166 @@ type Result struct {
 	Cost int64
 }
 
-// priority queue for Dijkstra.
+// heap entry for Dijkstra.
 type pqItem struct {
 	node int32
 	dist int64
 }
-type pq []pqItem
 
-func (q pq) Len() int           { return len(q) }
-func (q pq) Less(i, j int) bool { return q[i].dist < q[j].dist }
-func (q pq) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
-func (q *pq) Push(x any)        { *q = append(*q, x.(pqItem)) }
-func (q *pq) Pop() any          { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
+// Solver is a reusable min-cost-flow scratch arena. It carries no graph
+// state between calls — only capacity — so one Solver may serve any number
+// of graphs sequentially. Not safe for concurrent use; use one per worker
+// (AcquireSolver/ReleaseSolver pool them).
+type Solver struct {
+	pot     []int64
+	dist    []int64
+	prevArc []int32
+	// distE/visE stamp which entries of dist/prevArc (respectively the
+	// visited set) are valid for the current Dijkstra epoch; bumping the
+	// epoch invalidates everything in O(1).
+	distE []uint32
+	visE  []uint32
+	epoch uint32
+	heap  []pqItem
+}
 
-// MinCostFlow routes up to maxFlow units from s to t at minimum cost,
-// stopping early when no augmenting path remains. Pass math.MaxInt64 to
-// route the maximum flow. All edge costs must be non-negative.
-func (g *Graph) MinCostFlow(s, t int, maxFlow int64) Result {
-	if s == t {
+// NewSolver returns an empty solver arena; arrays grow on first use.
+func NewSolver() *Solver { return &Solver{} }
+
+// grow ensures capacity for an n-node graph without disturbing epochs.
+func (s *Solver) grow(n int) {
+	if len(s.pot) >= n {
+		return
+	}
+	s.pot = make([]int64, n)
+	s.dist = make([]int64, n)
+	s.prevArc = make([]int32, n)
+	s.distE = make([]uint32, n)
+	s.visE = make([]uint32, n)
+	s.epoch = 0
+}
+
+// bump starts a new Dijkstra epoch, invalidating dist/visited stamps.
+func (s *Solver) bump() {
+	s.epoch++
+	if s.epoch == 0 { // uint32 wrap: stale stamps could alias; hard reset
+		clear(s.distE)
+		clear(s.visE)
+		s.epoch = 1
+	}
+}
+
+// The manual binary heap below replicates container/heap's sift order
+// exactly (Push = append + sift-up; Pop = swap root/last, sift-down, return
+// last; strictly-less comparisons on dist). Equal-distance entries therefore
+// pop in the same order as the previous container/heap implementation, which
+// keeps augmenting-path selection — and thus every FOO/FLACK plan — byte
+// identical.
+
+func (s *Solver) hpush(it pqItem) {
+	h := append(s.heap, it)
+	j := len(h) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if h[j].dist >= h[i].dist {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+	s.heap = h
+}
+
+func (s *Solver) hpop() pqItem {
+	h := s.heap
+	n := len(h) - 1
+	h[0], h[n] = h[n], h[0]
+	i := 0
+	for {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if j2 := j + 1; j2 < n && h[j2].dist < h[j].dist {
+			j = j2
+		}
+		if h[j].dist >= h[i].dist {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+	it := h[n]
+	s.heap = h[:n]
+	return it
+}
+
+// MinCostFlow routes up to maxFlow units from src to t in g at minimum
+// cost, stopping early when no augmenting path remains. Pass math.MaxInt64
+// to route the maximum flow. All edge costs must be non-negative.
+func (s *Solver) MinCostFlow(g *Graph, src, t int, maxFlow int64) Result {
+	if src == t {
 		return Result{}
 	}
-	pot := make([]int64, g.n) // Johnson potentials; valid since costs >= 0
-	dist := make([]int64, g.n)
-	prevArc := make([]int32, g.n)
-	visited := make([]bool, g.n)
+	s.grow(g.n)
+	pot := s.pot[:g.n]
+	clear(pot) // potentials start at zero each solve; valid since costs >= 0
+	dist, prevArc := s.dist, s.prevArc
+	distE, visE := s.distE, s.visE
 	var res Result
 
 	for res.Flow < maxFlow {
-		// Dijkstra on reduced costs.
-		for i := range dist {
-			dist[i] = math.MaxInt64
-			visited[i] = false
-			prevArc[i] = -1
-		}
-		dist[s] = 0
-		q := pq{{int32(s), 0}}
-		for len(q) > 0 {
-			it := heap.Pop(&q).(pqItem)
+		// Dijkstra on reduced costs; stamps replace the per-iteration
+		// O(n) dist/visited reset.
+		s.bump()
+		ep := s.epoch
+		dist[src] = 0
+		distE[src] = ep
+		s.heap = s.heap[:0]
+		s.hpush(pqItem{int32(src), 0})
+		for len(s.heap) > 0 {
+			it := s.hpop()
 			u := int(it.node)
-			if visited[u] {
+			if visE[u] == ep {
 				continue
 			}
-			visited[u] = true
+			visE[u] = ep
 			for a := g.headA[u]; a != -1; a = g.next[a] {
 				if g.cap[a] <= 0 {
 					continue
 				}
 				v := int(g.to[a])
-				if visited[v] {
+				if visE[v] == ep {
 					continue
 				}
 				rc := g.cost[a] + pot[u] - pot[v]
-				if nd := dist[u] + rc; nd < dist[v] {
+				nd := dist[u] + rc
+				if distE[v] != ep || nd < dist[v] {
 					dist[v] = nd
+					distE[v] = ep
 					prevArc[v] = a
-					heap.Push(&q, pqItem{int32(v), nd})
+					s.hpush(pqItem{int32(v), nd})
 				}
 			}
 		}
-		if !visited[t] {
+		if visE[t] != ep {
 			break
 		}
 		for i := 0; i < g.n; i++ {
-			if dist[i] < math.MaxInt64 {
+			if distE[i] == ep {
 				pot[i] += dist[i]
 			}
 		}
 		// Bottleneck along the path.
 		push := maxFlow - res.Flow
-		for v := t; v != s; {
+		for v := t; v != src; {
 			a := prevArc[v]
 			if g.cap[a] < push {
 				push = g.cap[a]
 			}
 			v = int(g.to[a^1])
 		}
-		for v := t; v != s; {
+		for v := t; v != src; {
 			a := prevArc[v]
 			g.cap[a] -= push
 			g.cap[a^1] += push
@@ -162,38 +272,94 @@ func (g *Graph) MinCostFlow(s, t int, maxFlow int64) Result {
 }
 
 // SolveSupplies satisfies per-node supplies (positive) and demands
-// (negative) at minimum cost by attaching a super source and sink. The
+// (negative) at minimum cost by attaching a super source and sink to g. The
 // supply slice must sum to zero. It returns the routed flow (== total
 // supply) and its cost; err is non-nil when the network cannot absorb the
 // supplies.
-func (g *Graph) SolveSupplies(supply []int64) (Result, error) {
+func (s *Solver) SolveSupplies(g *Graph, supply []int64) (Result, error) {
 	if len(supply) != g.n {
 		return Result{}, fmt.Errorf("flow: supply vector length %d != %d nodes", len(supply), g.n)
 	}
 	var total, balance int64
-	for _, s := range supply {
-		balance += s
-		if s > 0 {
-			total += s
+	for _, v := range supply {
+		balance += v
+		if v > 0 {
+			total += v
 		}
 	}
 	if balance != 0 {
 		return Result{}, fmt.Errorf("flow: supplies sum to %d, want 0", balance)
 	}
 	// Extend the graph with super source and sink.
-	s, t := g.n, g.n+1
+	src, t := g.n, g.n+1
 	g.n += 2
 	g.headA = append(g.headA, -1, -1)
 	for i, sup := range supply {
 		if sup > 0 {
-			g.AddEdge(s, i, sup, 0)
+			g.AddEdge(src, i, sup, 0)
 		} else if sup < 0 {
 			g.AddEdge(i, t, -sup, 0)
 		}
 	}
-	res := g.MinCostFlow(s, t, math.MaxInt64)
+	res := s.MinCostFlow(g, src, t, math.MaxInt64)
 	if res.Flow != total {
 		return res, fmt.Errorf("flow: infeasible, routed %d of %d", res.Flow, total)
 	}
 	return res, nil
+}
+
+// MinCostFlow is the arena-free convenience form (a throwaway Solver).
+func (g *Graph) MinCostFlow(s, t int, maxFlow int64) Result {
+	return NewSolver().MinCostFlow(g, s, t, maxFlow)
+}
+
+// SolveSupplies is the arena-free convenience form (a throwaway Solver).
+func (g *Graph) SolveSupplies(supply []int64) (Result, error) {
+	return NewSolver().SolveSupplies(g, supply)
+}
+
+// ---------------------------------------------------------------------------
+// Solver pool and reuse telemetry
+
+var (
+	solverPool = sync.Pool{New: func() any {
+		solverFresh.Add(1)
+		return NewSolver()
+	}}
+	// solverReuse / solverFresh count pool hits vs. new arena allocations;
+	// exposed as flow_solver_reuse_total / flow_solver_fresh_total.
+	solverReuse atomic.Uint64
+	solverFresh atomic.Uint64
+)
+
+// AcquireSolver returns a pooled solver arena (allocating one only when the
+// pool is empty). Pair with ReleaseSolver.
+func AcquireSolver() *Solver {
+	solverReuse.Add(1)
+	return solverPool.Get().(*Solver)
+}
+
+// ReleaseSolver returns a solver to the pool. The arena keeps its grown
+// capacity; no state carries over between users.
+func ReleaseSolver(s *Solver) { solverPool.Put(s) }
+
+// SolverReuseStats returns how many AcquireSolver calls were served from the
+// pool (reuse) and how many had to allocate a fresh arena.
+func SolverReuseStats() (reuse, fresh uint64) {
+	f := solverFresh.Load()
+	a := solverReuse.Load()
+	return a - f, f
+}
+
+// RegisterMetrics exposes the solver-pool counters in reg as
+// flow_solver_reuse_total and flow_solver_fresh_total, refreshed at each
+// collection.
+func RegisterMetrics(reg *telemetry.Registry) {
+	reuse := reg.Counter("flow_solver_reuse_total")
+	fresh := reg.Counter("flow_solver_fresh_total")
+	reg.OnCollect(func() {
+		r, f := SolverReuseStats()
+		reuse.Store(r)
+		fresh.Store(f)
+	})
 }

@@ -40,14 +40,17 @@ func NewBelady(o *Oracle) *Belady { return &Belady{o: o} }
 // Name implements uopcache.Policy.
 func (p *Belady) Name() string { return "belady" }
 
+// Bind implements uopcache.Policy (oracle-driven; no per-slot state).
+func (p *Belady) Bind(uopcache.Geometry) {}
+
 // OnHit implements uopcache.Policy.
-func (p *Belady) OnHit(int, uint64) {}
+func (p *Belady) OnHit(int, int32, uint64) {}
 
 // OnInsert implements uopcache.Policy.
-func (p *Belady) OnInsert(int, trace.PW) {}
+func (p *Belady) OnInsert(int, int32, trace.PW) {}
 
 // OnEvict implements uopcache.Policy.
-func (p *Belady) OnEvict(int, uint64) {}
+func (p *Belady) OnEvict(int, int32, uint64) {}
 
 // Victim implements uopcache.Policy: evict the window with the furthest
 // next use (ties broken by key for determinism).

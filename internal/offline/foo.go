@@ -168,30 +168,34 @@ func solveSegment(reqs []fooRequest, ways int, model CostModel, dec *Decisions) 
 	if m < 2 {
 		return
 	}
-	g := flow.NewGraph(m)
+	// Walk backward so "next occurrence" is known, counting intervals as we
+	// go: together with the m-1 inner edges and at most m supply edges this
+	// gives the exact arc budget, so the graph build never grows a slice.
+	next := make(map[uint64]int, m) // id -> most recent earlier index
+	nextOcc := make([]int, m)
+	nIntervals := 0
+	for i := m - 1; i >= 0; i-- {
+		if j, ok := next[reqs[i].id]; ok {
+			nextOcc[i] = j
+			nIntervals++
+		} else {
+			nextOcc[i] = -1
+		}
+		next[reqs[i].id] = i
+	}
+	g := flow.NewGraphCap(m, (m-1)+nIntervals+m)
 	// Inner edges: consecutive requests share the set's entry capacity.
 	for i := 0; i+1 < m; i++ {
 		g.AddEdge(i, i+1, int64(ways), 0)
 	}
 	// Outer edges: one per interval (request -> next request of the same
 	// object within the segment).
-	next := make(map[uint64]int, m) // id -> most recent earlier index
 	type interval struct {
 		edge int
 		from int
 	}
-	var intervals []interval
+	intervals := make([]interval, 0, nIntervals)
 	supply := make([]int64, m)
-	// Walk backward so "next occurrence" is known.
-	nextOcc := make([]int, m)
-	for i := m - 1; i >= 0; i-- {
-		if j, ok := next[reqs[i].id]; ok {
-			nextOcc[i] = j
-		} else {
-			nextOcc[i] = -1
-		}
-		next[reqs[i].id] = i
-	}
 	for i := 0; i < m; i++ {
 		j := nextOcc[i]
 		if j < 0 {
@@ -220,7 +224,10 @@ func solveSegment(reqs []fooRequest, ways int, model CostModel, dec *Decisions) 
 	}
 	// The network is always feasible: every outer edge can carry its own
 	// supply. An error here is a programming bug.
-	if _, err := g.SolveSupplies(supply); err != nil {
+	sv := flow.AcquireSolver()
+	_, err := sv.SolveSupplies(g, supply)
+	flow.ReleaseSolver(sv)
+	if err != nil {
 		panic("offline: infeasible FOO instance: " + err.Error())
 	}
 	for _, iv := range intervals {

@@ -72,14 +72,17 @@ type replayPolicy struct {
 // Name implements uopcache.Policy.
 func (p *replayPolicy) Name() string { return "offline-replay" }
 
+// Bind implements uopcache.Policy (plan-driven; no per-slot state).
+func (p *replayPolicy) Bind(uopcache.Geometry) {}
+
 // OnHit implements uopcache.Policy.
-func (p *replayPolicy) OnHit(int, uint64) {}
+func (p *replayPolicy) OnHit(int, int32, uint64) {}
 
 // OnInsert implements uopcache.Policy.
-func (p *replayPolicy) OnInsert(int, trace.PW) {}
+func (p *replayPolicy) OnInsert(int, int32, trace.PW) {}
 
 // OnEvict implements uopcache.Policy.
-func (p *replayPolicy) OnEvict(int, uint64) {}
+func (p *replayPolicy) OnEvict(int, int32, uint64) {}
 
 // Victim implements uopcache.Policy.
 func (p *replayPolicy) Victim(_ int, residents []uopcache.Resident, incoming trace.PW) uopcache.Decision {

@@ -48,21 +48,24 @@ func NewFLACKSchedule(ctx context.Context, pws []trace.PW, cfg uopcache.Config, 
 	return &SchedulePolicy{name: feats.Label(), o: NewOracle(pws), occ: occ, keep: dec.Keep}
 }
 
-// Bind supplies the current-lookup-position callback; it must be called
+// BindPos supplies the current-lookup-position callback; it must be called
 // before the first Victim decision.
-func (p *SchedulePolicy) Bind(pos func() int) { p.pos = pos }
+func (p *SchedulePolicy) BindPos(pos func() int) { p.pos = pos }
+
+// Bind implements uopcache.Policy (plan-driven; no per-slot state).
+func (p *SchedulePolicy) Bind(uopcache.Geometry) {}
 
 // Name implements uopcache.Policy.
 func (p *SchedulePolicy) Name() string { return p.name }
 
 // OnHit implements uopcache.Policy.
-func (p *SchedulePolicy) OnHit(int, uint64) {}
+func (p *SchedulePolicy) OnHit(int, int32, uint64) {}
 
 // OnInsert implements uopcache.Policy.
-func (p *SchedulePolicy) OnInsert(int, trace.PW) {}
+func (p *SchedulePolicy) OnInsert(int, int32, trace.PW) {}
 
 // OnEvict implements uopcache.Policy.
-func (p *SchedulePolicy) OnEvict(int, uint64) {}
+func (p *SchedulePolicy) OnEvict(int, int32, uint64) {}
 
 // keptNow reports the plan's decision at the window's most recent lookup at
 // or before pos. Windows outside the plan default to unkept.

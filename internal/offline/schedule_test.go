@@ -19,7 +19,7 @@ func TestBeladyScheduleMatchesVictimChoice(t *testing.T) {
 	}
 	cache := uopcache.New(tinyCfg(), sp)
 	pos := 0
-	sp.Bind(func() int { return pos })
+	sp.BindPos(func() int { return pos })
 	hits := 0
 	for i, pw := range s {
 		pos = i
@@ -48,7 +48,7 @@ func TestFLACKScheduleBypassesUnkept(t *testing.T) {
 	}
 	cache := uopcache.New(cfg, sp)
 	pos := 0
-	sp.Bind(func() int { return pos })
+	sp.BindPos(func() int { return pos })
 	for i, p := range s {
 		pos = i
 		r := cache.Lookup(p)
@@ -84,16 +84,17 @@ type testLRU struct {
 
 func newLRUForTest() *testLRU { return &testLRU{stamp: make(map[[2]uint64]uint64)} }
 
-func (p *testLRU) Name() string { return "test-lru" }
-func (p *testLRU) OnHit(set int, pc uint64) {
+func (p *testLRU) Name() string              { return "test-lru" }
+func (p *testLRU) Bind(uopcache.Geometry)    {}
+func (p *testLRU) OnHit(set int, _ int32, pc uint64) {
 	p.clock++
 	p.stamp[[2]uint64{uint64(set), pc}] = p.clock
 }
-func (p *testLRU) OnInsert(set int, pw trace.PW) {
+func (p *testLRU) OnInsert(set int, _ int32, pw trace.PW) {
 	p.clock++
 	p.stamp[[2]uint64{uint64(set), pw.Start}] = p.clock
 }
-func (p *testLRU) OnEvict(set int, pc uint64) {
+func (p *testLRU) OnEvict(set int, _ int32, pc uint64) {
 	delete(p.stamp, [2]uint64{uint64(set), pc})
 }
 func (p *testLRU) Victim(set int, residents []uopcache.Resident, _ trace.PW) uopcache.Decision {

@@ -11,8 +11,9 @@ import (
 // is included as an extension baseline to show scan-resistance alone does
 // not close the gap to profile-guided policies.
 type DRRIP struct {
-	rrpv map[key]uint8
-	rec  *recency
+	rrpv        []uint8
+	slotsPerSet int
+	rec         *recency
 	// psel is the policy-selection counter: SRRIP wins misses push it
 	// one way, BRRIP the other.
 	psel int
@@ -26,18 +27,25 @@ type DRRIP struct {
 
 // NewDRRIP returns the DRRIP policy.
 func NewDRRIP() *DRRIP {
-	return &DRRIP{rrpv: make(map[key]uint8), rec: newRecency()}
+	return &DRRIP{rec: newRecency()}
 }
 
 // Name implements uopcache.Policy.
 func (p *DRRIP) Name() string { return "drrip" }
 
+// Bind implements uopcache.Policy.
+func (p *DRRIP) Bind(g uopcache.Geometry) {
+	p.slotsPerSet = g.SlotsPerSet
+	p.rrpv = make([]uint8, g.Slots())
+	p.rec.bind(g)
+}
+
 // OnHit implements uopcache.Policy.
 //
 //simlint:hotpath
-func (p *DRRIP) OnHit(set int, pc uint64) {
-	p.rrpv[key{set, pc}] = 0
-	p.rec.touch(set, pc)
+func (p *DRRIP) OnHit(set int, slot int32, _ uint64) {
+	p.rrpv[set*p.slotsPerSet+int(slot)] = 0
+	p.rec.touch(set, slot)
 }
 
 const (
@@ -59,28 +67,29 @@ func (p *DRRIP) useSRRIP(set int) bool {
 }
 
 // OnInsert implements uopcache.Policy.
-func (p *DRRIP) OnInsert(set int, pw trace.PW) {
-	k := key{set, pw.Start}
+//
+//simlint:hotpath
+func (p *DRRIP) OnInsert(set int, slot int32, _ trace.PW) {
+	i := set*p.slotsPerSet + int(slot)
 	if p.useSRRIP(set) {
-		p.rrpv[k] = rripMax - 1
+		p.rrpv[i] = rripMax - 1
 		p.Stats.SRRIPInserts++
 	} else {
 		p.brripCtr++
 		if p.brripCtr%drripBRRIPMod == 0 {
-			p.rrpv[k] = rripMax - 1
+			p.rrpv[i] = rripMax - 1
 		} else {
-			p.rrpv[k] = rripMax
+			p.rrpv[i] = rripMax
 		}
 		p.Stats.BRRIPInserts++
 	}
-	p.rec.touch(set, pw.Start)
+	p.rec.touch(set, slot)
 }
 
 // OnEvict implements uopcache.Policy.
-func (p *DRRIP) OnEvict(set int, pc uint64) {
-	delete(p.rrpv, key{set, pc})
-	p.rec.drop(set, pc)
-}
+//
+//simlint:hotpath
+func (p *DRRIP) OnEvict(set int, slot int32, _ uint64) { p.rec.drop(set, slot) }
 
 // Victim implements uopcache.Policy: the SRRIP scan, with leader-set misses
 // training the policy selector (a miss in a leader set votes against its
@@ -98,21 +107,11 @@ func (p *DRRIP) Victim(set int, residents []uopcache.Resident, _ trace.PW) uopca
 			p.psel--
 		}
 	}
-	for {
-		found := false
-		var best uint64
-		for _, r := range residents {
-			if p.rrpv[key{set, r.Key}] >= rripMax {
-				if !found || p.rec.older(set, r.Key, best) {
-					best, found = r.Key, true
-				}
-			}
-		}
-		if found {
-			return uopcache.Decision{VictimKey: best, Reason: ReasonRRPVDistant, Score: float64(p.rrpv[key{set, best}])}
-		}
-		for _, r := range residents {
-			p.rrpv[key{set, r.Key}]++
-		}
+	base := set * p.slotsPerSet
+	b := srripScan(p.rrpv, base, p.rec, set, residents)
+	return uopcache.Decision{
+		VictimKey: residents[b].Key,
+		Reason:    ReasonRRPVDistant,
+		Score:     float64(p.rrpv[base+int(residents[b].Slot)]),
 	}
 }

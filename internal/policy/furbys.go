@@ -43,18 +43,21 @@ type FURBYS struct {
 	// weights is the profile-derived hint map: window start → group.
 	weights map[uint64]uint8
 
-	rrpv map[key]uint8
-	rec  *recency
-	// detector[set] holds the keys of the most recent evictions.
-	detector map[int][]uint64
+	rrpv        []uint8
+	slotsPerSet int
+	rec         *recency
+	// detector[set] holds the keys of the most recent evictions; slices
+	// are nil until a set first evicts, then hold DetectorDepth+1 capacity
+	// forever.
+	detector [][]uint64
 	// bypassDetector[set] holds the keys of the most recent bypasses: a
 	// window bypassed twice in a row is locally hot despite its profiled
 	// weight (the same pitfall the eviction detector catches), so it is
 	// admitted instead. Without this, a stale or cross-input profile can
 	// starve a hot window indefinitely.
-	bypassDetector map[int][]uint64
+	bypassDetector [][]uint64
 	// srripNext[set] forces the next victim decision in the set to SRRIP.
-	srripNext map[int]bool
+	srripNext []bool
 
 	Stats FURBYSStats
 }
@@ -85,23 +88,26 @@ func NewFURBYS(cfg FURBYSConfig, weights map[uint64]uint8) *FURBYS {
 	if cfg.WeightBits <= 0 {
 		cfg = DefaultFURBYSConfig()
 	}
-	return &FURBYS{
-		cfg:            cfg,
-		weights:        weights,
-		rrpv:           make(map[key]uint8),
-		rec:            newRecency(),
-		detector:       make(map[int][]uint64),
-		bypassDetector: make(map[int][]uint64),
-		srripNext:      make(map[int]bool),
-	}
+	return &FURBYS{cfg: cfg, weights: weights, rec: newRecency()}
 }
 
 // Name implements uopcache.Policy.
 func (p *FURBYS) Name() string { return "furbys" }
 
+// Bind implements uopcache.Policy.
+func (p *FURBYS) Bind(g uopcache.Geometry) {
+	p.slotsPerSet = g.SlotsPerSet
+	p.rrpv = make([]uint8, g.Slots())
+	p.detector = make([][]uint64, g.Sets)
+	p.bypassDetector = make([][]uint64, g.Sets)
+	p.srripNext = make([]bool, g.Sets)
+	p.rec.bind(g)
+}
+
 // Config returns the policy configuration.
 func (p *FURBYS) Config() FURBYSConfig { return p.cfg }
 
+//simlint:hotpath
 func (p *FURBYS) weightOf(pc uint64) int {
 	if w, ok := p.weights[pc]; ok {
 		m := p.cfg.MaxWeight()
@@ -120,59 +126,32 @@ func (p *FURBYS) weightOf(pc uint64) int {
 // OnHit implements uopcache.Policy.
 //
 //simlint:hotpath
-func (p *FURBYS) OnHit(set int, pc uint64) {
-	p.rrpv[key{set, pc}] = 0
-	p.rec.touch(set, pc)
+func (p *FURBYS) OnHit(set int, slot int32, _ uint64) {
+	p.rrpv[set*p.slotsPerSet+int(slot)] = 0
+	p.rec.touch(set, slot)
 }
 
 // OnInsert implements uopcache.Policy: RRPV initialized to 2 per the paper.
-func (p *FURBYS) OnInsert(set int, pw trace.PW) {
-	p.rrpv[key{set, pw.Start}] = 2
-	p.rec.touch(set, pw.Start)
+//
+//simlint:hotpath
+func (p *FURBYS) OnInsert(set int, slot int32, _ trace.PW) {
+	p.rrpv[set*p.slotsPerSet+int(slot)] = 2
+	p.rec.touch(set, slot)
 }
 
 // OnEvict implements uopcache.Policy.
-func (p *FURBYS) OnEvict(set int, pc uint64) {
-	delete(p.rrpv, key{set, pc})
-	p.rec.drop(set, pc)
-}
+//
+//simlint:hotpath
+func (p *FURBYS) OnEvict(set int, slot int32, _ uint64) { p.rec.drop(set, slot) }
 
-// recordEviction pushes a victim into the set's pitfall detector and reports
-// whether the same window was already recorded (a repeated eviction — the
-// local miss-pitfall signal).
-func (p *FURBYS) recordEviction(set int, victim uint64) bool {
-	if p.cfg.DetectorDepth <= 0 {
-		return false
-	}
-	d := p.detector[set]
-	if d == nil {
-		d = make([]uint64, 0, p.cfg.DetectorDepth+1)
-	}
-	repeated := false
-	for _, k := range d {
-		if k == victim {
-			repeated = true
-			break
-		}
-	}
-	d = append(d, victim)
-	if len(d) > p.cfg.DetectorDepth {
-		// Copy down instead of re-slicing so the backing array's spare
-		// capacity stays at the tail and appends stop reallocating.
-		n := copy(d, d[len(d)-p.cfg.DetectorDepth:])
-		d = d[:n]
-	}
-	p.detector[set] = d
-	return repeated
-}
-
-// recordBypass pushes a bypassed window into the set's bypass detector and
-// reports whether it was already recorded (a repeated bypass).
-func (p *FURBYS) recordBypass(set int, key uint64) bool {
-	if p.cfg.DetectorDepth <= 0 {
-		return false
-	}
-	d := p.bypassDetector[set]
+// recordIn pushes key into a bounded per-set detector window and reports
+// whether it was already recorded. The slice is allocated once per set at
+// DetectorDepth+1 capacity; afterwards the copy-down truncation keeps spare
+// capacity at the tail so appends never reallocate.
+//
+//simlint:hotpath
+func (p *FURBYS) recordIn(dets [][]uint64, set int, key uint64) bool {
+	d := dets[set]
 	if d == nil {
 		d = make([]uint64, 0, p.cfg.DetectorDepth+1)
 	}
@@ -188,29 +167,31 @@ func (p *FURBYS) recordBypass(set int, key uint64) bool {
 		n := copy(d, d[len(d)-p.cfg.DetectorDepth:])
 		d = d[:n]
 	}
-	p.bypassDetector[set] = d
+	dets[set] = d
 	return repeated
 }
 
-// srripVictim runs the standard SRRIP scan over the residents.
-func (p *FURBYS) srripVictim(set int, residents []uopcache.Resident) uint64 {
-	for {
-		found := false
-		var best uint64
-		for _, r := range residents {
-			if p.rrpv[key{set, r.Key}] >= rripMax {
-				if !found || p.rec.older(set, r.Key, best) {
-					best, found = r.Key, true
-				}
-			}
-		}
-		if found {
-			return best
-		}
-		for _, r := range residents {
-			p.rrpv[key{set, r.Key}]++
-		}
+// recordEviction pushes a victim into the set's pitfall detector and reports
+// whether the same window was already recorded (a repeated eviction — the
+// local miss-pitfall signal).
+//
+//simlint:hotpath
+func (p *FURBYS) recordEviction(set int, victim uint64) bool {
+	if p.cfg.DetectorDepth <= 0 {
+		return false
 	}
+	return p.recordIn(p.detector, set, victim)
+}
+
+// recordBypass pushes a bypassed window into the set's bypass detector and
+// reports whether it was already recorded (a repeated bypass).
+//
+//simlint:hotpath
+func (p *FURBYS) recordBypass(set int, key uint64) bool {
+	if p.cfg.DetectorDepth <= 0 {
+		return false
+	}
+	return p.recordIn(p.bypassDetector, set, key)
 }
 
 // Victim implements uopcache.Policy.
@@ -218,17 +199,18 @@ func (p *FURBYS) srripVictim(set int, residents []uopcache.Resident) uint64 {
 //simlint:hotpath
 func (p *FURBYS) Victim(set int, residents []uopcache.Resident, incoming trace.PW) uopcache.Decision {
 	p.Stats.InsertAttempts++
+	base := set * p.slotsPerSet
 	// Find the minimum-weight resident (min module in Fig. 7) with
 	// LRU tiebreak.
-	var minKey uint64
-	minW := -1
-	for _, r := range residents {
-		w := p.weightOf(r.Key)
+	minI := 0
+	minW := p.weightOf(residents[0].Key)
+	for i := 1; i < len(residents); i++ {
+		w := p.weightOf(residents[i].Key)
 		switch {
-		case minW < 0 || w < minW:
-			minKey, minW = r.Key, w
-		case w == minW && p.rec.older(set, r.Key, minKey):
-			minKey = r.Key
+		case w < minW:
+			minI, minW = i, w
+		case w == minW && p.rec.older(set, residents[i].Slot, residents[i].Key, residents[minI].Slot, residents[minI].Key):
+			minI = i
 		}
 	}
 	// Selective bypass: the pending window's weight is compared with the
@@ -246,16 +228,17 @@ func (p *FURBYS) Victim(set int, residents []uopcache.Resident, incoming trace.P
 	// set, make exactly one SRRIP decision, then resume normal operation.
 	if p.srripNext[set] {
 		p.srripNext[set] = false
-		v := p.srripVictim(set, residents)
+		b := srripScan(p.rrpv, base, p.rec, set, residents)
+		v := residents[b].Key
 		p.Stats.VictimBySRRIP++
 		p.recordEviction(set, v)
-		return uopcache.Decision{VictimKey: v, Reason: ReasonRRPVDistant, Score: float64(p.rrpv[key{set, v}])}
+		return uopcache.Decision{VictimKey: v, Reason: ReasonRRPVDistant, Score: float64(p.rrpv[base+int(residents[b].Slot)])}
 	}
 	// Normal FURBYS decision; a repeated eviction of the same window arms
 	// the SRRIP fallback for the next decision in this set.
-	if p.recordEviction(set, minKey) {
+	if p.recordEviction(set, residents[minI].Key) {
 		p.srripNext[set] = true
 	}
 	p.Stats.VictimByWeight++
-	return uopcache.Decision{VictimKey: minKey, Reason: ReasonMinWeight, Score: float64(minW)}
+	return uopcache.Decision{VictimKey: residents[minI].Key, Reason: ReasonMinWeight, Score: float64(minW)}
 }

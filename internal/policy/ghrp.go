@@ -11,17 +11,18 @@ import (
 // indexed by hashes of (address, history) vote on whether a window is dead
 // (will not be reused before eviction). Predicted-dead residents are
 // preferred victims and predicted-dead arrivals are bypassed.
-type ghrpMeta struct {
-	sig    uint32 // hash of (pc, history) at fill/last touch
-	reused bool
-}
-
-// GHRP is the dead-block-predicting policy.
+//
+// Per-resident state (the signature captured at fill/last touch and the
+// reused bit) lives in flat per-slot arrays: unlike the other policies this
+// state is genuinely history-dependent — the signature must be recorded at
+// observation time, it cannot be recomputed from the key later.
 type GHRP struct {
-	tables  [][]uint8 // saturating counters, one slice per feature table
-	history uint64
-	meta    map[key]*ghrpMeta
-	rec     *recency
+	tables      [][]uint8 // saturating counters, one slice per feature table
+	history     uint64
+	sig         []uint32 // per-slot signature at fill/last touch
+	reused      []bool   // per-slot reuse flag
+	slotsPerSet int
+	rec         *recency
 	// Bypass enables dead-on-arrival bypassing (on in the paper).
 	Bypass bool
 	// HistoryBits controls how many recent-window hashes fold into each
@@ -45,11 +46,19 @@ func NewGHRP() *GHRP {
 	for i := range t {
 		t[i] = make([]uint8, 1<<ghrpTableBits)
 	}
-	return &GHRP{tables: t, meta: make(map[key]*ghrpMeta), rec: newRecency(), Bypass: true, HistoryBits: 20}
+	return &GHRP{tables: t, rec: newRecency(), Bypass: true, HistoryBits: 20}
 }
 
 // Name implements uopcache.Policy.
 func (p *GHRP) Name() string { return "ghrp" }
+
+// Bind implements uopcache.Policy.
+func (p *GHRP) Bind(g uopcache.Geometry) {
+	p.slotsPerSet = g.SlotsPerSet
+	p.sig = make([]uint32, g.Slots())
+	p.reused = make([]bool, g.Slots())
+	p.rec.bind(g)
+}
 
 func (p *GHRP) index(table int, sig uint32) uint32 {
 	h := mix(uint64(sig) + uint64(table)*0x9E3779B97F4A7C15)
@@ -98,33 +107,33 @@ func (p *GHRP) updateHistory(pc uint64) {
 // point was live; re-signature the block at its new access.
 //
 //simlint:hotpath
-func (p *GHRP) OnHit(set int, pc uint64) {
-	k := key{set, pc}
-	if m := p.meta[k]; m != nil {
-		p.train(m.sig, false)
-		m.reused = true
-		m.sig = p.signature(pc)
-	}
-	p.rec.touch(set, pc)
+func (p *GHRP) OnHit(set int, slot int32, pc uint64) {
+	i := set*p.slotsPerSet + int(slot)
+	p.train(p.sig[i], false)
+	p.reused[i] = true
+	p.sig[i] = p.signature(pc)
+	p.rec.touch(set, slot)
 	p.updateHistory(pc)
 }
 
 // OnInsert implements uopcache.Policy.
-func (p *GHRP) OnInsert(set int, pw trace.PW) {
-	k := key{set, pw.Start}
-	p.meta[k] = &ghrpMeta{sig: p.signature(pw.Start)}
-	p.rec.touch(set, pw.Start)
+//
+//simlint:hotpath
+func (p *GHRP) OnInsert(set int, slot int32, pw trace.PW) {
+	i := set*p.slotsPerSet + int(slot)
+	p.sig[i] = p.signature(pw.Start)
+	p.reused[i] = false
+	p.rec.touch(set, slot)
 	p.updateHistory(pw.Start)
 }
 
 // OnEvict implements uopcache.Policy: dying without reuse trains "dead".
-func (p *GHRP) OnEvict(set int, pc uint64) {
-	k := key{set, pc}
-	if m := p.meta[k]; m != nil {
-		p.train(m.sig, !m.reused)
-		delete(p.meta, k)
-	}
-	p.rec.drop(set, pc)
+//
+//simlint:hotpath
+func (p *GHRP) OnEvict(set int, slot int32, _ uint64) {
+	i := set*p.slotsPerSet + int(slot)
+	p.train(p.sig[i], !p.reused[i])
+	p.rec.drop(set, slot)
 }
 
 // Victim implements uopcache.Policy: bypass dead arrivals; otherwise evict a
@@ -135,24 +144,26 @@ func (p *GHRP) Victim(set int, residents []uopcache.Resident, incoming trace.PW)
 	if p.Bypass && p.predictDead(p.signature(incoming.Start)) {
 		return uopcache.Decision{Bypass: true, Reason: ReasonPredictedDead}
 	}
-	var deadBest uint64
-	foundDead := false
-	for _, r := range residents {
-		m := p.meta[key{set, r.Key}]
-		if m != nil && p.predictDead(m.sig) {
-			if !foundDead || p.rec.older(set, r.Key, deadBest) {
-				deadBest, foundDead = r.Key, true
+	base := set * p.slotsPerSet
+	dead := -1
+	for i := range residents {
+		if p.predictDead(p.sig[base+int(residents[i].Slot)]) {
+			if dead < 0 || p.rec.older(set, residents[i].Slot, residents[i].Key, residents[dead].Slot, residents[dead].Key) {
+				dead = i
 			}
 		}
 	}
-	if foundDead {
-		return uopcache.Decision{VictimKey: deadBest, Reason: ReasonPredictedDead, Score: float64(p.rec.of(set, deadBest))}
-	}
-	best := residents[0].Key
-	for _, r := range residents[1:] {
-		if p.rec.older(set, r.Key, best) {
-			best = r.Key
+	if dead >= 0 {
+		return uopcache.Decision{
+			VictimKey: residents[dead].Key,
+			Reason:    ReasonPredictedDead,
+			Score:     float64(p.rec.of(set, residents[dead].Slot)),
 		}
 	}
-	return uopcache.Decision{VictimKey: best, Reason: ReasonLRUOldest, Score: float64(p.rec.of(set, best))}
+	b := lruScan(p.rec, set, residents)
+	return uopcache.Decision{
+		VictimKey: residents[b].Key,
+		Reason:    ReasonLRUOldest,
+		Score:     float64(p.rec.of(set, residents[b].Slot)),
+	}
 }

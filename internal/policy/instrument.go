@@ -55,24 +55,31 @@ func (p *Instrumented) Unwrap() uopcache.Policy { return p.base }
 // Name implements uopcache.Policy.
 func (p *Instrumented) Name() string { return p.base.Name() }
 
+// Bind implements uopcache.Policy.
+func (p *Instrumented) Bind(g uopcache.Geometry) { p.base.Bind(g) }
+
 // OnHit implements uopcache.Policy.
 //
 //simlint:hotpath
-func (p *Instrumented) OnHit(set int, pc uint64) {
+func (p *Instrumented) OnHit(set int, slot int32, pc uint64) {
 	p.hits.Inc()
-	p.base.OnHit(set, pc)
+	p.base.OnHit(set, slot, pc)
 }
 
 // OnInsert implements uopcache.Policy.
-func (p *Instrumented) OnInsert(set int, pw trace.PW) {
+//
+//simlint:hotpath
+func (p *Instrumented) OnInsert(set int, slot int32, pw trace.PW) {
 	p.inserts.Inc()
-	p.base.OnInsert(set, pw)
+	p.base.OnInsert(set, slot, pw)
 }
 
 // OnEvict implements uopcache.Policy.
-func (p *Instrumented) OnEvict(set int, pc uint64) {
+//
+//simlint:hotpath
+func (p *Instrumented) OnEvict(set int, slot int32, pc uint64) {
 	p.evictions.Inc()
-	p.base.OnEvict(set, pc)
+	p.base.OnEvict(set, slot, pc)
 }
 
 // Victim implements uopcache.Policy, counting calls and bypass decisions.

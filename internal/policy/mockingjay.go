@@ -11,20 +11,24 @@ import (
 // largest estimated time remaining. The paper notes that for the micro-op
 // cache every PC maps to exactly one PW, so the PC-based RDP degenerates to
 // per-window reuse-distance tracking — which is how we implement it.
-type mjMeta struct {
-	lastAccess uint64 // set-local clock at last touch
-}
-
-// Mockingjay is the reuse-distance-predicting policy.
+//
+// State layout: per-resident last-access times live in a per-slot array and
+// per-set clocks in a dense array; the RDP is dense over its 16-bit
+// signature space. Only the training history (`last`) stays a map — it must
+// survive eviction so a window's reuse distance is learned when it
+// reappears, which no per-slot array can express.
 type Mockingjay struct {
 	// rdp maps a window signature to its EWMA reuse distance measured in
-	// set-local accesses.
-	rdp  map[uint32]float64
-	meta map[key]*mjMeta
-	// last maps a window signature to the set clock of its previous
-	// access for RDP training.
-	last  map[key]uint64
-	clock map[int]uint64
+	// set-local accesses; rdpSeen marks trained signatures.
+	rdp     []float64
+	rdpSeen []bool
+	// lastAccess is the set-local clock at each resident slot's last touch.
+	lastAccess  []uint64
+	slotsPerSet int
+	// last maps a window start to the set clock of its previous access for
+	// RDP training (set-local: each window belongs to exactly one set).
+	last  map[uint64]uint64
+	clock []uint64
 	rec   *recency
 	// InfiniteRD is the predicted distance for never-seen windows.
 	InfiniteRD float64
@@ -38,13 +42,15 @@ type Mockingjay struct {
 	BypassFactor float64
 }
 
+// mjSigBits sizes the dense RDP (the signature is 16 bits of the mixed PC).
+const mjSigBits = 16
+
 // NewMockingjay returns the Mockingjay policy.
 func NewMockingjay() *Mockingjay {
 	return &Mockingjay{
-		rdp:          make(map[uint32]float64),
-		meta:         make(map[key]*mjMeta),
-		last:         make(map[key]uint64),
-		clock:        make(map[int]uint64),
+		rdp:          make([]float64, 1<<mjSigBits),
+		rdpSeen:      make([]bool, 1<<mjSigBits),
+		last:         make(map[uint64]uint64),
 		rec:          newRecency(),
 		InfiniteRD:   64,
 		OverdueDamp:  1,
@@ -55,27 +61,38 @@ func NewMockingjay() *Mockingjay {
 // Name implements uopcache.Policy.
 func (p *Mockingjay) Name() string { return "mockingjay" }
 
-func (p *Mockingjay) sig(pc uint64) uint32 { return uint32(mix(pc) & 0xFFFF) }
-
-// observe trains the RDP with an observed set-local reuse distance.
-func (p *Mockingjay) observe(set int, pc uint64) {
-	k := key{set, pc}
-	now := p.clock[set]
-	if prev, ok := p.last[k]; ok {
-		d := float64(now - prev)
-		s := p.sig(pc)
-		if old, ok := p.rdp[s]; ok {
-			p.rdp[s] = 0.75*old + 0.25*d
-		} else {
-			p.rdp[s] = d
-		}
-	}
-	p.last[k] = now
+// Bind implements uopcache.Policy.
+func (p *Mockingjay) Bind(g uopcache.Geometry) {
+	p.slotsPerSet = g.SlotsPerSet
+	p.lastAccess = make([]uint64, g.Slots())
+	p.clock = make([]uint64, g.Sets)
+	p.rec.bind(g)
 }
 
+func (p *Mockingjay) sig(pc uint64) uint32 { return uint32(mix(pc) & (1<<mjSigBits - 1)) }
+
+// observe trains the RDP with an observed set-local reuse distance.
+//
+//simlint:hotpath
+func (p *Mockingjay) observe(set int, pc uint64) {
+	now := p.clock[set]
+	if prev, ok := p.last[pc]; ok {
+		d := float64(now - prev)
+		s := p.sig(pc)
+		if p.rdpSeen[s] {
+			p.rdp[s] = 0.75*p.rdp[s] + 0.25*d
+		} else {
+			p.rdp[s] = d
+			p.rdpSeen[s] = true
+		}
+	}
+	p.last[pc] = now
+}
+
+//simlint:hotpath
 func (p *Mockingjay) predictRD(pc uint64) float64 {
-	if d, ok := p.rdp[p.sig(pc)]; ok {
-		return d
+	if s := p.sig(pc); p.rdpSeen[s] {
+		return p.rdp[s]
 	}
 	return p.InfiniteRD
 }
@@ -83,38 +100,34 @@ func (p *Mockingjay) predictRD(pc uint64) float64 {
 // OnHit implements uopcache.Policy.
 //
 //simlint:hotpath
-func (p *Mockingjay) OnHit(set int, pc uint64) {
+func (p *Mockingjay) OnHit(set int, slot int32, pc uint64) {
 	p.clock[set]++
 	p.observe(set, pc)
-	if m := p.meta[key{set, pc}]; m != nil {
-		m.lastAccess = p.clock[set]
-	}
-	p.rec.touch(set, pc)
+	p.lastAccess[set*p.slotsPerSet+int(slot)] = p.clock[set]
+	p.rec.touch(set, slot)
 }
 
 // OnInsert implements uopcache.Policy.
-func (p *Mockingjay) OnInsert(set int, pw trace.PW) {
+//
+//simlint:hotpath
+func (p *Mockingjay) OnInsert(set int, slot int32, pw trace.PW) {
 	p.clock[set]++
 	p.observe(set, pw.Start)
-	p.meta[key{set, pw.Start}] = &mjMeta{lastAccess: p.clock[set]}
-	p.rec.touch(set, pw.Start)
+	p.lastAccess[set*p.slotsPerSet+int(slot)] = p.clock[set]
+	p.rec.touch(set, slot)
 }
 
 // OnEvict implements uopcache.Policy.
-func (p *Mockingjay) OnEvict(set int, pc uint64) {
-	delete(p.meta, key{set, pc})
-	p.rec.drop(set, pc)
-}
+//
+//simlint:hotpath
+func (p *Mockingjay) OnEvict(set int, slot int32, _ uint64) { p.rec.drop(set, slot) }
 
 // etr estimates a resident's time remaining until its next use.
-func (p *Mockingjay) etr(set int, r uopcache.Resident) float64 {
-	m := p.meta[key{set, r.Key}]
-	now := float64(p.clock[set])
-	var last float64
-	if m != nil {
-		last = float64(m.lastAccess)
-	}
-	return last + p.predictRD(r.Key) - now
+//
+//simlint:hotpath
+func (p *Mockingjay) etr(set int, slot int32, pc uint64) float64 {
+	last := float64(p.lastAccess[set*p.slotsPerSet+int(slot)])
+	return last + p.predictRD(pc) - float64(p.clock[set])
 }
 
 // Victim implements uopcache.Policy: following Mockingjay's ETR rule, evict
@@ -125,17 +138,19 @@ func (p *Mockingjay) etr(set int, r uopcache.Resident) float64 {
 //
 //simlint:hotpath
 func (p *Mockingjay) Victim(set int, residents []uopcache.Resident, incoming trace.PW) uopcache.Decision {
-	var worst uopcache.Resident
+	worst := 0
 	worstScore, worstETR := -1.0, 0.0
 	first := true
-	for _, r := range residents {
-		e := p.etr(set, r)
+	for i := range residents {
+		r := &residents[i]
+		e := p.etr(set, r.Slot, r.Key)
 		score := e
 		if score < 0 {
 			score = -score * p.OverdueDamp
 		}
-		if first || score > worstScore || (score == worstScore && p.rec.older(set, r.Key, worst.Key)) {
-			worst, worstScore, worstETR, first = r, score, e, false
+		if first || score > worstScore ||
+			(score == worstScore && p.rec.older(set, r.Slot, r.Key, residents[worst].Slot, residents[worst].Key)) {
+			worst, worstScore, worstETR, first = i, score, e, false
 		}
 	}
 	if p.BypassFactor > 0 && worstETR > 0 {
@@ -143,5 +158,5 @@ func (p *Mockingjay) Victim(set int, residents []uopcache.Resident, incoming tra
 			return uopcache.Decision{Bypass: true, Reason: ReasonBypass, Score: in}
 		}
 	}
-	return uopcache.Decision{VictimKey: worst.Key, Reason: ReasonETRFurthest, Score: worstETR}
+	return uopcache.Decision{VictimKey: residents[worst].Key, Reason: ReasonETRFurthest, Score: worstETR}
 }

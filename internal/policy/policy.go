@@ -3,9 +3,17 @@
 // Mockingjay, the profile-guided Thermometer, and the paper's contribution
 // FURBYS. All of them implement uopcache.Policy at whole-PW granularity.
 //
-// Determinism note: uopcache passes resident snapshots in map order, so every
-// policy here derives victim choice from a total order over its own metadata
-// (criterion, then recency stamp, then key) — never from slice order.
+// Metadata layout: uopcache.Policy passes a stable (set, slot) handle with
+// every event, and each policy keeps its per-resident state (recency stamps,
+// RRPV bits, signatures) in flat arrays indexed by set*slotsPerSet+slot —
+// the same shape as hardware's per-way metadata bits, and map-free on the
+// hot path.
+//
+// Determinism note: resident snapshots arrive in slot (way) order, which is
+// itself deterministic — slot assignment depends only on the event sequence.
+// Each policy still derives its victim from a total order over its own
+// metadata (criterion, then recency stamp, then key), never from raw slice
+// position, so snapshot order is immaterial to the decision.
 package policy
 
 import (
@@ -40,38 +48,59 @@ const (
 	ReasonBypass = "bypass_incoming"
 )
 
-// key identifies a resident window within the whole cache.
-type key struct {
-	set int
-	pc  uint64
-}
-
-// recency is a shared building block tracking LRU stamps per resident.
+// recency is a shared building block tracking LRU stamps per slot. Stamps
+// are globally unique (one counter across all sets), so "older" is a strict
+// total order over live residents.
 type recency struct {
-	clock uint64
-	stamp map[key]uint64
+	clock       uint64
+	slotsPerSet int
+	stamp       []uint64
 }
 
-func newRecency() *recency { return &recency{stamp: make(map[key]uint64)} }
+func newRecency() *recency { return &recency{} }
 
-func (r *recency) touch(set int, pc uint64) {
+// bind sizes the stamp array for the cache geometry.
+func (r *recency) bind(g uopcache.Geometry) {
+	r.slotsPerSet = g.SlotsPerSet
+	r.stamp = make([]uint64, g.Slots())
+}
+
+//simlint:hotpath
+func (r *recency) touch(set int, slot int32) {
 	r.clock++
-	r.stamp[key{set, pc}] = r.clock
+	r.stamp[set*r.slotsPerSet+int(slot)] = r.clock
 }
 
-func (r *recency) drop(set int, pc uint64) { delete(r.stamp, key{set, pc}) }
+func (r *recency) drop(set int, slot int32) { r.stamp[set*r.slotsPerSet+int(slot)] = 0 }
 
-func (r *recency) of(set int, pc uint64) uint64 { return r.stamp[key{set, pc}] }
+//simlint:hotpath
+func (r *recency) of(set int, slot int32) uint64 { return r.stamp[set*r.slotsPerSet+int(slot)] }
 
-// older reports whether (a) is a strictly better LRU victim than (b):
-// smaller stamp wins; key breaks exact ties (possible only for the zero
-// stamp of untracked residents).
-func (r *recency) older(set int, a, b uint64) bool {
-	sa, sb := r.of(set, a), r.of(set, b)
+// older reports whether resident a (slot, key) is a strictly better LRU
+// victim than resident b: smaller stamp wins; key breaks exact ties
+// (possible only for the zero stamp of untracked residents).
+//
+//simlint:hotpath
+func (r *recency) older(set int, aSlot int32, aKey uint64, bSlot int32, bKey uint64) bool {
+	sa, sb := r.of(set, aSlot), r.of(set, bSlot)
 	if sa != sb {
 		return sa < sb
 	}
-	return a < b
+	return aKey < bKey
+}
+
+// lruScan returns the index of the LRU resident (the shared tie-broken
+// baseline scan every stamp-based policy falls back to).
+//
+//simlint:hotpath
+func lruScan(rec *recency, set int, residents []uopcache.Resident) int {
+	b := 0
+	for i := 1; i < len(residents); i++ {
+		if rec.older(set, residents[i].Slot, residents[i].Key, residents[b].Slot, residents[b].Key) {
+			b = i
+		}
+	}
+	return b
 }
 
 // ---------------------------------------------------------------------------
@@ -86,28 +115,34 @@ func NewLRU() *LRU { return &LRU{rec: newRecency()} }
 // Name implements uopcache.Policy.
 func (p *LRU) Name() string { return "lru" }
 
+// Bind implements uopcache.Policy.
+func (p *LRU) Bind(g uopcache.Geometry) { p.rec.bind(g) }
+
 // OnHit implements uopcache.Policy.
 //
 //simlint:hotpath
-func (p *LRU) OnHit(set int, pc uint64) { p.rec.touch(set, pc) }
+func (p *LRU) OnHit(set int, slot int32, _ uint64) { p.rec.touch(set, slot) }
 
 // OnInsert implements uopcache.Policy.
-func (p *LRU) OnInsert(set int, pw trace.PW) { p.rec.touch(set, pw.Start) }
+//
+//simlint:hotpath
+func (p *LRU) OnInsert(set int, slot int32, _ trace.PW) { p.rec.touch(set, slot) }
 
 // OnEvict implements uopcache.Policy.
-func (p *LRU) OnEvict(set int, pc uint64) { p.rec.drop(set, pc) }
+//
+//simlint:hotpath
+func (p *LRU) OnEvict(set int, slot int32, _ uint64) { p.rec.drop(set, slot) }
 
 // Victim implements uopcache.Policy: evict the least recently used window.
 //
 //simlint:hotpath
 func (p *LRU) Victim(set int, residents []uopcache.Resident, _ trace.PW) uopcache.Decision {
-	best := residents[0].Key
-	for _, r := range residents[1:] {
-		if p.rec.older(set, r.Key, best) {
-			best = r.Key
-		}
+	b := lruScan(p.rec, set, residents)
+	return uopcache.Decision{
+		VictimKey: residents[b].Key,
+		Reason:    ReasonLRUOldest,
+		Score:     float64(p.rec.of(set, residents[b].Slot)),
 	}
-	return uopcache.Decision{VictimKey: best, Reason: ReasonLRUOldest, Score: float64(p.rec.of(set, best))}
 }
 
 // ---------------------------------------------------------------------------
@@ -129,16 +164,23 @@ func NewRandom(seed uint64) *Random {
 // Name implements uopcache.Policy.
 func (p *Random) Name() string { return "random" }
 
+// Bind implements uopcache.Policy (stateless; nothing to size).
+func (p *Random) Bind(uopcache.Geometry) {}
+
 // OnHit implements uopcache.Policy.
 //
 //simlint:hotpath
-func (p *Random) OnHit(int, uint64) {}
+func (p *Random) OnHit(int, int32, uint64) {}
 
 // OnInsert implements uopcache.Policy.
-func (p *Random) OnInsert(int, trace.PW) {}
+//
+//simlint:hotpath
+func (p *Random) OnInsert(int, int32, trace.PW) {}
 
 // OnEvict implements uopcache.Policy.
-func (p *Random) OnEvict(int, uint64) {}
+//
+//simlint:hotpath
+func (p *Random) OnEvict(int, int32, uint64) {}
 
 func (p *Random) next() uint64 {
 	// xorshift64*
@@ -149,7 +191,7 @@ func (p *Random) next() uint64 {
 }
 
 // Victim implements uopcache.Policy. To stay independent of the snapshot's
-// map order, the victim is the resident with the smallest hashed key.
+// order, the victim is the resident with the smallest salted-hashed key.
 //
 //simlint:hotpath
 func (p *Random) Victim(set int, residents []uopcache.Resident, _ trace.PW) uopcache.Decision {

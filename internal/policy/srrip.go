@@ -9,63 +9,87 @@ import (
 // SRRIP configuration stores 2 bits per entry).
 const rripMax = 3
 
+// srripScan is the RRIP victim scan shared by SRRIP, SHiP++, DRRIP, and
+// FURBYS's SRRIP fallback: return the index of a resident at the distant
+// RRPV (recency-stamp tiebreak), ageing the whole set until one exists.
+// rrpv is a per-slot array over the whole cache; base = set*slotsPerSet.
+//
+//simlint:hotpath
+func srripScan(rrpv []uint8, base int, rec *recency, set int, residents []uopcache.Resident) int {
+	for {
+		b := -1
+		for i := range residents {
+			if rrpv[base+int(residents[i].Slot)] >= rripMax {
+				if b < 0 || rec.older(set, residents[i].Slot, residents[i].Key, residents[b].Slot, residents[b].Key) {
+					b = i
+				}
+			}
+		}
+		if b >= 0 {
+			return b
+		}
+		for i := range residents {
+			rrpv[base+int(residents[i].Slot)]++
+		}
+	}
+}
+
 // SRRIP implements Static Re-Reference Interval Prediction (Jaleel et al.)
 // at whole-PW granularity: 2-bit RRPV per window, inserted at long
 // re-reference (rripMax-1), promoted to 0 on hit; the victim is a window at
 // rripMax, ageing the whole set when none exists.
 type SRRIP struct {
-	rrpv map[key]uint8
-	rec  *recency
+	rrpv        []uint8
+	slotsPerSet int
+	rec         *recency
 }
 
 // NewSRRIP returns the SRRIP policy.
 func NewSRRIP() *SRRIP {
-	return &SRRIP{rrpv: make(map[key]uint8), rec: newRecency()}
+	return &SRRIP{rec: newRecency()}
 }
 
 // Name implements uopcache.Policy.
 func (p *SRRIP) Name() string { return "srrip" }
 
+// Bind implements uopcache.Policy.
+func (p *SRRIP) Bind(g uopcache.Geometry) {
+	p.slotsPerSet = g.SlotsPerSet
+	p.rrpv = make([]uint8, g.Slots())
+	p.rec.bind(g)
+}
+
 // OnHit implements uopcache.Policy.
 //
 //simlint:hotpath
-func (p *SRRIP) OnHit(set int, pc uint64) {
-	p.rrpv[key{set, pc}] = 0
-	p.rec.touch(set, pc)
+func (p *SRRIP) OnHit(set int, slot int32, _ uint64) {
+	p.rrpv[set*p.slotsPerSet+int(slot)] = 0
+	p.rec.touch(set, slot)
 }
 
 // OnInsert implements uopcache.Policy.
-func (p *SRRIP) OnInsert(set int, pw trace.PW) {
-	p.rrpv[key{set, pw.Start}] = rripMax - 1
-	p.rec.touch(set, pw.Start)
+//
+//simlint:hotpath
+func (p *SRRIP) OnInsert(set int, slot int32, _ trace.PW) {
+	p.rrpv[set*p.slotsPerSet+int(slot)] = rripMax - 1
+	p.rec.touch(set, slot)
 }
 
 // OnEvict implements uopcache.Policy.
-func (p *SRRIP) OnEvict(set int, pc uint64) {
-	delete(p.rrpv, key{set, pc})
-	p.rec.drop(set, pc)
-}
+//
+//simlint:hotpath
+func (p *SRRIP) OnEvict(set int, slot int32, _ uint64) { p.rec.drop(set, slot) }
 
 // Victim implements uopcache.Policy.
 //
 //simlint:hotpath
 func (p *SRRIP) Victim(set int, residents []uopcache.Resident, _ trace.PW) uopcache.Decision {
-	for {
-		found := false
-		var best uint64
-		for _, r := range residents {
-			if p.rrpv[key{set, r.Key}] >= rripMax {
-				if !found || p.rec.older(set, r.Key, best) {
-					best, found = r.Key, true
-				}
-			}
-		}
-		if found {
-			return uopcache.Decision{VictimKey: best, Reason: ReasonRRPVDistant, Score: float64(p.rrpv[key{set, best}])}
-		}
-		for _, r := range residents {
-			p.rrpv[key{set, r.Key}]++
-		}
+	base := set * p.slotsPerSet
+	b := srripScan(p.rrpv, base, p.rec, set, residents)
+	return uopcache.Decision{
+		VictimKey: residents[b].Key,
+		Reason:    ReasonRRPVDistant,
+		Score:     float64(p.rrpv[base+int(residents[b].Slot)]),
 	}
 }
 
@@ -81,11 +105,12 @@ const shctBits = 14
 // window start, the miss-causing PC) will be reused; never-reused signatures
 // are inserted at distant RRPV so SRRIP evicts them quickly.
 type SHiPPP struct {
-	rrpv   map[key]uint8
-	reused map[key]bool
-	sig    map[key]uint32
-	shct   []uint8 // 3-bit counters
-	rec    *recency
+	rrpv        []uint8
+	reused      []bool
+	sig         []uint32
+	slotsPerSet int
+	shct        []uint8 // 3-bit counters
+	rec         *recency
 }
 
 // NewSHiPPP returns the SHiP++ policy.
@@ -94,17 +119,20 @@ func NewSHiPPP() *SHiPPP {
 	for i := range t {
 		t[i] = 1 // weakly reused, per SHiP++'s optimistic start
 	}
-	return &SHiPPP{
-		rrpv:   make(map[key]uint8),
-		reused: make(map[key]bool),
-		sig:    make(map[key]uint32),
-		shct:   t,
-		rec:    newRecency(),
-	}
+	return &SHiPPP{shct: t, rec: newRecency()}
 }
 
 // Name implements uopcache.Policy.
 func (p *SHiPPP) Name() string { return "ship++" }
+
+// Bind implements uopcache.Policy.
+func (p *SHiPPP) Bind(g uopcache.Geometry) {
+	p.slotsPerSet = g.SlotsPerSet
+	p.rrpv = make([]uint8, g.Slots())
+	p.reused = make([]bool, g.Slots())
+	p.sig = make([]uint32, g.Slots())
+	p.rec.bind(g)
+}
 
 func signature(pc uint64) uint32 {
 	return uint32(mix(pc) & ((1 << shctBits) - 1))
@@ -113,13 +141,13 @@ func signature(pc uint64) uint32 {
 // OnHit implements uopcache.Policy.
 //
 //simlint:hotpath
-func (p *SHiPPP) OnHit(set int, pc uint64) {
-	k := key{set, pc}
-	p.rrpv[k] = 0
-	p.rec.touch(set, pc)
-	if !p.reused[k] {
-		p.reused[k] = true
-		s := p.sig[k]
+func (p *SHiPPP) OnHit(set int, slot int32, _ uint64) {
+	i := set*p.slotsPerSet + int(slot)
+	p.rrpv[i] = 0
+	p.rec.touch(set, slot)
+	if !p.reused[i] {
+		p.reused[i] = true
+		s := p.sig[i]
 		if p.shct[s] < 7 {
 			p.shct[s]++
 		}
@@ -127,53 +155,44 @@ func (p *SHiPPP) OnHit(set int, pc uint64) {
 }
 
 // OnInsert implements uopcache.Policy.
-func (p *SHiPPP) OnInsert(set int, pw trace.PW) {
-	k := key{set, pw.Start}
+//
+//simlint:hotpath
+func (p *SHiPPP) OnInsert(set int, slot int32, pw trace.PW) {
+	i := set*p.slotsPerSet + int(slot)
 	s := signature(pw.Start)
-	p.sig[k] = s
-	p.reused[k] = false
+	p.sig[i] = s
+	p.reused[i] = false
 	if p.shct[s] == 0 {
-		p.rrpv[k] = rripMax // predicted dead: distant insertion
+		p.rrpv[i] = rripMax // predicted dead: distant insertion
 	} else {
-		p.rrpv[k] = rripMax - 1
+		p.rrpv[i] = rripMax - 1
 	}
-	p.rec.touch(set, pw.Start)
+	p.rec.touch(set, slot)
 }
 
 // OnEvict implements uopcache.Policy.
-func (p *SHiPPP) OnEvict(set int, pc uint64) {
-	k := key{set, pc}
-	if !p.reused[k] {
-		s := p.sig[k]
+//
+//simlint:hotpath
+func (p *SHiPPP) OnEvict(set int, slot int32, _ uint64) {
+	i := set*p.slotsPerSet + int(slot)
+	if !p.reused[i] {
+		s := p.sig[i]
 		if p.shct[s] > 0 {
 			p.shct[s]--
 		}
 	}
-	delete(p.rrpv, k)
-	delete(p.reused, k)
-	delete(p.sig, k)
-	p.rec.drop(set, pc)
+	p.rec.drop(set, slot)
 }
 
 // Victim implements uopcache.Policy (SRRIP victim scan).
 //
 //simlint:hotpath
 func (p *SHiPPP) Victim(set int, residents []uopcache.Resident, _ trace.PW) uopcache.Decision {
-	for {
-		found := false
-		var best uint64
-		for _, r := range residents {
-			if p.rrpv[key{set, r.Key}] >= rripMax {
-				if !found || p.rec.older(set, r.Key, best) {
-					best, found = r.Key, true
-				}
-			}
-		}
-		if found {
-			return uopcache.Decision{VictimKey: best, Reason: ReasonRRPVDistant, Score: float64(p.rrpv[key{set, best}])}
-		}
-		for _, r := range residents {
-			p.rrpv[key{set, r.Key}]++
-		}
+	base := set * p.slotsPerSet
+	b := srripScan(p.rrpv, base, p.rec, set, residents)
+	return uopcache.Decision{
+		VictimKey: residents[b].Key,
+		Reason:    ReasonRRPVDistant,
+		Score:     float64(p.rrpv[base+int(residents[b].Slot)]),
 	}
 }

@@ -46,33 +46,39 @@ func (p *Thermometer) classOf(pc uint64) ThermoClass {
 	return p.DefaultClass
 }
 
+// Bind implements uopcache.Policy.
+func (p *Thermometer) Bind(g uopcache.Geometry) { p.rec.bind(g) }
+
 // OnHit implements uopcache.Policy.
 //
 //simlint:hotpath
-func (p *Thermometer) OnHit(set int, pc uint64) { p.rec.touch(set, pc) }
+func (p *Thermometer) OnHit(set int, slot int32, _ uint64) { p.rec.touch(set, slot) }
 
 // OnInsert implements uopcache.Policy.
-func (p *Thermometer) OnInsert(set int, pw trace.PW) { p.rec.touch(set, pw.Start) }
+//
+//simlint:hotpath
+func (p *Thermometer) OnInsert(set int, slot int32, _ trace.PW) { p.rec.touch(set, slot) }
 
 // OnEvict implements uopcache.Policy.
-func (p *Thermometer) OnEvict(set int, pc uint64) { p.rec.drop(set, pc) }
+//
+//simlint:hotpath
+func (p *Thermometer) OnEvict(set int, slot int32, _ uint64) { p.rec.drop(set, slot) }
 
 // Victim implements uopcache.Policy: evict the LRU window of the coldest
 // class present.
 //
 //simlint:hotpath
 func (p *Thermometer) Victim(set int, residents []uopcache.Resident, _ trace.PW) uopcache.Decision {
-	var best uint64
-	bestClass := ThermoHot + 1
-	found := false
-	for _, r := range residents {
-		c := p.classOf(r.Key)
+	best := 0
+	bestClass := p.classOf(residents[0].Key)
+	for i := 1; i < len(residents); i++ {
+		c := p.classOf(residents[i].Key)
 		switch {
-		case !found || c < bestClass:
-			best, bestClass, found = r.Key, c, true
-		case c == bestClass && p.rec.older(set, r.Key, best):
-			best = r.Key
+		case c < bestClass:
+			best, bestClass = i, c
+		case c == bestClass && p.rec.older(set, residents[i].Slot, residents[i].Key, residents[best].Slot, residents[best].Key):
+			best = i
 		}
 	}
-	return uopcache.Decision{VictimKey: best, Reason: ReasonColdestClass, Score: float64(bestClass)}
+	return uopcache.Decision{VictimKey: residents[best].Key, Reason: ReasonColdestClass, Score: float64(bestClass)}
 }

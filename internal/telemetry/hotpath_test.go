@@ -21,10 +21,11 @@ import (
 // nopPolicy isolates the instrumentation cost from any policy bookkeeping.
 type nopPolicy struct{}
 
-func (nopPolicy) Name() string           { return "nop" }
-func (nopPolicy) OnHit(int, uint64)      {}
-func (nopPolicy) OnInsert(int, trace.PW) {}
-func (nopPolicy) OnEvict(int, uint64)    {}
+func (nopPolicy) Name() string                  { return "nop" }
+func (nopPolicy) Bind(uopcache.Geometry)        {}
+func (nopPolicy) OnHit(int, int32, uint64)      {}
+func (nopPolicy) OnInsert(int, int32, trace.PW) {}
+func (nopPolicy) OnEvict(int, int32, uint64)    {}
 func (nopPolicy) Victim(_ int, residents []uopcache.Resident, _ trace.PW) uopcache.Decision {
 	return uopcache.Decision{VictimKey: residents[0].Key}
 }

@@ -103,10 +103,13 @@ type RunManifest struct {
 	Blocks      int            `json:"blocks,omitempty"`
 	// Workers is the resolved concurrency budget the run used (1 = the
 	// serial schedule).
-	Workers  int         `json:"workers,omitempty"`
-	Apps     []string    `json:"apps,omitempty"`
-	Figures  []FigureRun `json:"figures,omitempty"`
-	Failures []string    `json:"failures,omitempty"`
+	Workers int `json:"workers,omitempty"`
+	// PeakHeapAlloc is the largest runtime.MemStats.HeapAlloc sampled over
+	// the run (see HeapWatermark), tracking memory use alongside speed.
+	PeakHeapAlloc uint64      `json:"peak_heap_alloc_bytes,omitempty"`
+	Apps          []string    `json:"apps,omitempty"`
+	Figures       []FigureRun `json:"figures,omitempty"`
+	Failures      []string    `json:"failures,omitempty"`
 	// Inspect records the introspection artifacts (-inspect / -trace-out)
 	// so a manifest fully indexes the run's outputs.
 	Inspect *InspectArtifacts `json:"inspect,omitempty"`

@@ -16,10 +16,18 @@
 //
 // Replacement is delegated to a Policy; every policy the paper evaluates
 // (online and offline) implements that interface.
+//
+// Storage layout: residents live in a dense per-set slot array (a slot is a
+// (set, way) position, like hardware ways), found by a small per-set
+// linear-probe index instead of a Go map. The slot number is a stable handle
+// for the resident's whole lifetime — policies receive it on every event and
+// keep their metadata in flat per-slot arrays, which is both faster than
+// map[key] lookups and faithful to how hardware stores RRPV/recency bits.
 package uopcache
 
 import (
 	"fmt"
+	"math/bits"
 	"slices"
 
 	"uopsim/internal/telemetry"
@@ -90,6 +98,10 @@ type Resident struct {
 	InsertedAt uint64
 	// LastHitAt is the lookup sequence number of the last hit.
 	LastHitAt uint64
+	// Slot is the resident's stable slot handle within its set: assigned
+	// at insertion, fixed until eviction, passed to every Policy event so
+	// policies can index flat per-slot metadata arrays.
+	Slot int32
 }
 
 // Decision is a replacement policy's answer when space is needed.
@@ -116,21 +128,41 @@ const (
 	ReasonForced = "forced"
 )
 
+// Geometry is the dense slot layout a Policy binds its metadata to: the
+// cache has Sets x SlotsPerSet slots, and every resident's (set, slot) pair
+// is stable for its lifetime. SlotsPerSet equals Ways normally and
+// Ways x UopsPerEntry under compaction (one slot per micro-op of capacity,
+// the maximum number of co-resident windows).
+type Geometry struct {
+	Sets        int
+	SlotsPerSet int
+}
+
+// Slots returns the total slot count; policies size per-slot arrays with it.
+func (g Geometry) Slots() int { return g.Sets * g.SlotsPerSet }
+
 // Policy selects victims and observes cache events. Implementations keep
-// whatever per-PW metadata they need, keyed by (set, key).
+// per-resident metadata in flat arrays indexed by the (set, slot) handle the
+// cache passes with every event: Bind is called once before any other event
+// with the cache geometry, and a resident's slot is stable from its OnInsert
+// to its OnEvict (slots are reused after eviction, always through a fresh
+// OnInsert).
 type Policy interface {
 	// Name identifies the policy in reports.
 	Name() string
+	// Bind sizes per-slot metadata; called once by New before any event.
+	Bind(g Geometry)
 	// OnHit fires when a lookup hits resident window key in set.
-	OnHit(set int, key uint64)
-	// OnInsert fires after window pw was inserted into set.
-	OnInsert(set int, pw trace.PW)
+	OnHit(set int, slot int32, key uint64)
+	// OnInsert fires after window pw was inserted into set at slot.
+	OnInsert(set int, slot int32, pw trace.PW)
 	// OnEvict fires when window key leaves set (eviction, invalidation,
-	// or replacement by a larger same-start window).
-	OnEvict(set int, key uint64)
+	// or replacement by a larger same-start window); slot is released.
+	OnEvict(set int, slot int32, key uint64)
 	// Victim chooses the next eviction victim among residents, or
 	// requests a bypass of the incoming window. It is called repeatedly
-	// until enough entries are free. residents is non-empty.
+	// until enough entries are free. residents is non-empty, in slot
+	// (way) order, and each element carries its Slot handle.
 	Victim(set int, residents []Resident, incoming trace.PW) Decision
 }
 
@@ -157,15 +189,39 @@ type ProbeResult struct {
 	MissUops int
 }
 
+// lineRef counts how many windows of one set live in an icache line; the
+// per-line slice is kept sorted by set so invalidation scans sets in
+// ascending order without re-sorting.
+type lineRef struct {
+	set  int32
+	refs int32
+}
+
 // Cache is the micro-op cache structure. It is not safe for concurrent use.
 type Cache struct {
 	cfg    Config
 	policy Policy
 	sets   []cset
-	// lineIndex maps an icache line address to the set indices holding
-	// windows from that line, enabling inclusive invalidation.
-	lineIndex map[uint64]map[int]int // line -> set -> refcount
+	// lineIndex maps an icache line address to the sets holding windows
+	// from that line (with refcounts), enabling inclusive invalidation.
+	lineIndex map[uint64][]lineRef
 	clock     uint64
+
+	// Dense slot geometry: every set owns capSlots Resident slots and an
+	// idxLen-entry linear-probe index (power of two, <=50% loaded).
+	capSlots int
+	idxMask  uint32
+
+	// totalResidents counts occupied slots cache-wide (the value behind
+	// the uopcache_slot_occupancy gauge).
+	totalResidents int
+
+	// viewBuf is the reusable victim-snapshot buffer handed to
+	// Policy.Victim; capacity capSlots, so refilling it never allocates.
+	viewBuf []Resident
+	// invSets / invVictims are scratch buffers for InvalidateLine.
+	invSets    []int32
+	invVictims []uint64
 
 	// sink receives the structured decision trace; m holds the live
 	// uopcache_* metrics. Both are nil unless attached, and every
@@ -187,6 +243,7 @@ type cacheMetrics struct {
 	insertions, entriesWritten                 *telemetry.Counter
 	bypasses, evictions, invalidations         *telemetry.Counter
 	coalesced                                  *telemetry.Counter
+	slotOccupancy                              *telemetry.Gauge
 	lookupUops, victimCostUops, victimReuseAge *telemetry.Histogram
 }
 
@@ -205,15 +262,23 @@ func newCacheMetrics(reg *telemetry.Registry) *cacheMetrics {
 		evictions:      reg.Counter("uopcache_evictions_total"),
 		invalidations:  reg.Counter("uopcache_invalidations_total"),
 		coalesced:      reg.Counter("uopcache_coalesced_misses_total"),
+		slotOccupancy:  reg.Gauge("uopcache_slot_occupancy"),
 		lookupUops:     reg.Histogram("uopcache_lookup_uops"),
 		victimCostUops: reg.Histogram("uopcache_victim_cost_uops"),
 		victimReuseAge: reg.Histogram("uopcache_victim_reuse_age_lookups"),
 	}
 }
 
+// cset is one set's dense storage: capSlots Resident slots (a slot is free
+// iff its occupancy bit is clear), an occupancy bitmap, and a linear-probe
+// index mapping window keys to slot numbers (entries store slot+1; 0 means
+// empty).
 type cset struct {
-	residents map[uint64]*Resident
-	used      int
+	slots []Resident
+	occ   []uint64
+	idx   []int32
+	used  int
+	count int
 }
 
 // Stats aggregates micro-op cache activity. Misses are counted in micro-ops
@@ -243,24 +308,135 @@ func (s Stats) UopMissRate() float64 {
 	return float64(s.UopsMissed) / float64(s.UopsRequested)
 }
 
+// hashKey spreads window start addresses over the probe index (the
+// finalizer of MurmurHash3/SplitMix64; full avalanche, so consecutive
+// starts do not cluster probes).
+func hashKey(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xFF51AFD7ED558CCD
+	x ^= x >> 33
+	x *= 0xC4CEB9FE1A85EC53
+	x ^= x >> 33
+	return x
+}
+
 // New builds a micro-op cache with the given replacement policy; it panics
 // on invalid configuration (configurations are static).
 func New(cfg Config, policy Policy) *Cache {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	sets := make([]cset, cfg.Sets())
-	for i := range sets {
-		sets[i].residents = make(map[uint64]*Resident, cfg.Ways)
-	}
-	return &Cache{
+	c := &Cache{
 		cfg:     cfg,
 		policy:  policy,
-		sets:    sets,
 		polName: policy.Name(),
 
-		lineIndex: make(map[uint64]map[int]int),
+		lineIndex: make(map[uint64][]lineRef),
 	}
+	c.capSlots = c.setCapacity()
+	idxLen := 8
+	for idxLen < 2*c.capSlots {
+		idxLen *= 2
+	}
+	c.idxMask = uint32(idxLen - 1)
+	numSets := cfg.Sets()
+	occWords := (c.capSlots + 63) / 64
+	// One backing array per kind, sliced per set: contiguous, and a single
+	// allocation each.
+	slotB := make([]Resident, numSets*c.capSlots)
+	occB := make([]uint64, numSets*occWords)
+	idxB := make([]int32, numSets*idxLen)
+	c.sets = make([]cset, numSets)
+	for i := range c.sets {
+		s := &c.sets[i]
+		s.slots = slotB[i*c.capSlots : (i+1)*c.capSlots : (i+1)*c.capSlots]
+		s.occ = occB[i*occWords : (i+1)*occWords : (i+1)*occWords]
+		s.idx = idxB[i*idxLen : (i+1)*idxLen : (i+1)*idxLen]
+		// Mark the bitmap tail beyond capSlots occupied so allocSlot can
+		// never hand out an out-of-range slot.
+		for b := c.capSlots; b < occWords*64; b++ {
+			s.occ[b>>6] |= 1 << (uint(b) & 63)
+		}
+	}
+	c.viewBuf = make([]Resident, 0, c.capSlots)
+	policy.Bind(Geometry{Sets: numSets, SlotsPerSet: c.capSlots})
+	return c
+}
+
+// Geometry returns the dense slot layout (what New passed to Policy.Bind).
+func (c *Cache) Geometry() Geometry {
+	return Geometry{Sets: c.cfg.Sets(), SlotsPerSet: c.capSlots}
+}
+
+// findSlot returns the slot holding key in set s, or -1.
+//
+//simlint:hotpath
+func (c *Cache) findSlot(s *cset, key uint64) int32 {
+	i := uint32(hashKey(key)) & c.idxMask
+	for {
+		v := s.idx[i]
+		if v == 0 {
+			return -1
+		}
+		if s.slots[v-1].Key == key {
+			return v - 1
+		}
+		i = (i + 1) & c.idxMask
+	}
+}
+
+// addIdx records key -> slot in the probe index.
+func (c *Cache) addIdx(s *cset, key uint64, slot int32) {
+	i := uint32(hashKey(key)) & c.idxMask
+	for s.idx[i] != 0 {
+		i = (i + 1) & c.idxMask
+	}
+	s.idx[i] = slot + 1
+}
+
+// delIdx removes key from the probe index with backward-shift deletion
+// (entries displaced past the hole are moved back onto their probe path, so
+// no tombstones accumulate and probes stay short).
+func (c *Cache) delIdx(s *cset, key uint64) {
+	mask := c.idxMask
+	i := uint32(hashKey(key)) & mask
+	for {
+		v := s.idx[i]
+		if v == 0 {
+			return // not present (caller bug; tolerated)
+		}
+		if s.slots[v-1].Key == key {
+			break
+		}
+		i = (i + 1) & mask
+	}
+	j := i
+	for {
+		j = (j + 1) & mask
+		e := s.idx[j]
+		if e == 0 {
+			s.idx[i] = 0
+			return
+		}
+		h := uint32(hashKey(s.slots[e-1].Key)) & mask
+		// e can fill the hole at i iff i lies on e's probe path, i.e. the
+		// cyclic distance home->j covers the distance i->j.
+		if (j-h)&mask >= (j-i)&mask {
+			s.idx[i] = e
+			i = j
+		}
+	}
+}
+
+// allocSlot returns the lowest free slot in the set (tail bits beyond
+// capSlots are pre-marked occupied, so the scan cannot overrun).
+func (s *cset) allocSlot() int32 {
+	for w, bs := range s.occ {
+		if bs != ^uint64(0) {
+			return int32(w*64 + bits.TrailingZeros64(^bs))
+		}
+	}
+	panic("uopcache: no free slot in a set below capacity")
 }
 
 // SetEventSink attaches (or, with nil, detaches) the structured decision
@@ -276,6 +452,7 @@ func (c *Cache) AttachMetrics(reg *telemetry.Registry) {
 		return
 	}
 	c.m = newCacheMetrics(reg)
+	c.m.slotOccupancy.Set(float64(c.totalResidents))
 }
 
 // Config returns the cache configuration.
@@ -303,13 +480,14 @@ func (c Config) SetIndex(start uint64) int {
 // returns true when a window was removed.
 func (c *Cache) EvictKey(start uint64) bool {
 	set := c.SetIndex(start)
-	r, ok := c.sets[set].residents[start]
-	if !ok {
+	s := &c.sets[set]
+	slot := c.findSlot(s, start)
+	if slot < 0 {
 		return false
 	}
 	c.Stats.Evictions++
-	c.observeEviction(set, r, 0, Decision{VictimKey: start, Reason: ReasonForced})
-	c.removeResident(set, start, true)
+	c.observeEviction(set, &s.slots[slot], 0, Decision{VictimKey: start, Reason: ReasonForced})
+	c.removeResident(set, slot)
 	return true
 }
 
@@ -414,8 +592,9 @@ func (c *Cache) Lookup(pw trace.PW) ProbeResult {
 		c.m.lookupUops.Observe(uint64(want))
 	}
 	set := c.SetIndex(pw.Start)
-	r, ok := c.sets[set].residents[pw.Start]
-	if !ok {
+	s := &c.sets[set]
+	slot := c.findSlot(s, pw.Start)
+	if slot < 0 {
 		c.Stats.Misses++
 		c.Stats.UopsMissed += uint64(want)
 		if c.m != nil {
@@ -430,8 +609,9 @@ func (c *Cache) Lookup(pw trace.PW) ProbeResult {
 		}
 		return ProbeResult{Kind: ProbeMiss, MissUops: want}
 	}
+	r := &s.slots[slot]
 	r.LastHitAt = c.clock
-	c.policy.OnHit(set, pw.Start)
+	c.policy.OnHit(set, slot, pw.Start)
 	if r.Uops >= want {
 		c.Stats.FullHits++
 		c.Stats.UopsHit += uint64(want)
@@ -468,11 +648,12 @@ func (c *Cache) Lookup(pw trace.PW) ProbeResult {
 // policy state (used by oracles and shadow analyses).
 func (c *Cache) Probe(pw trace.PW) ProbeResult {
 	want := int(pw.NumUops)
-	set := c.SetIndex(pw.Start)
-	r, ok := c.sets[set].residents[pw.Start]
-	if !ok {
+	s := &c.sets[c.SetIndex(pw.Start)]
+	slot := c.findSlot(s, pw.Start)
+	if slot < 0 {
 		return ProbeResult{Kind: ProbeMiss, MissUops: want}
 	}
+	r := &s.slots[slot]
 	if r.Uops >= want {
 		return ProbeResult{Kind: ProbeFull, HitUops: want}
 	}
@@ -528,64 +709,73 @@ func (c *Cache) Insert(pw trace.PW) InsertOutcome {
 	set := c.SetIndex(pw.Start)
 	s := &c.sets[set]
 	need := c.footprint(int(pw.NumUops))
-	if need > c.setCapacity() {
+	if need > c.capSlots {
 		c.noteBypass(set, pw)
 		return TooLarge
 	}
-	if existing, ok := s.residents[pw.Start]; ok {
-		if existing.Uops >= int(pw.NumUops) {
+	if existing := c.findSlot(s, pw.Start); existing >= 0 {
+		if s.slots[existing].Uops >= int(pw.NumUops) {
 			return Redundant
 		}
 		// Grow: the merged larger window replaces the smaller one.
-		c.removeResident(set, pw.Start, false)
+		c.removeResident(set, existing)
 	}
-	for s.used+need > c.setCapacity() {
+	for s.used+need > c.capSlots {
 		residents := c.residentsView(set)
 		d := c.policy.Victim(set, residents, pw)
 		if d.Bypass {
 			c.noteBypass(set, pw)
 			return Bypassed
 		}
-		victim, ok := s.residents[d.VictimKey]
-		if !ok {
+		victim := c.findSlot(s, d.VictimKey)
+		if victim < 0 {
 			//simlint:ignore hotpath cold invariant-violation path; never taken unless a policy is buggy
 			panic(fmt.Sprintf("uopcache: policy %s chose non-resident victim %#x in set %d",
 				c.policy.Name(), d.VictimKey, set))
 		}
 		c.Stats.Evictions++
-		c.observeEviction(set, victim, pw.Start, d)
-		c.removeResident(set, d.VictimKey, true)
+		c.observeEviction(set, &s.slots[victim], pw.Start, d)
+		c.removeResident(set, victim)
 	}
+	var oneLine [1]uint64
 	lines := pw.Lines
 	if len(lines) == 0 {
-		lines = make([]uint64, 1)
-		lines[0] = trace.LineAddr(pw.Start)
+		oneLine[0] = trace.LineAddr(pw.Start)
+		lines = oneLine[:]
 	}
-	stored := make([]uint64, len(lines))
-	copy(stored, lines)
-	//simlint:ignore hotpath per-insertion resident storage; one amortized allocation per cache fill is the structure itself
-	r := &Resident{
-		Key:         pw.Start,
-		Uops:        int(pw.NumUops),
-		EntriesUsed: need,
-		Lines:       stored,
-		InsertedAt:  c.clock,
+	slot := s.allocSlot()
+	r := &s.slots[slot]
+	// Reuse the evicted occupant's Lines backing array; it grows at most
+	// once per slot over the cache's lifetime.
+	stored := r.Lines
+	if cap(stored) < len(lines) {
+		stored = make([]uint64, 0, len(lines))
 	}
-	s.residents[pw.Start] = r
-	s.used += need
+	stored = stored[:0]
 	for _, line := range lines {
-		refs := c.lineIndex[line]
-		if refs == nil {
-			refs = make(map[int]int)
-			c.lineIndex[line] = refs
-		}
-		refs[set]++
+		stored = append(stored, line)
+	}
+	r.Key = pw.Start
+	r.Uops = int(pw.NumUops)
+	r.EntriesUsed = need
+	r.Lines = stored
+	r.InsertedAt = c.clock
+	r.LastHitAt = 0
+	r.Slot = slot
+	s.occ[slot>>6] |= 1 << (uint(slot) & 63)
+	s.used += need
+	s.count++
+	c.totalResidents++
+	c.addIdx(s, pw.Start, slot)
+	for _, line := range lines {
+		c.lineAddRef(line, int32(set))
 	}
 	c.Stats.Insertions++
 	c.Stats.EntriesWritten += uint64(pw.Entries(c.cfg.UopsPerEntry))
 	if c.m != nil {
 		c.m.insertions.Inc()
 		c.m.entriesWritten.Add(uint64(pw.Entries(c.cfg.UopsPerEntry)))
+		c.m.slotOccupancy.Set(float64(c.totalResidents))
 	}
 	if c.sink != nil {
 		c.sink.Emit(telemetry.Event{
@@ -593,31 +783,80 @@ func (c *Cache) Insert(pw trace.PW) InsertOutcome {
 			Uops: int(pw.NumUops), Policy: c.polName,
 		})
 	}
-	c.policy.OnInsert(set, pw)
+	c.policy.OnInsert(set, slot, pw)
 	return Inserted
 }
 
-// removeResident deletes key from set, updating bookkeeping; notify controls
-// whether the policy hears about it (growth-replacement notifies too, via
-// its caller passing false and the subsequent OnInsert).
-func (c *Cache) removeResident(set int, key uint64, notify bool) {
-	s := &c.sets[set]
-	r := s.residents[key]
-	delete(s.residents, key)
-	s.used -= r.EntriesUsed
-	for _, line := range r.Lines {
-		if refs := c.lineIndex[line]; refs != nil {
-			refs[set]--
-			if refs[set] == 0 {
-				delete(refs, set)
-			}
-			if len(refs) == 0 {
-				delete(c.lineIndex, line)
-			}
+// lineAddRef records one more window of set living in line.
+//
+//simlint:hotpath
+func (c *Cache) lineAddRef(line uint64, set int32) {
+	refs := c.lineIndex[line]
+	for i := range refs {
+		if refs[i].set == set {
+			refs[i].refs++
+			return
+		}
+		if refs[i].set > set {
+			// Insert before i, keeping the slice sorted by set.
+			//simlint:ignore hotpath grows only when a line first gains a set; steady state hits the refcount path above
+			refs = append(refs, lineRef{})
+			copy(refs[i+1:], refs[i:])
+			refs[i] = lineRef{set: set, refs: 1}
+			c.lineIndex[line] = refs
+			return
 		}
 	}
-	c.policy.OnEvict(set, key)
-	_ = notify
+	//simlint:ignore hotpath grows only when a line first gains a set; steady state hits the refcount path above
+	c.lineIndex[line] = append(refs, lineRef{set: set, refs: 1})
+}
+
+// lineDecRef drops one window of set from line, cleaning up empty entries.
+//
+//simlint:hotpath
+func (c *Cache) lineDecRef(line uint64, set int32) {
+	refs := c.lineIndex[line]
+	for i := range refs {
+		if refs[i].set == set {
+			refs[i].refs--
+			if refs[i].refs == 0 {
+				copy(refs[i:], refs[i+1:])
+				refs = refs[:len(refs)-1]
+				if len(refs) == 0 {
+					delete(c.lineIndex, line)
+				} else {
+					c.lineIndex[line] = refs
+				}
+			}
+			return
+		}
+	}
+}
+
+// removeResident releases the slot, updating set and line bookkeeping and
+// notifying the policy.
+//
+//simlint:hotpath
+func (c *Cache) removeResident(set int, slot int32) {
+	s := &c.sets[set]
+	r := &s.slots[slot]
+	key := r.Key
+	c.delIdx(s, key)
+	s.occ[slot>>6] &^= 1 << (uint(slot) & 63)
+	s.used -= r.EntriesUsed
+	s.count--
+	c.totalResidents--
+	for _, line := range r.Lines {
+		c.lineDecRef(line, int32(set))
+	}
+	// Keep the Lines backing array on the vacated slot for reuse; clear
+	// EntriesUsed so stale contents cannot be mistaken for a resident.
+	r.EntriesUsed = 0
+	r.Lines = r.Lines[:0]
+	if c.m != nil {
+		c.m.slotOccupancy.Set(float64(c.totalResidents))
+	}
+	c.policy.OnEvict(set, slot, key)
 }
 
 // InvalidateLine evicts every window whose code lives in the given icache
@@ -629,18 +868,32 @@ func (c *Cache) InvalidateLine(lineAddr uint64) int {
 		return 0
 	}
 	n := 0
-	// Collect set list first; removal mutates the index.
-	setsToScan := make([]int, 0, len(refs))
-	for set := range refs {
-		setsToScan = append(setsToScan, set)
+	// Snapshot the set list first (already ascending); removal mutates
+	// the index. The scratch buffers are reused across calls.
+	setsToScan := c.invSets
+	if cap(setsToScan) < len(refs) {
+		setsToScan = make([]int32, 0, len(refs)*2)
 	}
-	slices.Sort(setsToScan)
+	setsToScan = setsToScan[:0]
+	for _, ref := range refs {
+		setsToScan = append(setsToScan, ref.set)
+	}
+	c.invSets = setsToScan
+	victims := c.invVictims
+	if cap(victims) < c.capSlots {
+		victims = make([]uint64, 0, c.capSlots)
+	}
 	for _, set := range setsToScan {
-		victims := make([]uint64, 0, len(c.sets[set].residents))
-		for key, r := range c.sets[set].residents {
+		s := &c.sets[set]
+		victims = victims[:0]
+		for i := range s.slots {
+			r := &s.slots[i]
+			if r.EntriesUsed == 0 {
+				continue
+			}
 			for _, line := range r.Lines {
 				if line == lineAddr {
-					victims = append(victims, key)
+					victims = append(victims, r.Key)
 					break
 				}
 			}
@@ -648,57 +901,79 @@ func (c *Cache) InvalidateLine(lineAddr uint64) int {
 		// Sorted so eviction events replay in the same order every run.
 		slices.Sort(victims)
 		for _, key := range victims {
+			slot := c.findSlot(s, key)
 			if c.m != nil || c.sink != nil {
-				r := c.sets[set].residents[key]
+				r := &s.slots[slot]
 				if c.m != nil {
 					c.m.invalidations.Inc()
 				}
 				if c.sink != nil {
 					c.sink.Emit(telemetry.Event{
-						Seq: c.clock, Kind: telemetry.EventInvalidate, Set: set, Key: key,
+						Seq: c.clock, Kind: telemetry.EventInvalidate, Set: int(set), Key: key,
 						VictimKey: key, VictimUops: r.Uops, VictimAge: c.clock - lastTouch(r),
 						Policy: c.polName,
 					})
 				}
 			}
-			c.removeResident(set, key, true)
+			c.removeResident(int(set), slot)
 			c.Stats.Invalidations++
 			n++
 		}
 	}
+	c.invVictims = victims
 	return n
 }
 
-// residentsView snapshots the residents of a set for the policy, ordered by
-// window key so victim tie-breaking cannot inherit map iteration order. The
-// in-place insertion sort (sets hold at most a few dozen windows) keeps this
-// closure-free for the hot path.
+// residentsView snapshots the residents of a set for the policy, in slot
+// (way) order — a deterministic order by construction, since slot assignment
+// depends only on the event sequence. The buffer is reused across calls and
+// sized to the set capacity at New, so refilling it never allocates.
+//
+//simlint:hotpath
 func (c *Cache) residentsView(set int) []Resident {
 	s := &c.sets[set]
-	out := make([]Resident, 0, len(s.residents))
-	for _, r := range s.residents {
-		//simlint:ignore determinism out is key-sorted by the insertion sort below, which the analyzer cannot prove
-		out = append(out, *r)
+	out := c.viewBuf
+	if cap(out) < c.capSlots {
+		out = make([]Resident, 0, c.capSlots) // unreachable after New; keeps the capacity proof local
 	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j].Key < out[j-1].Key; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
+	out = out[:0]
+	for i := range s.slots {
+		if s.slots[i].EntriesUsed != 0 {
+			out = append(out, s.slots[i])
 		}
+	}
+	c.viewBuf = out
+	return out
+}
+
+// Residents returns a snapshot of the residents of a set in slot order (for
+// analyses). Unlike the policy-facing view, the snapshot is freshly
+// allocated with deep-copied Lines, so callers may retain it.
+func (c *Cache) Residents(set int) []Resident {
+	s := &c.sets[set]
+	out := make([]Resident, 0, s.count)
+	for i := range s.slots {
+		if s.slots[i].EntriesUsed == 0 {
+			continue
+		}
+		r := s.slots[i]
+		r.Lines = append([]uint64(nil), r.Lines...)
+		out = append(out, r)
 	}
 	return out
 }
 
-// Residents returns a snapshot of the residents of a set (for analyses).
-func (c *Cache) Residents(set int) []Resident { return c.residentsView(set) }
-
-// ResidentFor returns the resident window for a start address, if any.
+// ResidentFor returns the resident window for a start address, if any. The
+// returned copy's Lines are deep-copied, so callers may retain it.
 func (c *Cache) ResidentFor(start uint64) (Resident, bool) {
-	set := c.SetIndex(start)
-	r, ok := c.sets[set].residents[start]
-	if !ok {
+	s := &c.sets[c.SetIndex(start)]
+	slot := c.findSlot(s, start)
+	if slot < 0 {
 		return Resident{}, false
 	}
-	return *r, true
+	r := s.slots[slot]
+	r.Lines = append([]uint64(nil), r.Lines...)
+	return r, true
 }
 
 // UsedEntries returns the number of occupied entries in a set.
@@ -713,6 +988,10 @@ func (c *Cache) TotalUsedEntries() int {
 	return n
 }
 
+// ResidentCount returns the number of occupied slots cache-wide (the value
+// the uopcache_slot_occupancy gauge exposes).
+func (c *Cache) ResidentCount() int { return c.totalResidents }
+
 // Clock returns the lookup sequence number (monotonic).
 func (c *Cache) Clock() uint64 { return c.clock }
 
@@ -724,7 +1003,11 @@ func (c *Cache) Clock() uint64 { return c.clock }
 func (c *Cache) Utilization() float64 {
 	var uops, capUops int
 	for i := range c.sets {
-		for _, r := range c.sets[i].residents {
+		for j := range c.sets[i].slots {
+			r := &c.sets[i].slots[j]
+			if r.EntriesUsed == 0 {
+				continue
+			}
 			uops += r.Uops
 			if c.cfg.Compaction {
 				capUops += r.EntriesUsed
