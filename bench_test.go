@@ -121,7 +121,11 @@ func BenchmarkWorkloadGenerate(b *testing.B) {
 	}
 }
 
-func BenchmarkPWFormation(b *testing.B) {
+// BenchmarkFormPWs measures PW formation over a kafka block trace. The
+// Former builds every window's Lines slice in a shared append-only arena,
+// so allocs/op is O(log windows) for the arena growth plus one slice header
+// per window batch — not one allocation per window (the pre-arena cost).
+func BenchmarkFormPWs(b *testing.B) {
 	spec, _ := workload.Get("kafka")
 	blocks := workload.GenerateSpec(spec, 20000, 0)
 	b.ReportAllocs()
@@ -226,6 +230,21 @@ func BenchmarkBeladyReplay(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		offline.RunBelady(pws, cfg, offline.Options{})
+	}
+}
+
+// BenchmarkBeladyReplayPrepared is the same replay over the columnar
+// prepared trace: per-window set/footprint reads and the shared CSR
+// occurrence index replace the per-replay map-of-slices build, which is
+// where the allocs/op drop against BenchmarkBeladyReplay comes from.
+func BenchmarkBeladyReplayPrepared(b *testing.B) {
+	pws := benchTracePWs(b, "kafka", 20000)
+	cfg := uopcache.DefaultConfig()
+	pt := uopcache.Prepare(cfg, pws)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		offline.RunBelady(pws, cfg, offline.Options{Prepared: pt})
 	}
 }
 

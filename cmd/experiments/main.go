@@ -7,6 +7,7 @@
 //	experiments [-parallel N] [-quiet] [-manifest run.json] [-telemetry FILE]
 //	            [-events FILE] [-pprof ADDR] all
 //	experiments [-resume dir] [-retries N] [-strict] [-faultinject SPEC] all
+//	experiments [-cache-dir dir] all
 //	experiments [-inspect lru,furbys] [-inspect-window N] [-trace-out t.json]
 //	            [-serve ADDR] fig8
 //
@@ -29,6 +30,13 @@
 // marked-missing table entry recorded in the manifest; -strict restores
 // fail-fast behaviour. -faultinject SITE:HITS:MODE (see internal/faultinject)
 // injects deterministic cell failures for testing these paths.
+//
+// -cache-dir DIR enables a content-addressed on-disk cache for generated
+// block traces and solved FLACK keep-plans. Entries are keyed by a SHA-256
+// over every input that determines them (plus a format version), so a warm
+// cache is byte-identical to a cold run — it only skips the workload
+// generation and min-cost-flow solves. Traffic is recorded in the manifest
+// (cache block) and the trace_cache_*/plan_cache_* counters.
 //
 // Introspection: -inspect POLICIES replays each app under the named policies
 // after the experiments finish, classifies every eviction (justified /
@@ -53,6 +61,7 @@ import (
 	"syscall"
 	"time"
 
+	"uopsim/internal/artifact"
 	"uopsim/internal/experiments"
 	"uopsim/internal/faultinject"
 	"uopsim/internal/flow"
@@ -83,6 +92,7 @@ type options struct {
 	retries   int
 	strict    bool
 	faultSpec string
+	cacheDir  string
 
 	inspectPolicies string
 	inspectWindow   int
@@ -130,6 +140,7 @@ func parseArgs(args []string, stderr io.Writer) (*options, error) {
 	fs.IntVar(&o.retries, "retries", 0, "extra attempts for a failed or panicking cell before it counts as failed")
 	fs.BoolVar(&o.strict, "strict", false, "fail an experiment on the first exhausted cell instead of degrading to a marked-missing entry")
 	fs.StringVar(&o.faultSpec, "faultinject", "", "inject cell faults: `SITE:HITS:MODE` (testing; see internal/faultinject)")
+	fs.StringVar(&o.cacheDir, "cache-dir", "", "content-addressed artifact cache `DIR` for generated traces and FLACK keep-plans (default: no cache)")
 	fs.StringVar(&o.inspectPolicies, "inspect", "", "run eviction attribution for the comma-separated `POLICIES` after the experiments (e.g. lru,srrip,furbys)")
 	fs.IntVar(&o.inspectWindow, "inspect-window", 0, "premature-eviction window in lookups for -inspect (0 = default 4096)")
 	fs.StringVar(&o.traceOut, "trace-out", "", "write a Chrome trace-event span trace to `FILE` (load in Perfetto or chrome://tracing)")
@@ -288,6 +299,21 @@ func run(o *options, args []string, stdout, stderr io.Writer) (interrupted bool,
 	if o.fault != nil {
 		o.fault.Arm(o.obs.Registry)
 	}
+	// The artifact cache is strictly additive: every entry is content-keyed
+	// over the inputs that determine it, so a warm cache changes only how
+	// fast traces and keep-plans materialize, never what they contain.
+	var store *artifact.Store
+	if o.cacheDir != "" {
+		s, serr := artifact.Open(o.cacheDir)
+		if serr != nil {
+			return false, serr
+		}
+		if o.obs.Registry != nil {
+			s.AttachMetrics(o.obs.Registry)
+		}
+		ectx.Artifacts = s
+		store = s
+	}
 	if o.traceOut != "" {
 		ectx.Spans = inspect.NewSpanLog()
 	}
@@ -305,6 +331,7 @@ func run(o *options, args []string, stdout, stderr io.Writer) (interrupted bool,
 		"blocks": o.blocks, "apps": strings.Join(ectx.AppList(), ","),
 		"csv": o.csvDir, "svg": o.svgDir, "check": o.check, "parallel": workers,
 		"retries": o.retries, "strict": o.strict, "resume": o.resume,
+		"cache_dir": o.cacheDir,
 	}
 	fail := func(format string, a ...any) {
 		msg := fmt.Sprintf(format, a...)
@@ -467,6 +494,13 @@ func run(o *options, args []string, stdout, stderr io.Writer) (interrupted bool,
 		man.Status = telemetry.StatusFailed
 	default:
 		man.Status = telemetry.StatusOK
+	}
+	if store != nil {
+		info := &telemetry.ArtifactCacheInfo{Dir: store.Dir(), Kinds: map[string]telemetry.ArtifactCacheKind{}}
+		for kind, ks := range store.Stats() {
+			info.Kinds[kind] = telemetry.ArtifactCacheKind{Hits: ks.Hits, Misses: ks.Misses, Errors: ks.Errors}
+		}
+		man.Cache = info
 	}
 	man.PeakHeapAlloc = hw.Stop()
 	man.Finish()

@@ -11,8 +11,10 @@ import (
 // of the simulator's subsystem families, so Prometheus scrapes and the
 // Stats-reconciliation tests can enumerate what they expect.
 // The inspect and trace families belong to the decision-level introspection
-// layer (internal/inspect): attribution roll-ups and span-trace health.
-var metricNamePattern = regexp.MustCompile(`^(uopcache|frontend|policy|offline|flow|parallel|faultinject|inspect|trace)_[a-z0-9_]+$`)
+// layer (internal/inspect): attribution roll-ups and span-trace health. The
+// plan family covers the artifact cache's keep-plan traffic
+// (internal/artifact); trace also carries its trace_cache_* counters.
+var metricNamePattern = regexp.MustCompile(`^(uopcache|frontend|policy|offline|flow|parallel|faultinject|inspect|trace|plan)_[a-z0-9_]+$`)
 
 // Telemetry enforces that metric names handed to the telemetry registry
 // (Registry.Counter / Gauge / Histogram methods of a package named
@@ -22,7 +24,7 @@ var metricNamePattern = regexp.MustCompile(`^(uopcache|frontend|policy|offline|f
 // Stats-reconciliation tests assert against.
 var Telemetry = &Analyzer{
 	Name: "telemetry",
-	Doc:  "metric names must be compile-time constants matching ^(uopcache|frontend|policy|offline|flow|parallel|faultinject|inspect|trace)_[a-z0-9_]+$",
+	Doc:  "metric names must be compile-time constants matching ^(uopcache|frontend|policy|offline|flow|parallel|faultinject|inspect|trace|plan)_[a-z0-9_]+$",
 	Run:  runTelemetry,
 }
 

@@ -8,8 +8,14 @@ package core
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
+	"io"
 
+	"uopsim/internal/artifact"
 	"uopsim/internal/backend"
 	"uopsim/internal/branch"
 	"uopsim/internal/cache"
@@ -111,11 +117,63 @@ func NewPolicy(name string, prof *profiles.Profile, ucCfg uopcache.Config, fcfg 
 // TraceFor generates an application's dynamic block trace and its PW lookup
 // sequence (the paper's STEPS 1–2).
 func TraceFor(app string, numBlocks, input int) ([]trace.Block, []trace.PW, error) {
+	return TraceForCached(app, numBlocks, input, nil)
+}
+
+// traceKeyVersion invalidates cached block traces whenever the generator's
+// semantics or the block codec change. Bump on either.
+const traceKeyVersion = 1
+
+// TraceKey content-addresses a generated block trace: SHA-256 over the key
+// version, the application's full generator specification (every parameter
+// that shapes the trace, including the layout seed), the block budget, and
+// the input id. Changing any generator parameter in the workload catalog
+// therefore invalidates stale cache entries automatically.
+func TraceKey(spec workload.Spec, numBlocks, input int) string {
+	specJSON, err := json.Marshal(spec)
+	if err != nil {
+		// A flat struct of scalars and strings cannot fail to marshal.
+		panic("core: marshal workload spec: " + err.Error())
+	}
+	h := sha256.New()
+	var hdr [20]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], traceKeyVersion)
+	binary.LittleEndian.PutUint64(hdr[4:12], uint64(numBlocks))
+	binary.LittleEndian.PutUint64(hdr[12:20], uint64(input))
+	h.Write(hdr[:])
+	h.Write(specJSON)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TraceForCached is TraceFor backed by a content-addressed artifact store:
+// on a hit the block trace is read back instead of regenerated (and PW
+// formation still runs, so the lookup sequence is identical either way). A
+// nil store, a miss, or a corrupt entry all degrade to plain generation —
+// the store can make a run faster, never different or broken.
+func TraceForCached(app string, numBlocks, input int, store *artifact.Store) ([]trace.Block, []trace.PW, error) {
 	spec, err := workload.Get(app)
 	if err != nil {
 		return nil, nil, err
 	}
-	blocks := workload.GenerateSpec(spec, numBlocks, input)
+	var blocks []trace.Block
+	if store != nil {
+		key := TraceKey(spec, numBlocks, input)
+		hit, _ := store.Get("trace", key, func(r io.Reader) error {
+			var derr error
+			blocks, derr = trace.ReadBlocks(r)
+			return derr
+		})
+		if !hit {
+			blocks = workload.GenerateSpec(spec, numBlocks, input)
+			// Best-effort: a read-only cache directory only costs the
+			// benefit (the store counts the error).
+			_ = store.Put("trace", key, func(w io.Writer) error {
+				return trace.WriteBlocks(w, blocks)
+			})
+		}
+	} else {
+		blocks = workload.GenerateSpec(spec, numBlocks, input)
+	}
 	return blocks, trace.FormPWs(blocks, 0), nil
 }
 
@@ -167,6 +225,15 @@ type BehaviorOptions struct {
 	// through the offline machinery (0 = GOMAXPROCS, 1 = serial). Replays
 	// and online policies are inherently serial and unaffected.
 	Workers int
+	// Prepared, when non-nil and built over exactly this lookup sequence
+	// under the run's micro-op cache geometry, supplies shared precomputed
+	// per-window attributes (set index, footprint, occurrence index). A
+	// mismatched Prepared is ignored — results are byte-identical either
+	// way.
+	Prepared *trace.PreparedTrace
+	// Plans, when non-nil, caches solved FOO/FLACK keep-plans by content
+	// key so warm runs skip the min-cost-flow solve. nil disables caching.
+	Plans offline.PlanCache
 }
 
 // BehaviorResult is a behaviour-mode run's output.
@@ -190,15 +257,26 @@ func RunBehavior(pws []trace.PW, cfg Config, pol uopcache.Policy, opts BehaviorO
 		ic = cache.New(cfg.L1I)
 	}
 	b := uopcache.NewBehavior(c, ic)
+	pt := opts.Prepared
+	if pt != nil && (pt.Sig() != cfg.UopCache.Sig() || !pt.SameSequence(pws)) {
+		pt = nil
+	}
 	var res BehaviorResult
-	if opts.RecordPerLookup {
+	switch {
+	case opts.RecordPerLookup:
 		res.PerLookup = make([]uopcache.ProbeResult, 0, len(pws))
-		for _, p := range pws {
-			res.PerLookup = append(res.PerLookup, b.Access(p))
+		for i := range pws {
+			if pt != nil {
+				res.PerLookup = append(res.PerLookup, b.AccessIndexed(pt, i))
+			} else {
+				res.PerLookup = append(res.PerLookup, b.Access(pws[i]))
+			}
 		}
 		b.Flush()
 		res.Stats = c.Stats
-	} else {
+	case pt != nil:
+		res.Stats = b.RunPrepared(pt)
+	default:
 		res.Stats = b.Run(pws)
 	}
 	if f, ok := base.(*policy.FURBYS); ok {
@@ -225,7 +303,9 @@ func RunBehaviorByName(name string, pws []trace.PW, cfg Config, opts BehaviorOpt
 	}
 	var prof *profiles.Profile
 	if name == "thermometer" || name == "furbys" {
-		prof = profiles.Collect(pws, cfg.UopCache, profiles.SourceFLACK)
+		prof = profiles.CollectWith(pws, cfg.UopCache, profiles.SourceFLACK, profiles.CollectOptions{
+			Prepared: opts.Prepared, Plans: opts.Plans, Workers: opts.Workers,
+		})
 	}
 	pol, err := NewPolicy(name, prof, cfg.UopCache, policy.FURBYSConfig{})
 	if err != nil {
@@ -241,6 +321,8 @@ func offlineOptions(cfg Config, opts BehaviorOptions) offline.Options {
 		Metrics:         opts.Telemetry.Metrics,
 		Events:          opts.Telemetry.Events,
 		Workers:         opts.Workers,
+		Prepared:        opts.Prepared,
+		Plans:           opts.Plans,
 	}
 	if opts.WithICache {
 		ic := cfg.L1I
@@ -298,23 +380,42 @@ func runTiming(blocks []trace.Block, cfg Config, bp *branch.Predictor, uc *uopca
 // the timing model. Profile-guided policies collect a FLACK profile from the
 // same trace when prof is nil.
 func RunTimingByName(name string, blocks []trace.Block, pws []trace.PW, cfg Config, prof *profiles.Profile) (TimingResult, error) {
-	return RunTimingByNameObserved(name, blocks, pws, cfg, prof, Telemetry{})
+	return RunTimingByNameWith(name, blocks, pws, cfg, prof, TimingOptions{})
 }
 
 // RunTimingByNameObserved is RunTimingByName with observability attached.
 func RunTimingByNameObserved(name string, blocks []trace.Block, pws []trace.PW, cfg Config, prof *profiles.Profile, tel Telemetry) (TimingResult, error) {
+	return RunTimingByNameWith(name, blocks, pws, cfg, prof, TimingOptions{Telemetry: tel})
+}
+
+// TimingOptions bundles a by-name timing run's optional attachments:
+// observability plus the shared prepared trace and keep-plan cache consumed
+// by the offline schedule policies (both lossless; both nil-safe).
+type TimingOptions struct {
+	Telemetry Telemetry
+	Prepared  *trace.PreparedTrace
+	Plans     offline.PlanCache
+	// Workers bounds the offline plan solver's fan-out (0 = GOMAXPROCS).
+	Workers int
+}
+
+// RunTimingByNameWith is RunTimingByName with the full attachment set.
+func RunTimingByNameWith(name string, blocks []trace.Block, pws []trace.PW, cfg Config, prof *profiles.Profile, opts TimingOptions) (TimingResult, error) {
+	sched := offline.ScheduleOptions{Workers: opts.Workers, Prepared: opts.Prepared, Plans: opts.Plans}
 	var pol uopcache.Policy
 	switch name {
 	case "belady":
-		pol = offline.NewBeladySchedule(pws)
+		pol = offline.NewBeladyScheduleWith(pws, opts.Prepared)
 	case "foo":
-		pol = offline.NewFLACKSchedule(nil, pws, cfg.UopCache, offline.Features{}, 0)
+		pol = offline.NewFLACKScheduleWith(pws, cfg.UopCache, offline.Features{}, sched)
 	case "flack":
-		pol = offline.NewFLACKSchedule(nil, pws, cfg.UopCache, offline.FLACKFeatures(), 0)
+		pol = offline.NewFLACKScheduleWith(pws, cfg.UopCache, offline.FLACKFeatures(), sched)
 	default:
 		if name == "thermometer" || name == "furbys" {
 			if prof == nil {
-				prof = profiles.Collect(pws, cfg.UopCache, profiles.SourceFLACK)
+				prof = profiles.CollectWith(pws, cfg.UopCache, profiles.SourceFLACK, profiles.CollectOptions{
+					Prepared: opts.Prepared, Plans: opts.Plans, Workers: opts.Workers,
+				})
 			}
 		}
 		p, err := NewPolicy(name, prof, cfg.UopCache, policy.FURBYSConfig{})
@@ -323,7 +424,7 @@ func RunTimingByNameObserved(name string, blocks []trace.Block, pws []trace.PW, 
 		}
 		pol = p
 	}
-	return RunTimingObserved(blocks, cfg, pol, tel), nil
+	return RunTimingObserved(blocks, cfg, pol, opts.Telemetry), nil
 }
 
 // MissReduction is the paper's headline metric: the relative reduction in

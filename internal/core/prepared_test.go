@@ -1,0 +1,151 @@
+package core_test
+
+import (
+	"reflect"
+	"testing"
+
+	"uopsim/internal/artifact"
+	"uopsim/internal/core"
+	"uopsim/internal/offline"
+	"uopsim/internal/trace"
+	"uopsim/internal/uopcache"
+)
+
+// TestPreparedBehaviorEquivalence pins the tentpole's lossless contract:
+// attaching a PreparedTrace (and a plan cache) to a behaviour run changes
+// nothing about the result, for every policy name, per-lookup records
+// included. The prepared run is the one all experiments now take, so this
+// is the guard behind the byte-identical-CSV acceptance criterion.
+func TestPreparedBehaviorEquivalence(t *testing.T) {
+	cfg := core.DefaultConfig()
+	_, pws, err := core.TraceFor("kafka", 4000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := uopcache.Prepare(cfg.UopCache, pws)
+	store, err := artifact.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans := offline.NewPlanStore(store)
+	names := append(core.PolicyNames(), core.OfflineNames()...)
+	for _, name := range names {
+		for _, record := range []bool{false, true} {
+			plain, err := core.RunBehaviorByName(name, pws, cfg, core.BehaviorOptions{RecordPerLookup: record})
+			if err != nil {
+				t.Fatalf("%s (plain): %v", name, err)
+			}
+			prep, err := core.RunBehaviorByName(name, pws, cfg, core.BehaviorOptions{
+				RecordPerLookup: record, Prepared: pt, Plans: plans,
+			})
+			if err != nil {
+				t.Fatalf("%s (prepared): %v", name, err)
+			}
+			if !reflect.DeepEqual(plain, prep) {
+				t.Errorf("%s (record=%v): prepared run diverged:\nplain: %+v\nprep:  %+v",
+					name, record, plain.Stats, prep.Stats)
+			}
+		}
+	}
+	// The plan cache must have actually been exercised by foo/flack above.
+	if st := store.Stats()["plan"]; st.Hits+st.Misses == 0 {
+		t.Error("plan cache saw no traffic across foo/flack runs")
+	}
+}
+
+// TestMismatchedPreparedIgnored: a PreparedTrace built under a different
+// geometry, or over a different sequence, must be silently ignored — wrong
+// columns must never leak into a run.
+func TestMismatchedPreparedIgnored(t *testing.T) {
+	cfg := core.DefaultConfig()
+	_, pws, err := core.TraceFor("kafka", 3000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := core.RunBehaviorByName("lru", pws, cfg, core.BehaviorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := cfg.UopCache
+	other.Ways = cfg.UopCache.Ways / 2
+	wrongGeom := uopcache.Prepare(other, pws)
+	_, otherPWs, err := core.TraceFor("kafka", 3000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrongSeq := uopcache.Prepare(cfg.UopCache, otherPWs)
+	for label, pt := range map[string]*trace.PreparedTrace{
+		"geometry": wrongGeom,
+		"sequence": wrongSeq,
+	} {
+		got, err := core.RunBehaviorByName("lru", pws, cfg, core.BehaviorOptions{Prepared: pt})
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		if !reflect.DeepEqual(plain, got) {
+			t.Errorf("mismatched prepared trace (%s) changed the result", label)
+		}
+	}
+}
+
+// TestPreparedTimingEquivalence: the timing model with prepared/plan
+// attachments produces the identical result for the offline policies.
+func TestPreparedTimingEquivalence(t *testing.T) {
+	cfg := core.DefaultConfig()
+	blocks, pws, err := core.TraceFor("kafka", 4000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := uopcache.Prepare(cfg.UopCache, pws)
+	store, err := artifact.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans := offline.NewPlanStore(store)
+	for _, name := range []string{"belady", "foo", "flack", "lru"} {
+		plain, err := core.RunTimingByName(name, blocks, pws, cfg, nil)
+		if err != nil {
+			t.Fatalf("%s (plain): %v", name, err)
+		}
+		prep, err := core.RunTimingByNameWith(name, blocks, pws, cfg, nil, core.TimingOptions{
+			Prepared: pt, Plans: plans,
+		})
+		if err != nil {
+			t.Fatalf("%s (prepared): %v", name, err)
+		}
+		if !reflect.DeepEqual(plain, prep) {
+			t.Errorf("%s: prepared timing diverged:\nplain: %+v\nprep:  %+v", name, plain, prep)
+		}
+	}
+}
+
+// TestTraceForCachedEquivalence: the cached trace path returns bit-equal
+// blocks and windows, cold and warm, and the warm read is a verified hit.
+func TestTraceForCachedEquivalence(t *testing.T) {
+	store, err := artifact.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainBlocks, plainPWs, err := core.TraceFor("postgres", 3000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, coldPWs, err := core.TraceForCached("postgres", 3000, 2, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, warmPWs, err := core.TraceForCached("postgres", 3000, 2, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plainBlocks, cold) || !reflect.DeepEqual(plainBlocks, warm) {
+		t.Fatal("cached blocks differ from generated blocks")
+	}
+	if !reflect.DeepEqual(plainPWs, coldPWs) || !reflect.DeepEqual(plainPWs, warmPWs) {
+		t.Fatal("cached windows differ from generated windows")
+	}
+	st := store.Stats()["trace"]
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Fatalf("trace cache stats = %+v, want 1 miss then 1 hit", st)
+	}
+}

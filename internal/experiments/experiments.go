@@ -36,6 +36,7 @@ import (
 	"sync"
 	"time"
 
+	"uopsim/internal/artifact"
 	"uopsim/internal/core"
 	"uopsim/internal/faultinject"
 	"uopsim/internal/inspect"
@@ -146,6 +147,11 @@ type Context struct {
 	// experiments sharing this context (0 = GOMAXPROCS, 1 = serial). The
 	// same budget is handed to the offline solver.
 	Workers int
+	// Artifacts, when non-nil, is the content-addressed on-disk cache for
+	// generated block traces and solved FLACK keep-plans (-cache-dir). A
+	// warm store skips workload generation and every min-cost-flow solve;
+	// results are byte-identical with the store cold, warm, or absent.
+	Artifacts *artifact.Store
 
 	// Ctx cancels the campaign cooperatively: cells already executing run
 	// to completion, queued cells are abandoned, and RunMany reports
@@ -195,6 +201,7 @@ func (c *Context) ctx() context.Context {
 type ctxCaches struct {
 	mu     sync.Mutex
 	traces map[string]*flight[tracePair]
+	preps  map[string]*flight[*trace.PreparedTrace]
 	profs  map[string]*flight[*profiles.Profile]
 	bases  map[string]*flight[uopcache.Stats]
 	times  map[string]*flight[core.TimingResult]
@@ -362,6 +369,7 @@ func once[T any](c *Context, m map[string]*flight[T], key string, compute func()
 func newCaches() *ctxCaches {
 	return &ctxCaches{
 		traces: make(map[string]*flight[tracePair]),
+		preps:  make(map[string]*flight[*trace.PreparedTrace]),
 		profs:  make(map[string]*flight[*profiles.Profile]),
 		bases:  make(map[string]*flight[uopcache.Stats]),
 		times:  make(map[string]*flight[core.TimingResult]),
@@ -626,10 +634,26 @@ func appRows[T any](c *Context, fn func(app string) (T, error)) ([]T, error) {
 	return cells(c, apps, func(i int) (T, error) { return fn(apps[i]) })
 }
 
+// plans adapts the context's artifact store into the offline layer's
+// keep-plan cache (nil when no store is attached).
+func (c *Context) plans() offline.PlanCache {
+	return offline.NewPlanStore(c.Artifacts)
+}
+
 // runOpts returns BehaviorOptions carrying the context's cancellation
-// handle, telemetry and solver worker budget.
+// handle, telemetry, solver worker budget and keep-plan cache.
 func (c *Context) runOpts() core.BehaviorOptions {
-	return core.BehaviorOptions{Ctx: c.Ctx, Telemetry: c.Telemetry, Workers: c.Workers}
+	return core.BehaviorOptions{Ctx: c.Ctx, Telemetry: c.Telemetry, Workers: c.Workers, Plans: c.plans()}
+}
+
+// runOptsFor is runOpts with the app's shared prepared trace attached; the
+// attachment is skipped (never fails the run) when preparation errored.
+func (c *Context) runOptsFor(app string, input int) core.BehaviorOptions {
+	opts := c.runOpts()
+	if pt, err := c.Prepared(app, input); err == nil {
+		opts.Prepared = pt
+	}
+	return opts
 }
 
 // runOptsRecord is runOpts with per-lookup outcome recording enabled.
@@ -639,13 +663,33 @@ func (c *Context) runOptsRecord() core.BehaviorOptions {
 	return opts
 }
 
-// offlineOpts attaches the context's cancellation handle, telemetry and
-// worker budget to offline replay options.
+// runOptsRecordFor is runOptsFor with per-lookup outcome recording enabled.
+func (c *Context) runOptsRecordFor(app string, input int) core.BehaviorOptions {
+	opts := c.runOptsFor(app, input)
+	opts.RecordPerLookup = true
+	return opts
+}
+
+// offlineOpts attaches the context's cancellation handle, telemetry, worker
+// budget and keep-plan cache to offline replay options.
 func (c *Context) offlineOpts(o offline.Options) offline.Options {
 	o.Ctx = c.Ctx
 	o.Metrics = c.Telemetry.Metrics
 	o.Events = c.Telemetry.Events
 	o.Workers = c.Workers
+	if o.Plans == nil {
+		o.Plans = c.plans()
+	}
+	return o
+}
+
+// offlineOptsFor is offlineOpts with the app's shared prepared trace
+// attached (skipped when preparation errored).
+func (c *Context) offlineOptsFor(app string, input int, o offline.Options) offline.Options {
+	o = c.offlineOpts(o)
+	if pt, err := c.Prepared(app, input); err == nil {
+		o.Prepared = pt
+	}
 	return o
 }
 
@@ -660,24 +704,42 @@ func (c *Context) AppList() []string {
 // traceFor and collectProfile are indirection seams so the singleflight
 // tests can count how often the underlying computation actually runs.
 var (
-	traceFor       = core.TraceFor
-	collectProfile = profiles.CollectObserved
+	traceFor       = core.TraceForCached
+	collectProfile = profiles.CollectWith
 )
 
 // Trace returns (cached) the block trace and PW sequence for an app/input.
-// Concurrent callers of the same key share one generation.
+// Concurrent callers of the same key share one generation. With an artifact
+// store attached, the block trace is read from (or written to) the on-disk
+// cache instead of being regenerated.
 func (c *Context) Trace(app string, input int) ([]trace.Block, []trace.PW, error) {
 	key := fmt.Sprintf("%s/%d/%d", app, input, c.Blocks)
 	tp, err := once(c, c.caches.traces, key, func() (tracePair, error) {
-		blocks, pws, err := traceFor(app, c.Blocks, input)
+		blocks, pws, err := traceFor(app, c.Blocks, input, c.Artifacts)
 		return tracePair{blocks: blocks, pws: pws}, err
 	})
 	return tp.blocks, tp.pws, err
 }
 
+// Prepared returns (cached) the shared columnar prepared trace for an
+// app/input under the context's micro-op cache geometry: precomputed set
+// indices, footprints and the occurrence index every replay of the same
+// trace would otherwise rebuild privately. Concurrent callers share one
+// build.
+func (c *Context) Prepared(app string, input int) (*trace.PreparedTrace, error) {
+	key := fmt.Sprintf("%s/%d/%d/%x", app, input, c.Blocks, c.Cfg.UopCache.Sig())
+	return once(c, c.caches.preps, key, func() (*trace.PreparedTrace, error) {
+		_, pws, err := c.Trace(app, input)
+		if err != nil {
+			return nil, err
+		}
+		return uopcache.Prepare(c.Cfg.UopCache, pws), nil
+	})
+}
+
 // Profile returns (cached) the offline profile for an app/input/source
 // under the context's micro-op cache geometry. Concurrent callers of the
-// same key invoke CollectObserved exactly once.
+// same key invoke the collection exactly once.
 func (c *Context) Profile(app string, input int, src profiles.Source) (*profiles.Profile, error) {
 	key := fmt.Sprintf("%s/%d/%v/%d/%d/%d", app, input, src, c.Blocks, c.Cfg.UopCache.Entries, c.Cfg.UopCache.Ways)
 	return once(c, c.caches.profs, key, func() (*profiles.Profile, error) {
@@ -685,7 +747,16 @@ func (c *Context) Profile(app string, input int, src profiles.Source) (*profiles
 		if err != nil {
 			return nil, err
 		}
-		return collectProfile(pws, c.Cfg.UopCache, src, c.Telemetry.Metrics, c.Telemetry.Events), nil
+		copts := profiles.CollectOptions{
+			Metrics: c.Telemetry.Metrics,
+			Events:  c.Telemetry.Events,
+			Plans:   c.plans(),
+			Workers: c.Workers,
+		}
+		if pt, perr := c.Prepared(app, input); perr == nil {
+			copts.Prepared = pt
+		}
+		return collectProfile(pws, c.Cfg.UopCache, src, copts), nil
 	})
 }
 

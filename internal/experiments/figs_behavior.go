@@ -21,7 +21,7 @@ func (c *Context) lruBaseline(app string) (uopcache.Stats, error) {
 		if err != nil {
 			return uopcache.Stats{}, err
 		}
-		return core.RunBehavior(pws, c.Cfg, policy.NewLRU(), c.runOpts()).Stats, nil
+		return core.RunBehavior(pws, c.Cfg, policy.NewLRU(), c.runOptsFor(app, 0)).Stats, nil
 	})
 }
 
@@ -183,9 +183,9 @@ func (c *Context) runPolicyOnApp(name, app string) (core.BehaviorResult, error) 
 		if err != nil {
 			return core.BehaviorResult{}, err
 		}
-		return core.RunBehavior(pws, c.Cfg, pol, c.runOpts()), nil
+		return core.RunBehavior(pws, c.Cfg, pol, c.runOptsFor(app, 0)), nil
 	}
-	return core.RunBehaviorByName(name, pws, c.Cfg, c.runOpts())
+	return core.RunBehaviorByName(name, pws, c.Cfg, c.runOptsFor(app, 0))
 }
 
 // behaviorReductions computes per-app miss reductions vs LRU for a policy
@@ -288,10 +288,10 @@ func Fig10FLACKAblation(ctx *Context) (*Table, error) {
 			return nil, err
 		}
 		vals := make([]float64, 0, len(variants)+1)
-		bel := offline.RunBelady(pws, ctx.Cfg.UopCache, ctx.offlineOpts(offline.Options{}))
+		bel := offline.RunBelady(pws, ctx.Cfg.UopCache, ctx.offlineOptsFor(app, 0, offline.Options{}))
 		vals = append(vals, core.MissReduction(base, bel.Stats))
 		for _, v := range variants {
-			res := offline.RunFOO(pws, ctx.Cfg.UopCache, ctx.offlineOpts(offline.Options{Features: v}))
+			res := offline.RunFOO(pws, ctx.Cfg.UopCache, ctx.offlineOptsFor(app, 0, offline.Options{Features: v}))
 			vals = append(vals, core.MissReduction(base, res.Stats))
 		}
 		return vals, nil
@@ -343,7 +343,7 @@ func Fig15ProfileSources(ctx *Context) (*Table, error) {
 			if err != nil {
 				return [3]float64{}, err
 			}
-			res := core.RunBehavior(pws, ctx.Cfg, pol, ctx.runOpts())
+			res := core.RunBehavior(pws, ctx.Cfg, pol, ctx.runOptsFor(app, 0))
 			vals[i] = core.MissReduction(base, res.Stats)
 		}
 		return vals, nil
@@ -399,7 +399,10 @@ func Fig16SizeAssocSweep(ctx *Context) (*Table, error) {
 				return point{}, err
 			}
 			base := core.RunBehavior(pws, cfg, policy.NewLRU(), ctx.runOpts())
-			prof := collectProfile(pws, cfg.UopCache, profiles.SourceFLACK, ctx.Telemetry.Metrics, ctx.Telemetry.Events)
+			prof := collectProfile(pws, cfg.UopCache, profiles.SourceFLACK, profiles.CollectOptions{
+				Metrics: ctx.Telemetry.Metrics, Events: ctx.Telemetry.Events,
+				Plans: ctx.plans(), Workers: ctx.Workers,
+			})
 			pol, err := core.NewPolicy("furbys", prof, cfg.UopCache, policy.FURBYSConfig{})
 			if err != nil {
 				return point{}, err
@@ -455,7 +458,7 @@ func Fig18CrossValidation(ctx *Context) (*Table, error) {
 			if err != nil {
 				return 0, err
 			}
-			res := core.RunBehavior(testPWs, ctx.Cfg, pol, ctx.runOpts())
+			res := core.RunBehavior(testPWs, ctx.Cfg, pol, ctx.runOptsFor(app, 0))
 			return core.MissReduction(base, res.Stats), nil
 		}
 		same, err := runWith(sameProf)
@@ -524,7 +527,7 @@ func Fig19WeightBits(ctx *Context) (*Table, error) {
 			if err != nil {
 				return 0, err
 			}
-			res := core.RunBehavior(pws, ctx.Cfg, pol, ctx.runOpts())
+			res := core.RunBehavior(pws, ctx.Cfg, pol, ctx.runOptsFor(app, 0))
 			vals = append(vals, core.MissReduction(base, res.Stats))
 		}
 		return mean(vals), nil
@@ -571,7 +574,7 @@ func Fig20DetectorDepth(ctx *Context) (*Table, error) {
 			if err != nil {
 				return 0, err
 			}
-			res := core.RunBehavior(pws, ctx.Cfg, pol, ctx.runOpts())
+			res := core.RunBehavior(pws, ctx.Cfg, pol, ctx.runOptsFor(app, 0))
 			vals = append(vals, core.MissReduction(base, res.Stats))
 		}
 		return mean(vals), nil
@@ -610,13 +613,13 @@ func Fig21Bypass(ctx *Context) (*Table, error) {
 		if err != nil {
 			return row{}, err
 		}
-		rOff := core.MissReduction(base, core.RunBehavior(pws, ctx.Cfg, polOff, ctx.runOpts()).Stats)
+		rOff := core.MissReduction(base, core.RunBehavior(pws, ctx.Cfg, polOff, ctx.runOptsFor(app, 0)).Stats)
 
 		polOn, err := core.NewPolicy("furbys", prof, ctx.Cfg.UopCache, policy.DefaultFURBYSConfig())
 		if err != nil {
 			return row{}, err
 		}
-		resOn := core.RunBehavior(pws, ctx.Cfg, polOn, ctx.runOpts())
+		resOn := core.RunBehavior(pws, ctx.Cfg, polOn, ctx.runOptsFor(app, 0))
 		rOn := core.MissReduction(base, resOn.Stats)
 		byFrac := 0.0
 		if resOn.FURBYS != nil && resOn.FURBYS.InsertAttempts > 0 {
@@ -652,7 +655,7 @@ func Fig22Hotness(ctx *Context) (*Table, error) {
 		if err != nil {
 			return [10]stats.DecileStat{}, err
 		}
-		res, err := core.RunBehaviorByName(names[i], pws, ctx.Cfg, ctx.runOptsRecord())
+		res, err := core.RunBehaviorByName(names[i], pws, ctx.Cfg, ctx.runOptsRecordFor(app, 0))
 		if err != nil {
 			return [10]stats.DecileStat{}, err
 		}
@@ -693,7 +696,7 @@ func CoverageStats(ctx *Context) (*Table, error) {
 		if err != nil {
 			return row{}, err
 		}
-		res := core.RunBehavior(pws, ctx.Cfg, pol, ctx.runOpts())
+		res := core.RunBehavior(pws, ctx.Cfg, pol, ctx.runOptsFor(app, 0))
 		if res.FURBYS == nil {
 			return row{}, nil
 		}

@@ -87,9 +87,12 @@ func SensInsertDelay(ctx *Context) (*Table, error) {
 		}
 		cfg := ctx.Cfg
 		cfg.UopCache.InsertDelay = delays[i]
-		base := core.RunBehavior(pws, cfg, policy.NewLRU(), ctx.runOpts())
-		raw := offline.RunFOO(pws, cfg.UopCache, ctx.offlineOpts(offline.Options{Features: offline.Features{}}))
-		withA := offline.RunFOO(pws, cfg.UopCache, ctx.offlineOpts(offline.Options{Features: offline.Features{Async: true}}))
+		// InsertDelay is excluded from the geometry signature (it affects
+		// timing, not per-window attributes), so the context's prepared
+		// trace and cached plans stay valid across the sweep.
+		base := core.RunBehavior(pws, cfg, policy.NewLRU(), ctx.runOptsFor(app, 0))
+		raw := offline.RunFOO(pws, cfg.UopCache, ctx.offlineOptsFor(app, 0, offline.Options{Features: offline.Features{}}))
+		withA := offline.RunFOO(pws, cfg.UopCache, ctx.offlineOptsFor(app, 0, offline.Options{Features: offline.Features{Async: true}}))
 		return point{MissRate: base.Stats.UopMissRate(),
 			RRaw: core.MissReduction(base.Stats, raw.Stats),
 			RA:   core.MissReduction(base.Stats, withA.Stats)}, nil
@@ -125,7 +128,7 @@ func SensSegmentLimit(ctx *Context) (*Table, error) {
 		if err != nil {
 			return 0, err
 		}
-		res := offline.RunFLACK(pws, ctx.Cfg.UopCache, ctx.offlineOpts(offline.Options{SegmentLimit: limits[i]}))
+		res := offline.RunFLACK(pws, ctx.Cfg.UopCache, ctx.offlineOptsFor(app, 0, offline.Options{SegmentLimit: limits[i]}))
 		return core.MissReduction(base, res.Stats), nil
 	})
 	if err != nil {
@@ -155,9 +158,10 @@ func SensObjective(ctx *Context) (*Table, error) {
 			return [3]float64{}, err
 		}
 		var vals [3]float64
+		pt, _ := ctx.Prepared(app, 0)
 		for i, model := range []offline.CostModel{offline.CostOHR, offline.CostBHR, offline.CostVC} {
-			dec := offline.ComputeDecisions(ctx.Ctx, pws, ctx.Cfg.UopCache, model, true, 0, ctx.Workers)
-			res := offline.ReplayPlan(pws, ctx.Cfg.UopCache, dec, ctx.offlineOpts(offline.Options{Features: offline.FLACKFeatures()}))
+			dec := offline.ComputeDecisionsCached(ctx.Ctx, pws, pt, ctx.Cfg.UopCache, model, true, 0, ctx.Workers, ctx.plans())
+			res := offline.ReplayPlan(pws, ctx.Cfg.UopCache, dec, ctx.offlineOptsFor(app, 0, offline.Options{Features: offline.FLACKFeatures()}))
 			vals[i] = core.MissReduction(base, res.Stats)
 		}
 		return vals, nil

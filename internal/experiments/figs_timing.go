@@ -24,7 +24,11 @@ func (c *Context) timingByName(app, name string) (core.TimingResult, error) {
 				return core.TimingResult{}, err
 			}
 		}
-		return core.RunTimingByNameObserved(name, blocks, pws, c.Cfg, prof, c.Telemetry)
+		topts := core.TimingOptions{Telemetry: c.Telemetry, Plans: c.plans(), Workers: c.Workers}
+		if pt, perr := c.Prepared(app, 0); perr == nil {
+			topts.Prepared = pt
+		}
+		return core.RunTimingByNameWith(name, blocks, pws, c.Cfg, prof, topts)
 	})
 }
 

@@ -73,7 +73,8 @@ func RunAttribution(c *Context, opts AttributionOptions) ([]inspect.Attribution,
 		// check: the plan depends only on the trace and the geometry.
 		var keep []bool
 		if !opts.SkipDivergence {
-			dec := offline.ComputeDecisions(c.ctx(), pws, c.Cfg.UopCache, offline.CostVC, true, 0, c.Workers)
+			pt, _ := c.Prepared(app, opts.Input)
+			dec := offline.ComputeDecisionsCached(c.ctx(), pws, pt, c.Cfg.UopCache, offline.CostVC, true, 0, c.Workers, c.plans())
 			if err := c.ctx().Err(); err != nil {
 				appSp.End()
 				return rows, err

@@ -5,9 +5,9 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"uopsim/internal/artifact"
 	"uopsim/internal/parallel"
 	"uopsim/internal/profiles"
-	"uopsim/internal/telemetry"
 	"uopsim/internal/trace"
 	"uopsim/internal/uopcache"
 )
@@ -80,9 +80,9 @@ func TestRunManyUnknownID(t *testing.T) {
 func TestProfileSingleflight(t *testing.T) {
 	old := collectProfile
 	var calls atomic.Int64
-	collectProfile = func(pws []trace.PW, cfg uopcache.Config, src profiles.Source, metrics *telemetry.Registry, events telemetry.EventSink) *profiles.Profile {
+	collectProfile = func(pws []trace.PW, cfg uopcache.Config, src profiles.Source, opts profiles.CollectOptions) *profiles.Profile {
 		calls.Add(1)
-		return old(pws, cfg, src, metrics, events)
+		return old(pws, cfg, src, opts)
 	}
 	defer func() { collectProfile = old }()
 
@@ -111,9 +111,9 @@ func TestProfileSingleflight(t *testing.T) {
 func TestTraceSingleflight(t *testing.T) {
 	old := traceFor
 	var calls atomic.Int64
-	traceFor = func(app string, numBlocks, input int) ([]trace.Block, []trace.PW, error) {
+	traceFor = func(app string, numBlocks, input int, store *artifact.Store) ([]trace.Block, []trace.PW, error) {
 		calls.Add(1)
-		return old(app, numBlocks, input)
+		return old(app, numBlocks, input, store)
 	}
 	defer func() { traceFor = old }()
 

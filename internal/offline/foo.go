@@ -102,8 +102,26 @@ type fooRequest struct {
 // checking ctx.Err() before using the plan (the experiment scheduler does
 // this centrally before merging or journaling any cell result).
 func ComputeDecisions(ctx context.Context, pws []trace.PW, cfg uopcache.Config, model CostModel, foldVariants bool, segLimit, workers int) *Decisions {
+	return computeDecisions(ctx, pws, nil, cfg, model, foldVariants, segLimit, workers)
+}
+
+// ComputeDecisionsPrepared is ComputeDecisions over a prepared trace: the
+// per-window set indices come from the shared columns and the fold-mode
+// prefix maxima use the dense key ids instead of a map. The produced plan
+// is byte-identical to the unprepared solve.
+func ComputeDecisionsPrepared(ctx context.Context, pt *trace.PreparedTrace, cfg uopcache.Config, model CostModel, foldVariants bool, segLimit, workers int) *Decisions {
+	return computeDecisions(ctx, pt.PWs(), pt, cfg, model, foldVariants, segLimit, workers)
+}
+
+// computeDecisions is the shared solve body; pt may be nil (unprepared).
+func computeDecisions(ctx context.Context, pws []trace.PW, pt *trace.PreparedTrace, cfg uopcache.Config, model CostModel, foldVariants bool, segLimit, workers int) *Decisions {
 	if segLimit <= 0 {
 		segLimit = DefaultSegmentLimit
+	}
+	if pt != nil && (pt.Sig() != cfg.Sig() || !pt.SameSequence(pws)) {
+		// Stale or mismatched columns: fall back to recomputing rather
+		// than trusting them (lossless by construction).
+		pt = nil
 	}
 	dec := &Decisions{Keep: make([]bool, len(pws)), Model: model, FoldVariants: foldVariants}
 
@@ -120,26 +138,64 @@ func ComputeDecisions(ctx context.Context, pws []trace.PW, cfg uopcache.Config, 
 	// With folding, a request's footprint is the PREFIX max of its
 	// variants: the cache stores the largest window seen so far (growth
 	// happens on partial hits), so planning against the global max would
-	// overstate early intervals' size and cost.
-	prefixMax := make(map[uint64]int32)
+	// overstate early intervals' size and cost. The prepared path keeps
+	// the maxima in a flat array indexed by dense key id.
+	var prefixMax map[uint64]int32
+	var prefixMaxA []int32
+	if foldVariants {
+		if pt != nil {
+			prefixMaxA = make([]int32, pt.NumKeys())
+		} else {
+			prefixMax = make(map[uint64]int32)
+		}
+	}
 
-	// Partition requests per set.
+	// Partition requests per set. With a prepared trace the per-set counts
+	// are known up front, so the request lists are carved out of one arena
+	// instead of growing by repeated append.
 	perSet := make([][]fooRequest, cfg.Sets())
-	for i, p := range pws {
-		set := cfg.SetIndex(p.Start)
+	if pt != nil {
+		counts := make([]int32, cfg.Sets())
+		for i := 0; i < pt.Len(); i++ {
+			counts[pt.Set(i)]++
+		}
+		arena := make([]fooRequest, len(pws))
+		off := 0
+		for s := range perSet {
+			n := int(counts[s])
+			perSet[s] = arena[off:off : off+n]
+			off += n
+		}
+	}
+	for i := range pws {
+		p := &pws[i]
+		var set int
+		if pt != nil {
+			set = pt.Set(i)
+		} else {
+			set = cfg.SetIndex(p.Start)
+		}
 		cost := int32(p.NumUops)
 		if foldVariants {
-			if cost > prefixMax[p.Start] {
-				prefixMax[p.Start] = cost
+			if pt != nil {
+				id := pt.KeyID(i)
+				if cost > prefixMaxA[id] {
+					prefixMaxA[id] = cost
+				}
+				cost = prefixMaxA[id]
+			} else {
+				if cost > prefixMax[p.Start] {
+					prefixMax[p.Start] = cost
+				}
+				cost = prefixMax[p.Start]
 			}
-			cost = prefixMax[p.Start]
 		}
 		size := (cost + int32(cfg.UopsPerEntry) - 1) / int32(cfg.UopsPerEntry)
 		if size < 1 {
 			size = 1
 		}
 		perSet[set] = append(perSet[set], fooRequest{
-			pos: int32(i), id: identity(p), size: size, cost: cost,
+			pos: int32(i), id: identity(*p), size: size, cost: cost,
 		})
 	}
 

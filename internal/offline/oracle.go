@@ -20,10 +20,20 @@ const NoNextUse = math.MaxInt64
 // Oracle answers "when is this window next looked up?" for a fixed PW
 // lookup sequence. Positions are 0-based indices into the sequence. The
 // oracle tracks a current position that callers advance monotonically.
+//
+// Two backings exist: the map backing (NewOracle) builds a private
+// occurrence index per replay, while the prepared backing
+// (NewOraclePrepared) shares the trace's immutable occurrence columns
+// across replays and keeps only a flat per-key cursor array private — the
+// allocation the columnar pipeline exists to eliminate. Semantics are
+// identical.
 type Oracle struct {
 	occ map[uint64][]int32
 	ptr map[uint64]int
 	pos int
+
+	pt   *trace.PreparedTrace
+	ptrA []int32
 }
 
 // NewOracle indexes the lookup sequence by window start address.
@@ -33,6 +43,12 @@ func NewOracle(pws []trace.PW) *Oracle {
 		occ[p.Start] = append(occ[p.Start], int32(i))
 	}
 	return &Oracle{occ: occ, ptr: make(map[uint64]int, len(occ)), pos: -1}
+}
+
+// NewOraclePrepared builds an oracle over a prepared trace's shared
+// occurrence index. Only the per-key cursors are allocated per oracle.
+func NewOraclePrepared(pt *trace.PreparedTrace) *Oracle {
+	return &Oracle{pt: pt, ptrA: make([]int32, pt.NumKeys()), pos: -1}
 }
 
 // Advance sets the current position; it must not decrease.
@@ -46,7 +62,25 @@ func (o *Oracle) Pos() int { return o.pos }
 // NoNextUse. The inclusive convention matters: replacement decisions run
 // when a delayed insertion drains, which is before the current position's
 // lookup is served, so a window about to be used "now" must not look dead.
+//
+//simlint:hotpath
 func (o *Oracle) NextUse(start uint64) int {
+	if o.pt != nil {
+		id, ok := o.pt.IDOf(start)
+		if !ok {
+			return NoNextUse
+		}
+		occ := o.pt.Occurrences(id)
+		i := o.ptrA[id]
+		for int(i) < len(occ) && int(occ[i]) < o.pos {
+			i++
+		}
+		o.ptrA[id] = i
+		if int(i) == len(occ) {
+			return NoNextUse
+		}
+		return int(occ[i])
+	}
 	occ := o.occ[start]
 	i := o.ptr[start]
 	for i < len(occ) && int(occ[i]) < o.pos {
@@ -60,4 +94,13 @@ func (o *Oracle) NextUse(start uint64) int {
 }
 
 // Lookups returns the number of occurrences of a window in the sequence.
-func (o *Oracle) Lookups(start uint64) int { return len(o.occ[start]) }
+func (o *Oracle) Lookups(start uint64) int {
+	if o.pt != nil {
+		id, ok := o.pt.IDOf(start)
+		if !ok {
+			return 0
+		}
+		return len(o.pt.Occurrences(id))
+	}
+	return len(o.occ[start])
+}

@@ -1,0 +1,165 @@
+package offline
+
+import (
+	"bufio"
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io"
+
+	"uopsim/internal/trace"
+	"uopsim/internal/uopcache"
+)
+
+// planMagic identifies a serialized keep-plan ("uPpL").
+const planMagic = 0x75507046
+
+// planVersion is the keep-plan format version. Bump it whenever the
+// encoding OR the semantics of a plan change (solver tie-breaking, cost
+// scaling, segment handling): cached plans from older versions then miss
+// and are recomputed instead of silently replaying stale decisions.
+const planVersion = 1
+
+// EncodePlan serializes a keep-plan in a compact little-endian binary
+// format understood by DecodePlan: a 16-byte header (magic, version,
+// model, fold flag, interval count) followed by the keep decisions packed
+// eight to a byte, LSB first.
+func EncodePlan(w io.Writer, d *Decisions) error {
+	bw := bufio.NewWriter(w)
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], planMagic)
+	binary.LittleEndian.PutUint16(hdr[4:6], planVersion)
+	hdr[6] = byte(d.Model)
+	if d.FoldVariants {
+		hdr[7] = 1
+	}
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(len(d.Keep)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	packed := make([]byte, (len(d.Keep)+7)/8)
+	for i, k := range d.Keep {
+		if k {
+			packed[i>>3] |= 1 << (uint(i) & 7)
+		}
+	}
+	if _, err := bw.Write(packed); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// DecodePlan deserializes a keep-plan written by EncodePlan. Corrupted,
+// truncated or wrong-version inputs are rejected with a descriptive error
+// (never a panic); callers fall back to recomputing the plan.
+func DecodePlan(r io.Reader) (*Decisions, error) {
+	br := bufio.NewReader(r)
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("offline: plan header truncated: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(hdr[0:4]); got != planMagic {
+		return nil, fmt.Errorf("offline: bad plan magic %#x (want %#x)", got, planMagic)
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:6]); v != planVersion {
+		return nil, fmt.Errorf("offline: plan version %d not supported (want %d)", v, planVersion)
+	}
+	model := CostModel(hdr[6])
+	if model < CostOHR || model > CostVC {
+		return nil, fmt.Errorf("offline: unknown plan cost model %d", hdr[6])
+	}
+	n := binary.LittleEndian.Uint64(hdr[8:16])
+	const maxIntervals = 1 << 32
+	if n > maxIntervals {
+		return nil, fmt.Errorf("offline: implausible plan interval count %d", n)
+	}
+	packed := make([]byte, (n+7)/8)
+	if _, err := io.ReadFull(br, packed); err != nil {
+		return nil, fmt.Errorf("offline: plan body truncated: %w", err)
+	}
+	d := &Decisions{Keep: make([]bool, n), Model: model, FoldVariants: hdr[7] != 0}
+	for i := range d.Keep {
+		d.Keep[i] = packed[i>>3]&(1<<(uint(i)&7)) != 0
+	}
+	return d, nil
+}
+
+// PlanCache stores solved keep-plans keyed by PlanKey. Load returns the
+// cached plan or ok=false; Store persists one (best-effort — a failed
+// store must not fail the solve). The artifact-backed implementation lives
+// in internal/artifact; a nil PlanCache disables caching.
+type PlanCache interface {
+	Load(key string) (*Decisions, bool)
+	Store(key string, d *Decisions)
+}
+
+// PlanKey content-addresses a solve: SHA-256 over the format version, the
+// geometry the plan was solved for, the objective, the fold flag, the
+// resolved segment limit, and a digest of the lookup sequence (start
+// address and micro-op count per window — exactly the inputs the flow
+// formulation reads). Any change to these inputs, or a planVersion bump,
+// yields a different key, which is how stale cache entries are invalidated.
+func PlanKey(pws []trace.PW, cfg uopcache.Config, model CostModel, foldVariants bool, segLimit int) string {
+	if segLimit <= 0 {
+		segLimit = DefaultSegmentLimit
+	}
+	h := sha256.New()
+	var hdr [64]byte
+	binary.LittleEndian.PutUint16(hdr[0:2], planVersion)
+	binary.LittleEndian.PutUint32(hdr[2:6], uint32(cfg.Entries))
+	binary.LittleEndian.PutUint32(hdr[6:10], uint32(cfg.Ways))
+	binary.LittleEndian.PutUint32(hdr[10:14], uint32(cfg.UopsPerEntry))
+	if cfg.Compaction {
+		hdr[14] = 1
+	}
+	hdr[15] = byte(model)
+	if foldVariants {
+		hdr[16] = 1
+	}
+	binary.LittleEndian.PutUint32(hdr[17:21], uint32(segLimit))
+	binary.LittleEndian.PutUint64(hdr[21:29], uint64(len(pws)))
+	h.Write(hdr[:29])
+	// Stream the sequence digest in fixed-size chunks to keep the hash
+	// fast and allocation-bounded.
+	buf := hdr[:0]
+	for i := range pws {
+		var rec [10]byte
+		binary.LittleEndian.PutUint64(rec[0:8], pws[i].Start)
+		binary.LittleEndian.PutUint16(rec[8:10], pws[i].NumUops)
+		buf = append(buf, rec[:]...)
+		if len(buf)+10 > cap(buf) {
+			h.Write(buf)
+			buf = buf[:0]
+		}
+	}
+	h.Write(buf)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// ComputeDecisionsCached is ComputeDecisions with the prepared-trace and
+// plan-cache attachments (either may be nil): a valid pt supplies the
+// columnar per-window attributes, and a plans hit skips the solve.
+func ComputeDecisionsCached(ctx context.Context, pws []trace.PW, pt *trace.PreparedTrace, cfg uopcache.Config, model CostModel, foldVariants bool, segLimit, workers int, plans PlanCache) *Decisions {
+	return computePlan(ctx, pws, pt, cfg, model, foldVariants, segLimit, workers, plans)
+}
+
+// computePlan is the caching wrapper around computeDecisions: with a plan
+// cache attached it loads a previously solved plan by content key, and
+// stores freshly solved plans for future runs. A plan solved under a
+// cancelled context is incomplete and is never stored.
+func computePlan(ctx context.Context, pws []trace.PW, pt *trace.PreparedTrace, cfg uopcache.Config, model CostModel, foldVariants bool, segLimit, workers int, plans PlanCache) *Decisions {
+	if plans == nil {
+		return computeDecisions(ctx, pws, pt, cfg, model, foldVariants, segLimit, workers)
+	}
+	key := PlanKey(pws, cfg, model, foldVariants, segLimit)
+	if d, ok := plans.Load(key); ok && len(d.Keep) == len(pws) && d.Model == model && d.FoldVariants == foldVariants {
+		return d
+	}
+	d := computeDecisions(ctx, pws, pt, cfg, model, foldVariants, segLimit, workers)
+	if ctx == nil || ctx.Err() == nil {
+		plans.Store(key, d)
+	}
+	return d
+}

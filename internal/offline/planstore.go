@@ -1,0 +1,45 @@
+package offline
+
+import (
+	"io"
+
+	"uopsim/internal/artifact"
+)
+
+// planKind is the artifact-store namespace for serialized keep-plans.
+const planKind = "plan"
+
+// NewPlanStore adapts a content-addressed artifact store into a PlanCache:
+// plans are serialized with EncodePlan/DecodePlan under the "plan" kind.
+// Both directions are best-effort, as the PlanCache contract requires — a
+// corrupt or unwritable entry degrades to recomputing the plan, never to a
+// failed or wrong run (the store counts the error and removes bad entries).
+func NewPlanStore(s *artifact.Store) PlanCache {
+	if s == nil {
+		return nil
+	}
+	return planStore{s: s}
+}
+
+type planStore struct{ s *artifact.Store }
+
+// Load implements PlanCache.
+func (p planStore) Load(key string) (*Decisions, bool) {
+	var d *Decisions
+	ok, err := p.s.Get(planKind, key, func(r io.Reader) error {
+		var derr error
+		d, derr = DecodePlan(r)
+		return derr
+	})
+	if err != nil || !ok {
+		return nil, false
+	}
+	return d, true
+}
+
+// Store implements PlanCache. Write failures are counted by the artifact
+// store; the freshly solved plan is still returned to the caller, so a
+// read-only cache directory costs nothing but the cache benefit.
+func (p planStore) Store(key string, d *Decisions) {
+	_ = p.s.Put(planKind, key, func(w io.Writer) error { return EncodePlan(w, d) })
+}

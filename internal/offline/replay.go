@@ -65,8 +65,23 @@ func (f Features) Label() string {
 type replayPolicy struct {
 	o *Oracle
 	// curKeep tracks, per window, whether the plan keeps its current
-	// interval (updated by the driver at each lookup).
-	curKeep map[uint64]bool
+	// interval (updated by the driver at each lookup). With a prepared
+	// trace the bits live in curKeepA, indexed by dense key id, and the
+	// map stays nil.
+	curKeep  map[uint64]bool
+	pt       *trace.PreparedTrace
+	curKeepA []bool
+}
+
+// kept reads the plan's current decision for a window.
+//
+//simlint:hotpath
+func (p *replayPolicy) kept(key uint64) bool {
+	if p.pt != nil {
+		id, ok := p.pt.IDOf(key)
+		return ok && p.curKeepA[id]
+	}
+	return p.curKeep[key]
 }
 
 // Name implements uopcache.Policy.
@@ -88,7 +103,7 @@ func (p *replayPolicy) OnEvict(int, int32, uint64) {}
 func (p *replayPolicy) Victim(_ int, residents []uopcache.Resident, incoming trace.PW) uopcache.Decision {
 	// Under pressure, an unkept arrival is bypassed rather than evicting
 	// anything.
-	if !p.curKeep[incoming.Start] {
+	if !p.kept(incoming.Start) {
 		return uopcache.Decision{Bypass: true, Reason: ReasonUnkeptArrival}
 	}
 	var bestUnkept, bestAny uint64
@@ -98,7 +113,7 @@ func (p *replayPolicy) Victim(_ int, residents []uopcache.Resident, incoming tra
 		if n > anyNext || (n == anyNext && r.Key < bestAny) {
 			bestAny, anyNext = r.Key, n
 		}
-		if !p.curKeep[r.Key] {
+		if !p.kept(r.Key) {
 			if n > unkeptNext || (n == unkeptNext && r.Key < bestUnkept) {
 				bestUnkept, unkeptNext = r.Key, n
 			}
@@ -144,6 +159,25 @@ type Options struct {
 	// trace. Both are optional observability attachments.
 	Metrics *telemetry.Registry
 	Events  telemetry.EventSink
+	// Prepared, when non-nil and built over exactly the pws slice under
+	// the run's geometry, supplies the shared columnar attributes (set
+	// index, footprint, occurrence index) so the replay allocates no
+	// per-run oracle maps. A mismatched Prepared is ignored and the
+	// unprepared path runs — results are byte-identical either way.
+	Prepared *trace.PreparedTrace
+	// Plans, when non-nil, caches solved keep-plans by content key: a hit
+	// skips the min-cost-flow solve entirely, a miss stores the fresh
+	// plan for future runs. nil disables plan caching.
+	Plans PlanCache
+}
+
+// prepared validates the Prepared attachment against the run's sequence
+// and geometry, returning nil (the unprepared path) on any mismatch.
+func (o Options) prepared(pws []trace.PW, cfg uopcache.Config) *trace.PreparedTrace {
+	if o.Prepared == nil || o.Prepared.Sig() != cfg.Sig() || !o.Prepared.SameSequence(pws) {
+		return nil
+	}
+	return o.Prepared
 }
 
 // attach wires the optional observability attachments into a replay cache.
@@ -164,7 +198,7 @@ func RunFOO(pws []trace.PW, cfg uopcache.Config, opts Options) Result {
 	if opts.Features.VarCost {
 		model = CostVC
 	}
-	dec := ComputeDecisions(opts.Ctx, pws, cfg, model, opts.Features.SelBypass, opts.SegmentLimit, opts.Workers)
+	dec := computePlan(opts.Ctx, pws, opts.prepared(pws, cfg), cfg, model, opts.Features.SelBypass, opts.SegmentLimit, opts.Workers, opts.Plans)
 	return replayDecisions(pws, cfg, dec, opts)
 }
 
@@ -185,8 +219,17 @@ func ReplayPlan(pws []trace.PW, cfg uopcache.Config, dec *Decisions, opts Option
 // results, so parallel speedup for replays comes from running independent
 // (experiment, app) cells concurrently at the harness layer instead.
 func replayDecisions(pws []trace.PW, cfg uopcache.Config, dec *Decisions, opts Options) Result {
-	o := NewOracle(pws)
-	rp := &replayPolicy{o: o, curKeep: make(map[uint64]bool)}
+	pt := opts.prepared(pws, cfg)
+	var o *Oracle
+	rp := &replayPolicy{}
+	if pt != nil {
+		o = NewOraclePrepared(pt)
+		rp.pt, rp.curKeepA = pt, make([]bool, pt.NumKeys())
+	} else {
+		o = NewOracle(pws)
+		rp.curKeep = make(map[uint64]bool)
+	}
+	rp.o = o
 	c := uopcache.New(cfg, rp)
 	opts.attach(c)
 	var ic *cache.Cache
@@ -198,11 +241,18 @@ func replayDecisions(pws []trace.PW, cfg uopcache.Config, dec *Decisions, opts O
 	if opts.RecordPerLookup {
 		res.PerLookup = make([]uopcache.ProbeResult, 0, len(pws))
 	}
-	for i, pw := range pws {
+	for i := range pws {
+		pw := pws[i]
 		o.Advance(i)
 		kept := dec.Keep[i]
-		rp.curKeep[pw.Start] = kept
-		r := b.Access(pw)
+		var r uopcache.ProbeResult
+		if pt != nil {
+			rp.curKeepA[pt.KeyID(i)] = kept
+			r = b.AccessIndexed(pt, i)
+		} else {
+			rp.curKeep[pw.Start] = kept
+			r = b.Access(pw)
+		}
 		if opts.RecordPerLookup {
 			res.PerLookup = append(res.PerLookup, r)
 		}
@@ -231,7 +281,13 @@ func replayDecisions(pws []trace.PW, cfg uopcache.Config, dec *Decisions, opts O
 
 // RunBelady replays the lookup sequence under Belady's algorithm.
 func RunBelady(pws []trace.PW, cfg uopcache.Config, opts Options) Result {
-	o := NewOracle(pws)
+	pt := opts.prepared(pws, cfg)
+	var o *Oracle
+	if pt != nil {
+		o = NewOraclePrepared(pt)
+	} else {
+		o = NewOracle(pws)
+	}
 	bp := NewBelady(o)
 	c := uopcache.New(cfg, bp)
 	opts.attach(c)
@@ -244,9 +300,14 @@ func RunBelady(pws []trace.PW, cfg uopcache.Config, opts Options) Result {
 	if opts.RecordPerLookup {
 		res.PerLookup = make([]uopcache.ProbeResult, 0, len(pws))
 	}
-	for i, pw := range pws {
+	for i := range pws {
 		o.Advance(i)
-		r := b.Access(pw)
+		var r uopcache.ProbeResult
+		if pt != nil {
+			r = b.AccessIndexed(pt, i)
+		} else {
+			r = b.Access(pws[i])
+		}
 		if opts.RecordPerLookup {
 			res.PerLookup = append(res.PerLookup, r)
 		}

@@ -75,14 +75,39 @@ type Profile struct {
 // Collect runs the offline policy over the lookup sequence and accumulates
 // per-window hit rates (the paper's STEPS 3–6 input).
 func Collect(pws []trace.PW, cfg uopcache.Config, src Source) *Profile {
-	return CollectObserved(pws, cfg, src, nil, nil)
+	return CollectWith(pws, cfg, src, CollectOptions{})
+}
+
+// CollectOptions bundles a profiling replay's optional attachments: live
+// metrics and event observability, the shared prepared trace (allocation
+// savings; ignored on geometry or sequence mismatch), the keep-plan cache
+// (skips the flow solve on a hit), and the solver worker bound. The zero
+// value disables everything.
+type CollectOptions struct {
+	Metrics  *telemetry.Registry
+	Events   telemetry.EventSink
+	Prepared *trace.PreparedTrace
+	Plans    offline.PlanCache
+	Workers  int
 }
 
 // CollectObserved is Collect with observability attached: the profiling
 // replay's uopcache_* counters stream into metrics and its decision trace
 // into events (either may be nil).
 func CollectObserved(pws []trace.PW, cfg uopcache.Config, src Source, metrics *telemetry.Registry, events telemetry.EventSink) *Profile {
-	opts := offline.Options{RecordPerLookup: true, Metrics: metrics, Events: events}
+	return CollectWith(pws, cfg, src, CollectOptions{Metrics: metrics, Events: events})
+}
+
+// CollectWith is Collect with the full attachment set.
+func CollectWith(pws []trace.PW, cfg uopcache.Config, src Source, o CollectOptions) *Profile {
+	opts := offline.Options{
+		RecordPerLookup: true,
+		Metrics:         o.Metrics,
+		Events:          o.Events,
+		Prepared:        o.Prepared,
+		Plans:           o.Plans,
+		Workers:         o.Workers,
+	}
 	var res offline.Result
 	switch src {
 	case SourceBelady:

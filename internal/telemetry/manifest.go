@@ -113,6 +113,26 @@ type RunManifest struct {
 	// Inspect records the introspection artifacts (-inspect / -trace-out)
 	// so a manifest fully indexes the run's outputs.
 	Inspect *InspectArtifacts `json:"inspect,omitempty"`
+	// Cache records the content-addressed artifact cache's provenance
+	// (-cache-dir): where the cache lived and how much of the run was served
+	// from it, so a result file states whether its traces and keep-plans
+	// were recomputed or replayed.
+	Cache *ArtifactCacheInfo `json:"cache,omitempty"`
+}
+
+// ArtifactCacheInfo is the run manifest's record of artifact-cache traffic.
+// It mirrors internal/artifact's per-kind stats without importing it (the
+// artifact package sits above telemetry in the dependency order).
+type ArtifactCacheInfo struct {
+	Dir   string                       `json:"dir"`
+	Kinds map[string]ArtifactCacheKind `json:"kinds,omitempty"`
+}
+
+// ArtifactCacheKind is one artifact kind's hit/miss/error traffic.
+type ArtifactCacheKind struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	Errors uint64 `json:"errors"`
 }
 
 // InspectArtifacts indexes the decision-level introspection outputs of a

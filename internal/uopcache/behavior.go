@@ -27,6 +27,13 @@ type Behavior struct {
 type pending struct {
 	pw  trace.PW
 	due uint64
+	// set is the window's set index, computed once at scheduling so the
+	// completing insertion does not rederive it.
+	set int
+	// foot is the window's storage footprint when the scheduling lookup
+	// came from a prepared trace; -1 means "compute at insertion" (the
+	// unprepared path).
+	foot int
 	// cancelled marks in-flight windows whose insertion an offline
 	// policy decided to skip (FLACK's late-insertion safeguard).
 	cancelled bool
@@ -51,6 +58,23 @@ func NewBehavior(c *Cache, icache *cache.Cache) *Behavior {
 // On a miss or partial hit it schedules the (merged) window's insertion,
 // coalescing with an already in-flight window for the same start address.
 func (b *Behavior) Access(pw trace.PW) ProbeResult {
+	return b.accessAt(pw, b.C.SetIndex(pw.Start), -1)
+}
+
+// AccessIndexed is Access for position i of a prepared trace: the set index
+// and storage footprint come from the shared columns instead of being
+// recomputed per lookup per replay.
+//
+//simlint:hotpath
+func (b *Behavior) AccessIndexed(pt *trace.PreparedTrace, i int) ProbeResult {
+	return b.accessAt(pt.At(i), pt.Set(i), pt.Footprint(i))
+}
+
+// accessAt is the shared lookup body; foot is the window's precomputed
+// footprint, or -1 to compute it at insertion time.
+//
+//simlint:hotpath
+func (b *Behavior) accessAt(pw trace.PW, set, foot int) ProbeResult {
 	b.lookups++
 	b.drain()
 	if b.ICache != nil {
@@ -58,9 +82,9 @@ func (b *Behavior) Access(pw trace.PW) ProbeResult {
 			b.ICache.Access(line)
 		}
 	}
-	res := b.C.Lookup(pw)
+	res := b.C.lookupAt(pw, set)
 	if res.MissUops > 0 {
-		b.schedule(pw)
+		b.schedule(pw, set, foot)
 	}
 	return res
 }
@@ -94,18 +118,21 @@ func (b *Behavior) Flush() {
 // Lookups returns the number of accesses performed.
 func (b *Behavior) Lookups() uint64 { return b.lookups }
 
-func (b *Behavior) schedule(pw trace.PW) {
+func (b *Behavior) schedule(pw trace.PW, set, foot int) {
 	if p, ok := b.inflight[pw.Start]; ok {
 		// Coalesce: keep the larger window (new-window formation after
 		// a partial hit merges into the in-flight accumulation).
 		b.C.NoteCoalescedMiss(pw)
 		if pw.NumUops > p.pw.NumUops {
 			p.pw = pw
+			p.foot = foot
 		}
 		return
 	}
-	p := &pending{pw: pw, due: b.lookups + b.delay}
+	//simlint:ignore hotpath one pending per coalesced miss, not per lookup; the insertion queue is inherent to the asynchrony model
+	p := &pending{pw: pw, due: b.lookups + b.delay, set: set, foot: foot}
 	b.inflight[pw.Start] = p
+	//simlint:ignore hotpath amortized growth; one queue entry per coalesced miss, reset by Flush
 	b.queue = append(b.queue, p)
 }
 
@@ -120,10 +147,14 @@ func (b *Behavior) drain() {
 func (b *Behavior) complete(p *pending) {
 	delete(b.inflight, p.pw.Start)
 	if p.cancelled {
-		b.C.noteBypass(b.C.SetIndex(p.pw.Start), p.pw)
+		b.C.noteBypass(p.set, p.pw)
 		return
 	}
-	b.C.Insert(p.pw)
+	need := p.foot
+	if need < 0 {
+		need = b.C.footprint(int(p.pw.NumUops))
+	}
+	b.C.insertAt(p.pw, p.set, need)
 }
 
 // Run drives a whole PW sequence through the simulator and returns the final
@@ -131,6 +162,19 @@ func (b *Behavior) complete(p *pending) {
 func (b *Behavior) Run(pws []trace.PW) Stats {
 	for _, pw := range pws {
 		b.Access(pw)
+	}
+	b.Flush()
+	return b.C.Stats
+}
+
+// RunPrepared drives a prepared trace through the simulator, reading the
+// per-window set and footprint columns instead of recomputing them. It is
+// behaviourally identical to Run over pt.PWs().
+//
+//simlint:hotpath
+func (b *Behavior) RunPrepared(pt *trace.PreparedTrace) Stats {
+	for i, n := 0, pt.Len(); i < n; i++ {
+		b.AccessIndexed(pt, i)
 	}
 	b.Flush()
 	return b.C.Stats

@@ -475,6 +475,49 @@ func (c Config) SetIndex(start uint64) int {
 	return int(((start >> 4) ^ (start >> 11)) & uint64(c.Sets()-1))
 }
 
+// Footprint returns a window's storage cost in the geometry's accounting
+// unit: whole entries normally, micro-ops under idealized compaction. It is
+// the per-window column PreparedTrace precomputes, defined here so the
+// formula lives in one place.
+func (c Config) Footprint(uops int) int {
+	if c.Compaction {
+		if uops < 1 {
+			return 1
+		}
+		return uops
+	}
+	n := (uops + c.UopsPerEntry - 1) / c.UopsPerEntry
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Sig fingerprints the parts of the configuration that determine per-window
+// attributes (set index, footprint, entry count). PreparedTrace carries it
+// so consumers can detect a geometry mismatch and fall back to recomputing
+// attributes instead of trusting stale columns. InsertDelay is deliberately
+// excluded: it affects replay timing, not per-window attributes.
+func (c Config) Sig() uint64 {
+	s := uint64(c.Entries)<<32 | uint64(c.Ways)<<16 | uint64(c.UopsPerEntry)<<1
+	if c.Compaction {
+		s |= 1
+	}
+	return hashKey(s)
+}
+
+// Prepare builds the shared columnar view of a PW lookup sequence for this
+// geometry: precomputed set indices, storage footprints, entry counts and
+// the occurrence index every offline replay needs. Build it once per
+// (trace, geometry) and hand it to every replay of the same sequence.
+func Prepare(cfg Config, pws []trace.PW) *trace.PreparedTrace {
+	return trace.Prepare(pws, cfg.Sig(),
+		cfg.SetIndex,
+		func(p trace.PW) int { return cfg.Footprint(int(p.NumUops)) },
+		func(p trace.PW) int { return p.Entries(cfg.UopsPerEntry) },
+	)
+}
+
 // EvictKey force-evicts the window with the given start address, if
 // resident (used by offline policies performing eager evictions). It
 // returns true when a window was removed.
@@ -582,6 +625,14 @@ func (c *Cache) NotePerfectHit(pw trace.PW) {
 //
 //simlint:hotpath
 func (c *Cache) Lookup(pw trace.PW) ProbeResult {
+	return c.lookupAt(pw, c.SetIndex(pw.Start))
+}
+
+// lookupAt is Lookup with the window's set index precomputed by the caller
+// (the prepared-trace path hands in the column value; Lookup derives it).
+//
+//simlint:hotpath
+func (c *Cache) lookupAt(pw trace.PW, set int) ProbeResult {
 	c.clock++
 	c.Stats.Lookups++
 	want := int(pw.NumUops)
@@ -591,7 +642,6 @@ func (c *Cache) Lookup(pw trace.PW) ProbeResult {
 		c.m.uopsRequested.Add(uint64(want))
 		c.m.lookupUops.Observe(uint64(want))
 	}
-	set := c.SetIndex(pw.Start)
 	s := &c.sets[set]
 	slot := c.findSlot(s, pw.Start)
 	if slot < 0 {
@@ -685,19 +735,7 @@ func (c *Cache) setCapacity() int {
 }
 
 // footprint returns a window's cost against setCapacity's unit.
-func (c *Cache) footprint(uops int) int {
-	if c.cfg.Compaction {
-		if uops < 1 {
-			return 1
-		}
-		return uops
-	}
-	n := (uops + c.cfg.UopsPerEntry - 1) / c.cfg.UopsPerEntry
-	if n < 1 {
-		n = 1
-	}
-	return n
-}
+func (c *Cache) footprint(uops int) int { return c.cfg.Footprint(uops) }
 
 // Insert places pw into the cache, consulting the policy for victims as
 // needed. If a smaller window with the same start address is resident it is
@@ -706,9 +744,16 @@ func (c *Cache) footprint(uops int) int {
 //
 //simlint:hotpath
 func (c *Cache) Insert(pw trace.PW) InsertOutcome {
-	set := c.SetIndex(pw.Start)
+	return c.insertAt(pw, c.SetIndex(pw.Start), c.footprint(int(pw.NumUops)))
+}
+
+// insertAt is Insert with the window's set index and storage footprint
+// precomputed by the caller (the prepared-trace path hands in the column
+// values; Insert derives them).
+//
+//simlint:hotpath
+func (c *Cache) insertAt(pw trace.PW, set, need int) InsertOutcome {
 	s := &c.sets[set]
-	need := c.footprint(int(pw.NumUops))
 	if need > c.capSlots {
 		c.noteBypass(set, pw)
 		return TooLarge
